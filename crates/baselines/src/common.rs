@@ -1,0 +1,93 @@
+//! Shared helpers for the dimensionality-reduction baselines.
+
+use hpc_linalg::Mat;
+
+/// Squared Euclidean distance matrix between the rows of `x` (`n × n`).
+pub fn pairwise_sq_dists(x: &Mat) -> Mat {
+    let n = x.rows();
+    let sq: Vec<f64> = (0..n)
+        .map(|i| x.row(i).iter().map(|&v| v * v).sum())
+        .collect();
+    // ‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b; the Gram matrix does the heavy lifting.
+    let gram = x.matmul(&x.transpose());
+    let mut d = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = (sq[i] + sq[j] - 2.0 * gram[(i, j)]).max(0.0);
+            d[(i, j)] = v;
+        }
+    }
+    d
+}
+
+/// Indices of the `k` nearest neighbours of each row (excluding itself),
+/// from a squared-distance matrix.
+pub fn knn_from_dists(d: &Mat, k: usize) -> Vec<Vec<usize>> {
+    let n = d.rows();
+    let k = k.min(n.saturating_sub(1));
+    (0..n)
+        .map(|i| {
+            let mut idx: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            idx.sort_by(|&a, &b| d[(i, a)].partial_cmp(&d[(i, b)]).unwrap());
+            idx.truncate(k);
+            idx
+        })
+        .collect()
+}
+
+/// Subtracts the column means of `x` in place and returns the means.
+pub fn center_columns(x: &mut Mat) -> Vec<f64> {
+    let n = x.rows().max(1);
+    let d = x.cols();
+    let mut means = vec![0.0; d];
+    for i in 0..x.rows() {
+        for (m, &v) in means.iter_mut().zip(x.row(i)) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    for i in 0..x.rows() {
+        for (v, &m) in x.row_mut(i).iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+    means
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_dists_match_manual() {
+        let x = Mat::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![1.0, 0.0]]);
+        let d = pairwise_sq_dists(&x);
+        assert!((d[(0, 1)] - 25.0).abs() < 1e-12);
+        assert!((d[(0, 2)] - 1.0).abs() < 1e-12);
+        assert!((d[(1, 2)] - 20.0).abs() < 1e-12);
+        for i in 0..3 {
+            assert_eq!(d[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let x = Mat::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![0.2]]);
+        let d = pairwise_sq_dists(&x);
+        let nn = knn_from_dists(&d, 2);
+        assert_eq!(nn[0], vec![3, 1]);
+        assert_eq!(nn[2], vec![1, 3]);
+    }
+
+    #[test]
+    fn centering_zeroes_means() {
+        let mut x = Mat::from_rows(&[vec![1.0, 10.0], vec![3.0, 20.0]]);
+        let means = center_columns(&mut x);
+        assert_eq!(means, vec![2.0, 15.0]);
+        assert!((x.row(0)[0] + 1.0).abs() < 1e-12);
+        let col_sum: f64 = (0..2).map(|i| x.row(i)[1]).sum();
+        assert!(col_sum.abs() < 1e-12);
+    }
+}

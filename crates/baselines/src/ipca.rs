@@ -1,0 +1,214 @@
+//! Incremental PCA (Ross et al. 2008), the `sklearn.decomposition
+//! .IncrementalPCA` counterpart: the paper reports IPCA as the one method
+//! whose partial fit beats I-mrDMD.
+
+use hpc_linalg::{svd, svd_truncated, Mat};
+
+/// Streaming PCA with mean tracking.
+#[derive(Clone, Debug)]
+pub struct IncrementalPca {
+    /// Output dimensionality.
+    pub n_components: usize,
+    mean: Vec<f64>,
+    /// `d × k` principal directions.
+    components: Mat,
+    singular_values: Vec<f64>,
+    n_samples_seen: usize,
+}
+
+impl IncrementalPca {
+    /// Creates an unfitted incremental PCA.
+    pub fn new(n_components: usize) -> IncrementalPca {
+        assert!(n_components >= 1);
+        IncrementalPca {
+            n_components,
+            mean: vec![],
+            components: Mat::zeros(0, 0),
+            singular_values: vec![],
+            n_samples_seen: 0,
+        }
+    }
+
+    /// Convenience batch fit: feeds `x` through `partial_fit` in chunks of
+    /// `batch_size` (sklearn semantics).
+    pub fn fit(&mut self, x: &Mat, batch_size: usize) {
+        assert!(batch_size >= 1);
+        let mut start = 0;
+        while start < x.rows() {
+            let hi = (start + batch_size).min(x.rows());
+            self.partial_fit(&x.rows_range(start, hi));
+            start = hi;
+        }
+    }
+
+    /// Folds a batch of new samples (`n × d`) into the model (Ross et al.
+    /// mean-corrected incremental SVD).
+    pub fn partial_fit(&mut self, x: &Mat) {
+        let n = x.rows();
+        if n == 0 {
+            return;
+        }
+        let d = x.cols();
+        if self.n_samples_seen == 0 {
+            self.mean = vec![0.0; d];
+        }
+        assert_eq!(d, self.mean.len(), "feature count mismatch");
+
+        // Updated running mean.
+        let n_old = self.n_samples_seen as f64;
+        let n_new = n as f64;
+        let batch_mean: Vec<f64> = (0..d)
+            .map(|j| (0..n).map(|i| x[(i, j)]).sum::<f64>() / n_new)
+            .collect();
+        let total = n_old + n_new;
+        let updated_mean: Vec<f64> = self
+            .mean
+            .iter()
+            .zip(&batch_mean)
+            .map(|(&m0, &mb)| (m0 * n_old + mb * n_new) / total)
+            .collect();
+
+        // Centered batch plus the mean-correction row.
+        let mut centered = x.clone();
+        for i in 0..n {
+            for (v, &m) in centered.row_mut(i).iter_mut().zip(&batch_mean) {
+                *v -= m;
+            }
+        }
+        let corr_scale = (n_old * n_new / total).sqrt();
+        let correction: Vec<f64> = self
+            .mean
+            .iter()
+            .zip(&batch_mean)
+            .map(|(&m0, &mb)| corr_scale * (m0 - mb))
+            .collect();
+
+        // Stack [Σ·Vᵀ ; centered ; correction] and re-SVD.
+        let k_prev = self.singular_values.len();
+        let mut stack = Mat::zeros(k_prev + n + 1, d);
+        for r in 0..k_prev {
+            let s = self.singular_values[r];
+            for j in 0..d {
+                stack[(r, j)] = s * self.components[(j, r)];
+            }
+        }
+        for i in 0..n {
+            stack.row_mut(k_prev + i).copy_from_slice(centered.row(i));
+        }
+        stack.row_mut(k_prev + n).copy_from_slice(&correction);
+
+        let k = self.n_components.min(stack.rows().min(d));
+        let f = if k + 10 < stack.rows().min(d) / 2 && stack.rows().min(d) > 64 {
+            svd_truncated(&stack, k)
+        } else {
+            svd(&stack).truncate(k)
+        };
+        self.components = f.v;
+        self.singular_values = f.s;
+        self.mean = updated_mean;
+        self.n_samples_seen += n;
+    }
+
+    /// Samples absorbed so far.
+    pub fn n_samples_seen(&self) -> usize {
+        self.n_samples_seen
+    }
+
+    /// Projects samples into the fitted space (`n × k`).
+    pub fn transform(&self, x: &Mat) -> Mat {
+        assert!(self.n_samples_seen > 0, "transform before fit");
+        assert_eq!(x.cols(), self.mean.len());
+        let mut c = x.clone();
+        for i in 0..c.rows() {
+            for (v, &m) in c.row_mut(i).iter_mut().zip(&self.mean) {
+                *v -= m;
+            }
+        }
+        c.matmul(&self.components)
+    }
+
+    /// The fitted principal directions (`d × k`).
+    pub fn components(&self) -> &Mat {
+        &self.components
+    }
+
+    /// Running feature means.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::Pca;
+
+    fn cloud(n: usize, d: usize) -> Mat {
+        Mat::from_fn(n, d, |i, j| {
+            let t = i as f64 * 0.1;
+            (t + j as f64).sin() * (j as f64 + 1.0)
+                + 0.05 * (((i * 31 + j * 17) % 101) as f64 / 101.0 - 0.5)
+        })
+    }
+
+    #[test]
+    fn matches_batch_pca_subspace() {
+        let x = cloud(150, 8);
+        let mut ipca = IncrementalPca::new(2);
+        ipca.fit(&x, 30);
+        let mut pca = Pca::new(2);
+        pca.fit(&x);
+        // Compare spanned subspaces via principal angles: ‖V1ᵀV2‖ should have
+        // singular values ≈ 1.
+        let cross = ipca.components().t_matmul(pca.components());
+        let f = hpc_linalg::svd(&cross);
+        for &s in &f.s {
+            assert!(s > 0.98, "principal angle cosine {s}");
+        }
+    }
+
+    #[test]
+    fn running_mean_is_exact() {
+        let x = cloud(97, 5);
+        let mut ipca = IncrementalPca::new(2);
+        ipca.fit(&x, 13);
+        for j in 0..5 {
+            let exact: f64 = (0..97).map(|i| x[(i, j)]).sum::<f64>() / 97.0;
+            assert!((ipca.mean()[j] - exact).abs() < 1e-10);
+        }
+        assert_eq!(ipca.n_samples_seen(), 97);
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_subspace_much() {
+        let x = cloud(120, 6);
+        let mut a = IncrementalPca::new(2);
+        a.fit(&x, 10);
+        let mut b = IncrementalPca::new(2);
+        b.fit(&x, 60);
+        let cross = a.components().t_matmul(b.components());
+        let f = hpc_linalg::svd(&cross);
+        for &s in &f.s {
+            assert!(s > 0.95, "chunking sensitivity: cosine {s}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let x = cloud(20, 4);
+        let mut ipca = IncrementalPca::new(2);
+        ipca.fit(&x, 20);
+        let before = ipca.n_samples_seen();
+        ipca.partial_fit(&Mat::zeros(0, 4));
+        assert_eq!(ipca.n_samples_seen(), before);
+    }
+
+    #[test]
+    fn transform_shape() {
+        let x = cloud(50, 6);
+        let mut ipca = IncrementalPca::new(3);
+        ipca.fit(&x, 25);
+        let t = ipca.transform(&x);
+        assert_eq!(t.shape(), (50, 3));
+    }
+}

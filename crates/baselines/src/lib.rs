@@ -1,0 +1,33 @@
+//! # dimred-baselines
+//!
+//! The comparator suite for the I-mrDMD evaluation: from-scratch
+//! implementations of every dimensionality-reduction method the paper
+//! benchmarks against in Figs. 8 and 9:
+//!
+//! - [`pca::Pca`] — batch PCA (`sklearn.decomposition.PCA`),
+//! - [`ipca::IncrementalPca`] — Ross et al. streaming PCA
+//!   (`sklearn.decomposition.IncrementalPCA`),
+//! - [`tsne::Tsne`] — exact t-SNE (`sklearn.manifold.TSNE`),
+//! - [`umap::Umap`] — simplified UMAP (umap-learn),
+//! - [`aligned::AlignedUmap`] — sequentially aligned UMAP
+//!   (Dadu et al. 2023), the one manifold method with a `partial_fit`.
+//!
+//! Matrices are `n_samples × n_features`; each method produces an
+//! `n_samples × n_components` embedding. The algorithmic scalings match the
+//! originals (IPCA minibatch `O(n·q²)`, exact t-SNE `O(n²)` per iteration,
+//! UMAP `O(n²)` graph + `O(edges)` SGD), which is what Fig. 9's timing
+//! comparison actually measures.
+
+#![warn(missing_docs)]
+pub mod aligned;
+pub mod common;
+pub mod ipca;
+pub mod pca;
+pub mod tsne;
+pub mod umap;
+
+pub use aligned::AlignedUmap;
+pub use ipca::IncrementalPca;
+pub use pca::Pca;
+pub use tsne::{Tsne, TsneConfig};
+pub use umap::{Umap, UmapConfig};

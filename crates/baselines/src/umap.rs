@@ -1,0 +1,363 @@
+//! Simplified UMAP (McInnes et al. 2018).
+//!
+//! Exact kNN graph + fuzzy simplicial set + negative-sampling SGD over the
+//! cross-entropy objective. The `a`, `b` curve coefficients are the standard
+//! fitted values for `min_dist = 0.1`, `spread = 1.0` — the settings the
+//! paper uses. Suitable for the thousands-of-points regime of the
+//! evaluation; no approximate-NN structures are needed at that scale.
+
+use crate::common::{knn_from_dists, pairwise_sq_dists};
+use crate::pca::Pca;
+use hpc_linalg::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// UMAP hyper-parameters (defaults follow the paper: `n_neighbors = 15`,
+/// `min_dist = 0.1`, Euclidean metric, two components).
+#[derive(Clone, Copy, Debug)]
+pub struct UmapConfig {
+    /// kNN graph size.
+    pub n_neighbors: usize,
+    /// Output dimensionality.
+    pub n_components: usize,
+    /// Curve coefficient `a` (fitted for min_dist = 0.1).
+    pub a: f64,
+    /// Curve coefficient `b` (fitted for min_dist = 0.1).
+    pub b: f64,
+    /// SGD epochs.
+    pub n_epochs: usize,
+    /// Initial SGD step size (decays linearly to zero).
+    pub learning_rate: f64,
+    /// Negative samples per positive edge.
+    pub negative_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UmapConfig {
+    fn default() -> Self {
+        UmapConfig {
+            n_neighbors: 15,
+            n_components: 2,
+            a: 1.577,
+            b: 0.8951,
+            n_epochs: 200,
+            learning_rate: 1.0,
+            negative_samples: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// One weighted edge of the fuzzy simplicial set.
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    i: u32,
+    j: u32,
+    weight: f64,
+}
+
+/// Fitted UMAP embedding.
+#[derive(Clone, Debug)]
+pub struct Umap {
+    /// Configuration used.
+    pub config: UmapConfig,
+    embedding: Mat,
+}
+
+impl Umap {
+    /// Runs UMAP on `x` (`n_samples × n_features`).
+    pub fn fit(x: &Mat, config: &UmapConfig) -> Umap {
+        let init = pca_init(x, config.n_components);
+        Umap::fit_from_init(x, init, config, config.n_epochs, None)
+    }
+
+    /// Runs UMAP from a given initial embedding, optionally anchored toward
+    /// reference positions with a spring of strength `anchor.1` — the
+    /// mechanism Aligned-UMAP uses to keep successive embeddings comparable.
+    pub fn fit_from_init(
+        x: &Mat,
+        mut y: Mat,
+        config: &UmapConfig,
+        n_epochs: usize,
+        anchor: Option<(&Mat, f64)>,
+    ) -> Umap {
+        let n = x.rows();
+        assert!(n >= 4, "UMAP needs at least a handful of samples");
+        assert_eq!(y.rows(), n);
+        assert_eq!(y.cols(), config.n_components);
+        if let Some((anchor_pos, _)) = anchor {
+            assert_eq!(anchor_pos.shape(), y.shape());
+        }
+        let edges = fuzzy_simplicial_set(x, config.n_neighbors);
+        let max_w = edges
+            .iter()
+            .map(|e| e.weight)
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x554d_4150);
+        let k = config.n_components;
+        let (a, b) = (config.a, config.b);
+        for epoch in 0..n_epochs {
+            let alpha = config.learning_rate * (1.0 - epoch as f64 / n_epochs.max(1) as f64);
+            for e in &edges {
+                // Sample each edge proportionally to its membership weight.
+                if rng.random::<f64>() > e.weight / max_w {
+                    continue;
+                }
+                let (i, j) = (e.i as usize, e.j as usize);
+                // Attraction along the edge.
+                let d2 = sq_dist_rows(&y, i, j);
+                if d2 > 0.0 {
+                    let g = (-2.0 * a * b * d2.powf(b - 1.0)) / (1.0 + a * d2.powf(b));
+                    apply_force(&mut y, i, j, g, alpha, k);
+                }
+                // Repulsion from random non-neighbours.
+                for _ in 0..config.negative_samples {
+                    let m = rng.random_range(0..n);
+                    if m == i {
+                        continue;
+                    }
+                    let d2 = sq_dist_rows(&y, i, m);
+                    let g = (2.0 * b) / ((0.001 + d2) * (1.0 + a * d2.powf(b)));
+                    apply_force_one_sided(&mut y, i, m, g, alpha, k);
+                }
+            }
+            // Anchor springs (Aligned-UMAP regularisation).
+            if let Some((anchor_pos, lambda)) = anchor {
+                for i in 0..n {
+                    for c in 0..k {
+                        let pull = lambda * (anchor_pos[(i, c)] - y[(i, c)]);
+                        y[(i, c)] += alpha * pull;
+                    }
+                }
+            }
+        }
+        Umap {
+            config: *config,
+            embedding: y,
+        }
+    }
+
+    /// The embedded samples (`n × n_components`).
+    pub fn embedding(&self) -> &Mat {
+        &self.embedding
+    }
+}
+
+/// PCA initialisation scaled into the UMAP working box (±10).
+pub(crate) fn pca_init(x: &Mat, k: usize) -> Mat {
+    let n = x.rows();
+    let mut pca = Pca::new(k.min(x.cols()).max(1));
+    pca.fit(x);
+    let scores = pca.embedding();
+    let spread = scores.max_abs().max(1e-12);
+    Mat::from_fn(n, k, |i, j| {
+        if j < scores.cols() {
+            scores[(i, j)] / spread * 10.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Builds the symmetrised fuzzy simplicial set (UMAP §3.1): per-point
+/// smooth-kNN calibration, then probabilistic t-conorm symmetrisation.
+fn fuzzy_simplicial_set(x: &Mat, n_neighbors: usize) -> Vec<Edge> {
+    let n = x.rows();
+    let d2 = pairwise_sq_dists(x);
+    let knn = knn_from_dists(&d2, n_neighbors);
+    let k = knn[0].len().max(1);
+    let target = (k as f64).log2().max(1e-3);
+    // Directed memberships.
+    let mut w = vec![std::collections::HashMap::<u32, f64>::new(); n];
+    for i in 0..n {
+        let dists: Vec<f64> = knn[i].iter().map(|&j| d2[(i, j)].sqrt()).collect();
+        let rho = dists.iter().copied().fold(f64::INFINITY, f64::min).max(0.0);
+        // Binary search σ so Σ exp(−max(0, d−ρ)/σ) = log2(k).
+        let (mut lo, mut hi) = (1e-8f64, 1e4f64);
+        let mut sigma = 1.0;
+        for _ in 0..64 {
+            sigma = 0.5 * (lo + hi);
+            let s: f64 = dists
+                .iter()
+                .map(|&d| (-((d - rho).max(0.0)) / sigma).exp())
+                .sum();
+            if (s - target).abs() < 1e-5 {
+                break;
+            }
+            if s > target {
+                hi = sigma;
+            } else {
+                lo = sigma;
+            }
+        }
+        for (&j, &d) in knn[i].iter().zip(&dists) {
+            let v = (-((d - rho).max(0.0)) / sigma).exp();
+            w[i].insert(j as u32, v);
+        }
+    }
+    // Symmetrise: w_sym = w + wᵀ − w∘wᵀ, each undirected edge once.
+    let mut acc: std::collections::HashMap<(u32, u32), (f64, f64)> =
+        std::collections::HashMap::new();
+    for (i, map) in w.iter().enumerate() {
+        for (&j, &wij) in map {
+            let key = ((i as u32).min(j), (i as u32).max(j));
+            let slot = acc.entry(key).or_insert((0.0, 0.0));
+            if (i as u32) < j {
+                slot.0 = wij;
+            } else {
+                slot.1 = wij;
+            }
+        }
+    }
+    let mut edges: Vec<Edge> = acc
+        .into_iter()
+        .filter_map(|((i, j), (a, b))| {
+            let weight = a + b - a * b;
+            (weight > 1e-8).then_some(Edge { i, j, weight })
+        })
+        .collect();
+    // Deterministic iteration order for reproducible SGD.
+    edges.sort_by_key(|e| (e.i, e.j));
+    edges
+}
+
+#[inline]
+fn sq_dist_rows(y: &Mat, i: usize, j: usize) -> f64 {
+    y.row(i)
+        .iter()
+        .zip(y.row(j))
+        .map(|(&a, &b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
+}
+
+/// Symmetric attractive update with the standard ±4 gradient clip.
+fn apply_force(y: &mut Mat, i: usize, j: usize, g: f64, alpha: f64, k: usize) {
+    for c in 0..k {
+        let delta = (g * (y[(i, c)] - y[(j, c)])).clamp(-4.0, 4.0);
+        y[(i, c)] += alpha * delta;
+        y[(j, c)] -= alpha * delta;
+    }
+}
+
+/// Repulsive update applied to the head point only (umap-learn convention).
+fn apply_force_one_sided(y: &mut Mat, i: usize, m: usize, g: f64, alpha: f64, k: usize) {
+    for c in 0..k {
+        let delta = (g * (y[(i, c)] - y[(m, c)])).clamp(-4.0, 4.0);
+        y[(i, c)] += alpha * delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(n_per: usize) -> Mat {
+        Mat::from_fn(2 * n_per, 4, |i, j| {
+            let blob = if i < n_per { 0.0 } else { 15.0 };
+            blob + ((i * 53 + j * 29) % 71) as f64 / 71.0
+        })
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let n_per = 25;
+        let x = two_blobs(n_per);
+        let u = Umap::fit(
+            &x,
+            &UmapConfig {
+                n_neighbors: 8,
+                n_epochs: 150,
+                ..Default::default()
+            },
+        );
+        let e = u.embedding();
+        let centroid = |r: std::ops::Range<usize>| {
+            let n = r.len() as f64;
+            (
+                r.clone().map(|i| e[(i, 0)]).sum::<f64>() / n,
+                r.map(|i| e[(i, 1)]).sum::<f64>() / n,
+            )
+        };
+        let (ax, ay) = centroid(0..n_per);
+        let (bx, by) = centroid(n_per..2 * n_per);
+        let sep = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        let spread: f64 = (0..n_per)
+            .map(|i| ((e[(i, 0)] - ax).powi(2) + (e[(i, 1)] - ay).powi(2)).sqrt())
+            .sum::<f64>()
+            / n_per as f64;
+        assert!(sep > spread, "separation {sep} vs spread {spread}");
+    }
+
+    #[test]
+    fn fuzzy_set_weights_in_unit_interval() {
+        let x = two_blobs(15);
+        let edges = fuzzy_simplicial_set(&x, 5);
+        assert!(!edges.is_empty());
+        for e in &edges {
+            assert!(
+                e.weight > 0.0 && e.weight <= 1.0 + 1e-9,
+                "weight {}",
+                e.weight
+            );
+            assert_ne!(e.i, e.j);
+        }
+    }
+
+    #[test]
+    fn embedding_finite_and_shaped() {
+        let x = two_blobs(10);
+        let u = Umap::fit(
+            &x,
+            &UmapConfig {
+                n_neighbors: 5,
+                n_epochs: 40,
+                ..Default::default()
+            },
+        );
+        assert_eq!(u.embedding().shape(), (20, 2));
+        assert!(u.embedding().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let x = two_blobs(10);
+        let cfg = UmapConfig {
+            n_neighbors: 5,
+            n_epochs: 40,
+            ..Default::default()
+        };
+        let a = Umap::fit(&x, &cfg);
+        let b = Umap::fit(&x, &cfg);
+        assert!(a.embedding().fro_dist(b.embedding()) < 1e-12);
+    }
+
+    #[test]
+    fn anchoring_keeps_embedding_near_reference() {
+        let x = two_blobs(10);
+        let cfg = UmapConfig {
+            n_neighbors: 5,
+            n_epochs: 60,
+            ..Default::default()
+        };
+        let base = Umap::fit(&x, &cfg);
+        let anchored = Umap::fit_from_init(
+            &x,
+            base.embedding().clone(),
+            &cfg,
+            30,
+            Some((base.embedding(), 5.0)),
+        );
+        let drift_anchored = anchored.embedding().fro_dist(base.embedding());
+        let free = Umap::fit_from_init(&x, base.embedding().clone(), &cfg, 30, None);
+        let drift_free = free.embedding().fro_dist(base.embedding());
+        assert!(
+            drift_anchored <= drift_free + 1e-9,
+            "anchored drift {drift_anchored} vs free {drift_free}"
+        );
+    }
+}

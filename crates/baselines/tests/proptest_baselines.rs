@@ -1,0 +1,92 @@
+//! Property-based tests of the dimensionality-reduction comparators.
+
+use dimred_baselines::*;
+use hpc_linalg::Mat;
+use proptest::prelude::*;
+
+/// Strategy: a random `n × d` data matrix with bounded entries.
+fn data_strategy() -> impl Strategy<Value = Mat> {
+    (8usize..24, 3usize..8).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-5.0f64..5.0, n * d).prop_map(move |v| Mat::from_vec(n, d, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// PCA embeddings are centred and their component count is respected.
+    #[test]
+    fn pca_embedding_centred(x in data_strategy()) {
+        let mut pca = Pca::new(2);
+        pca.fit(&x);
+        let e = pca.embedding();
+        prop_assert_eq!(e.shape(), (x.rows(), 2.min(x.cols())));
+        for j in 0..e.cols() {
+            let mean: f64 = (0..e.rows()).map(|i| e[(i, j)]).sum::<f64>() / e.rows() as f64;
+            prop_assert!(mean.abs() < 1e-8, "component {j} mean {mean}");
+        }
+        // Components are orthonormal.
+        let g = pca.components().t_matmul(pca.components());
+        prop_assert!(g.sub(&Mat::identity(g.rows())).fro_norm() < 1e-8);
+    }
+
+    /// PCA is invariant to data translation (embeddings identical up to fp
+    /// noise when every sample is shifted by the same vector).
+    #[test]
+    fn pca_translation_invariance(x in data_strategy(), shift in -100.0f64..100.0) {
+        let mut a = Pca::new(2);
+        a.fit(&x);
+        let shifted = Mat::from_fn(x.rows(), x.cols(), |i, j| x[(i, j)] + shift);
+        let mut b = Pca::new(2);
+        b.fit(&shifted);
+        // Embeddings match up to per-column sign.
+        for j in 0..2.min(x.cols()) {
+            let dot: f64 = (0..x.rows()).map(|i| a.embedding()[(i, j)] * b.embedding()[(i, j)]).sum();
+            let sign = if dot >= 0.0 { 1.0 } else { -1.0 };
+            for i in 0..x.rows() {
+                let d = a.embedding()[(i, j)] - sign * b.embedding()[(i, j)];
+                prop_assert!(d.abs() < 1e-6 * (1.0 + a.embedding()[(i, j)].abs()), "row {i} comp {j}: {d}");
+            }
+        }
+    }
+
+    /// IPCA absorbs any chunking into the same running mean and a consistent
+    /// sample count.
+    #[test]
+    fn ipca_chunking_invariants(x in data_strategy(), batch in 1usize..9) {
+        let mut ipca = IncrementalPca::new(2);
+        ipca.fit(&x, batch);
+        prop_assert_eq!(ipca.n_samples_seen(), x.rows());
+        for j in 0..x.cols() {
+            let exact: f64 = (0..x.rows()).map(|i| x[(i, j)]).sum::<f64>() / x.rows() as f64;
+            prop_assert!((ipca.mean()[j] - exact).abs() < 1e-9);
+        }
+        let t = ipca.transform(&x);
+        prop_assert!(t.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// t-SNE and UMAP always return finite embeddings of the right shape on
+    /// arbitrary data.
+    #[test]
+    fn manifold_methods_stay_finite(x in data_strategy()) {
+        let t = Tsne::fit(&x, &TsneConfig { n_iter: 30, perplexity: 4.0, ..Default::default() });
+        prop_assert_eq!(t.embedding().shape(), (x.rows(), 2));
+        prop_assert!(t.embedding().as_slice().iter().all(|v| v.is_finite()));
+        let u = Umap::fit(&x, &UmapConfig { n_neighbors: 4, n_epochs: 20, ..Default::default() });
+        prop_assert_eq!(u.embedding().shape(), (x.rows(), 2));
+        prop_assert!(u.embedding().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Aligned-UMAP partial fits never change the sample count and always
+    /// stay finite.
+    #[test]
+    fn aligned_umap_partial_fit_invariants(x in data_strategy()) {
+        let mut au = AlignedUmap::new(UmapConfig { n_neighbors: 4, n_epochs: 20, ..Default::default() });
+        au.fit(&x);
+        let n = au.embedding().unwrap().rows();
+        au.partial_fit(&x);
+        prop_assert_eq!(au.embedding().unwrap().rows(), n);
+        prop_assert_eq!(au.n_fits(), 2);
+        prop_assert!(au.embedding().unwrap().as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,130 @@
+//! Ablation benches for the design choices DESIGN.md calls out: SVD
+//! truncation strategy, decimation aggressiveness (Nyquist factor), the
+//! streaming SVD's rank cap, and randomized-vs-exact SVD dispatch. Each
+//! group varies exactly one knob around the paper's setting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpc_linalg::{svd, svd_randomized, IncrementalSvd};
+use imrdmd::prelude::*;
+use mrdmd_bench::Workloads;
+use std::hint::black_box;
+
+fn bench_rank_selection(c: &mut Criterion) {
+    let scenario = Workloads::sc_log(256, 1024, 42);
+    let data = scenario.generate(0, 1024);
+    let mut g = c.benchmark_group("ablation_rank_selection");
+    g.sample_size(10);
+    for (name, rank) in [
+        ("svht", RankSelection::Svht),
+        ("fixed8", RankSelection::Fixed(8)),
+        ("energy95", RankSelection::Energy(0.95)),
+    ] {
+        let cfg = MrDmdConfig {
+            dt: scenario.dt(),
+            max_levels: 5,
+            rank,
+            ..MrDmdConfig::default()
+        };
+        g.bench_function(name, |bch| {
+            bch.iter(|| black_box(MrDmd::fit(&data, &cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_nyquist_factor(c: &mut Criterion) {
+    let scenario = Workloads::sc_log(256, 1024, 42);
+    let data = scenario.generate(0, 1024);
+    let mut g = c.benchmark_group("ablation_nyquist_factor");
+    g.sample_size(10);
+    for nf in [1usize, 2, 4, 8] {
+        let cfg = MrDmdConfig {
+            dt: scenario.dt(),
+            max_levels: 5,
+            nyquist_factor: nf,
+            ..MrDmdConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(nf), &nf, |bch, _| {
+            bch.iter(|| black_box(MrDmd::fit(&data, &cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_isvd_rank_cap(c: &mut Criterion) {
+    let scenario = Workloads::sc_log(256, 2048, 42);
+    let data = scenario.generate(0, 2048);
+    let mut g = c.benchmark_group("ablation_isvd_rank_cap");
+    g.sample_size(10);
+    for cap in [8usize, 24, 48, 96] {
+        let cfg = IMrDmdConfig {
+            mr: MrDmdConfig {
+                dt: scenario.dt(),
+                max_levels: 5,
+                ..MrDmdConfig::default()
+            },
+            isvd_max_rank: cap,
+            ..IMrDmdConfig::default()
+        };
+        let primed = IMrDmd::fit(&data.cols_range(0, 1792), &cfg);
+        let batch = data.cols_range(1792, 2048);
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |bch, _| {
+            bch.iter(|| {
+                let mut m = primed.clone();
+                m.partial_fit(&batch);
+                black_box(m.root_rank())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_svd_dispatch(c: &mut Criterion) {
+    // Exact Jacobi vs randomized at the same target rank on a tall matrix.
+    let scenario = Workloads::sc_log(512, 300, 42);
+    let data = scenario.generate(0, 300);
+    let mut g = c.benchmark_group("ablation_svd_dispatch");
+    g.sample_size(10);
+    g.bench_function("jacobi_full", |bch| {
+        bch.iter(|| black_box(svd(&data).rank()));
+    });
+    for rank in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("randomized", rank), &rank, |bch, &r| {
+            bch.iter(|| black_box(svd_randomized(&data, r, 8, 2, 7).rank()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_isvd_reorth_overhead(c: &mut Criterion) {
+    // Many tiny updates: the orthogonality maintenance path.
+    let scenario = Workloads::sc_log(256, 800, 42);
+    let data = scenario.generate(0, 800);
+    let mut g = c.benchmark_group("ablation_isvd_many_updates");
+    g.sample_size(10);
+    for chunk in [5usize, 20, 80] {
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |bch, &chunk| {
+            bch.iter(|| {
+                let mut s = IncrementalSvd::new(&data.cols_range(0, 100), 24);
+                let mut pos = 100;
+                while pos < 800 {
+                    let hi = (pos + chunk).min(800);
+                    s.update(&data.cols_range(pos, hi));
+                    pos = hi;
+                }
+                black_box(s.rank())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rank_selection,
+    bench_nyquist_factor,
+    bench_isvd_rank_cap,
+    bench_svd_dispatch,
+    bench_isvd_reorth_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion counterpart of **Fig. 9**: how each method's fit cost scales
+//! with the number of time points, at a reduced size (N = 200). The paper's
+//! full sweep (N = 1,000, T → 30,000, all seven methods) runs via
+//! `repro -- fig9 [--full]`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dimred_baselines::{IncrementalPca, Pca};
+use imrdmd::prelude::*;
+use mrdmd_bench::Workloads;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let p = 200;
+    let t_max = 4000;
+    let scenario = Workloads::sc_log(p, t_max, 42);
+    let data = scenario.generate(0, t_max);
+    let mr_cfg = MrDmdConfig {
+        dt: scenario.dt(),
+        max_levels: 4,
+        max_cycles: 2,
+        rank: RankSelection::Svht,
+        ..MrDmdConfig::default()
+    };
+    let icfg = IMrDmdConfig {
+        mr: mr_cfg,
+        ..IMrDmdConfig::default()
+    };
+
+    let mut g = c.benchmark_group("fig9_scaling");
+    g.sample_size(10);
+    for t in [1000usize, 2000, 4000] {
+        let window = data.cols_range(0, t);
+        // mrDMD recompute (the "partial fit" of the non-incremental method).
+        g.bench_with_input(BenchmarkId::new("mrdmd_refit", t), &t, |bch, _| {
+            bch.iter(|| black_box(MrDmd::fit(&window, &mr_cfg)));
+        });
+        // I-mrDMD true partial fit of 500 points onto a (t−500)-point state.
+        if t > 500 {
+            let primed = IMrDmd::fit(&data.cols_range(0, t - 500), &icfg);
+            let batch = data.cols_range(t - 500, t);
+            g.bench_with_input(BenchmarkId::new("imrdmd_partial", t), &t, |bch, _| {
+                bch.iter(|| {
+                    let mut m = primed.clone();
+                    m.partial_fit(&batch);
+                    black_box(m.n_modes())
+                });
+            });
+        }
+        // PCA recompute.
+        g.bench_with_input(BenchmarkId::new("pca_refit", t), &t, |bch, _| {
+            bch.iter(|| {
+                let mut m = Pca::new(2);
+                m.fit(&window);
+                black_box(m.embedding().rows())
+            });
+        });
+        // IPCA partial fit of 500 transposed samples.
+        if t > 500 {
+            let data_t = data.transpose();
+            let mut primed = IncrementalPca::new(2);
+            primed.fit(&data_t.rows_range(0, t - 500), 10);
+            let block = data_t.rows_range(t - 500, t);
+            g.bench_with_input(BenchmarkId::new("ipca_partial", t), &t, |bch, _| {
+                bch.iter(|| {
+                    let mut m = primed.clone();
+                    m.fit(&block, 10);
+                    black_box(m.n_samples_seen())
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

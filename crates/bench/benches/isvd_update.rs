@@ -1,0 +1,57 @@
+//! Benchmarks of the incremental SVD — the kernel that makes the paper's
+//! partial fit cheap: appending a block must cost far less than refactoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpc_linalg::{svd_truncated, IncrementalSvd, Mat};
+use std::hint::black_box;
+
+fn stream_matrix(m: usize, t: usize) -> Mat {
+    Mat::from_fn(m, t, |i, j| {
+        let x = i as f64 * 0.05;
+        let tt = j as f64 * 0.02;
+        (x + tt).sin() + 0.5 * (2.0 * x - 3.0 * tt).cos() + 0.01 * ((i * 7 + j * 13) % 17) as f64
+    })
+}
+
+fn bench_isvd_vs_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isvd_vs_batch");
+    g.sample_size(10);
+    for t in [200usize, 400, 800] {
+        let a = stream_matrix(500, t + 50);
+        let head = a.cols_range(0, t);
+        let tail = a.cols_range(t, t + 50);
+        let primed = IncrementalSvd::new(&head, 24);
+        g.bench_with_input(BenchmarkId::new("incremental_add50", t), &t, |bch, _| {
+            bch.iter(|| {
+                let mut s = primed.clone();
+                s.update(&tail);
+                black_box(s.rank())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("batch_refactor", t), &t, |bch, _| {
+            bch.iter(|| black_box(svd_truncated(&a, 24).rank()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_update_block_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isvd_block_size");
+    g.sample_size(10);
+    let a = stream_matrix(500, 600);
+    let primed = IncrementalSvd::new(&a.cols_range(0, 500), 24);
+    for block in [1usize, 10, 50, 100] {
+        let tail = a.cols_range(500, 500 + block);
+        g.bench_with_input(BenchmarkId::from_parameter(block), &block, |bch, _| {
+            bch.iter(|| {
+                let mut s = primed.clone();
+                s.update(&tail);
+                black_box(s.rank())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_isvd_vs_batch, bench_update_block_sizes);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the linear-algebra substrate: the kernels whose cost
+//! dominates every experiment in the paper (SVD above all — it is the
+//! bottleneck the incremental update removes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpc_linalg::{eig_real, qr, svd, svd_randomized, Mat};
+use std::hint::black_box;
+
+fn test_matrix(m: usize, n: usize) -> Mat {
+    Mat::from_fn(m, n, |i, j| {
+        let x = (i as f64 * 0.7 + j as f64 * 0.3).sin();
+        x + 1.0 / (1.0 + (i + 2 * j) as f64)
+    })
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(20);
+    for n in [64usize, 128, 256] {
+        let a = test_matrix(n, n);
+        let b = test_matrix(n, n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qr_tall");
+    g.sample_size(20);
+    for (m, n) in [(256usize, 16usize), (512, 32), (1024, 48)] {
+        let a = test_matrix(m, n);
+        g.bench_with_input(
+            BenchmarkId::new("householder", format!("{m}x{n}")),
+            &a,
+            |bch, a| {
+                bch.iter(|| black_box(qr(a)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svd");
+    g.sample_size(10);
+    for (m, n) in [(200usize, 30usize), (500, 40), (1000, 16)] {
+        let a = test_matrix(m, n);
+        g.bench_with_input(
+            BenchmarkId::new("jacobi", format!("{m}x{n}")),
+            &a,
+            |bch, a| {
+                bch.iter(|| black_box(svd(a)));
+            },
+        );
+    }
+    // Randomized truncated SVD on a larger matrix, rank 8.
+    let a = test_matrix(800, 400);
+    g.bench_function("randomized_800x400_r8", |bch| {
+        bch.iter(|| black_box(svd_randomized(&a, 8, 8, 2, 42)));
+    });
+    g.finish();
+}
+
+fn bench_eig(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eig");
+    g.sample_size(20);
+    for n in [8usize, 16, 32] {
+        let a = Mat::from_fn(n, n, |i, j| {
+            (((i * 31 + j * 17 + 3) % 23) as f64 - 11.0) / 7.0
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(n), &a, |bch, a| {
+            bch.iter(|| black_box(eig_real(a)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_qr, bench_svd, bench_eig);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion counterpart of **Table I**: initial fit vs incremental addition
+//! at growing history lengths, for both dataset profiles, at a reduced size
+//! (N = 200) so `cargo bench` stays fast. The full-size table is produced by
+//! `repro -- table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imrdmd::prelude::*;
+use mrdmd_bench::Workloads;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let n = 200;
+    let add = 200;
+    for (dataset, levels) in [("sc_log", 6usize), ("gpu_metrics", 7usize)] {
+        let mut g = c.benchmark_group(format!("table1_{dataset}"));
+        g.sample_size(10);
+        for t0 in [400usize, 1000, 2000] {
+            let scenario = if dataset == "sc_log" {
+                Workloads::sc_log(n, t0 + add, 42)
+            } else {
+                Workloads::gpu_metrics(n, t0 + add, 42)
+            };
+            let cfg = Workloads::imrdmd_config(&scenario, levels);
+            let initial = scenario.generate(0, t0);
+            let batch = scenario.generate(t0, t0 + add);
+            g.bench_with_input(BenchmarkId::new("initial_fit", t0), &t0, |bch, _| {
+                bch.iter(|| black_box(IMrDmd::fit(&initial, &cfg)));
+            });
+            let primed = IMrDmd::fit(&initial, &cfg);
+            g.bench_with_input(BenchmarkId::new("partial_fit", t0), &t0, |bch, _| {
+                bch.iter(|| {
+                    let mut m = primed.clone();
+                    m.partial_fit(&batch);
+                    black_box(m.n_modes())
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <subcommand> [--full] [--out DIR] [--seed N] [--reps N]
+//!
+//! Subcommands:
+//!   table1     Table I    initial vs partial fit, SC Log & GPU Metrics
+//!   eval-env   Sec. IV    environment-log update vs recompute
+//!   eval-gpu   Sec. IV    GPU-metrics update vs recompute
+//!   fig1       Fig. 1     the multiresolution tree diagram
+//!   fig3       Fig. 3     actual vs reconstructed series + Frobenius diff
+//!   fig5       Fig. 5     case-study-1 mrDMD spectrum
+//!   fig8       Fig. 8     method embedding comparison + separation scores
+//!   fig9       Fig. 9     completion time vs data size, all methods
+//!   case1      Fig. 4     case study 1 end-to-end (z-scores, rack view)
+//!   case2      Figs. 6–7  case study 2 end-to-end (two 8 h windows)
+//!   compression           model-vs-raw byte ratios (the TB→MB claim)
+//!   streaming  Sec. II-B  I-mrDMD vs windowed mrDMD vs full refit
+//!   q1q2       Sec. I     the paper's Q1/Q2 answered against ground truth
+//!   report     assembles results/report.html from existing artefacts
+//!   all        everything above in sequence
+//! ```
+
+use mrdmd_bench::experiments::{self, Opts};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!("usage: repro <table1|eval-env|eval-gpu|fig1|fig3|fig5|fig8|fig9|case1|case2|compression|streaming|q1q2|report|all> [--full] [--out DIR] [--seed N] [--reps N]");
+        return ExitCode::FAILURE;
+    };
+    let mut opts = Opts::default();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => opts.full = true,
+            "--out" => match it.next() {
+                Some(d) => opts.out_dir = d.into(),
+                None => return usage_err("--out needs a directory"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => opts.seed = s,
+                None => return usage_err("--seed needs an integer"),
+            },
+            "--reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r >= 1 => opts.reps = r,
+                _ => return usage_err("--reps needs a positive integer"),
+            },
+            other => return usage_err(&format!("unknown flag `{other}`")),
+        }
+    }
+    let run = |name: &str, opts: &Opts| -> std::io::Result<()> {
+        println!("== {name} ==");
+        match name {
+            "table1" => experiments::table1::run(opts).map(drop),
+            "eval-env" => experiments::eval::run_env(opts).map(drop),
+            "eval-gpu" => experiments::eval::run_gpu(opts).map(drop),
+            "fig1" => experiments::fig3::run_fig1(opts).map(drop),
+            "fig3" => experiments::fig3::run(opts).map(drop),
+            "fig5" => experiments::fig3::run_fig5(opts).map(drop),
+            "fig8" => experiments::fig8::run(opts).map(drop),
+            "fig9" => experiments::fig9::run(opts).map(drop),
+            "case1" => experiments::cases::case1(opts).map(drop),
+            "case2" => experiments::cases::case2(opts).map(drop),
+            "report" => experiments::report::run(opts).map(drop),
+            "compression" => experiments::compression::run(opts).map(drop),
+            "streaming" => experiments::streaming_cmp::run(opts).map(drop),
+            "q1q2" => experiments::questions::run(opts).map(drop),
+            other => Err(std::io::Error::other(format!(
+                "unknown subcommand `{other}`"
+            ))),
+        }
+    };
+    let result = if cmd == "all" {
+        [
+            "table1",
+            "eval-env",
+            "eval-gpu",
+            "fig1",
+            "fig3",
+            "fig5",
+            "fig8",
+            "fig9",
+            "case1",
+            "case2",
+            "compression",
+            "streaming",
+            "q1q2",
+            "report",
+        ]
+        .iter()
+        .try_for_each(|name| run(name, &opts))
+    } else {
+        run(&cmd, &opts)
+    };
+    match result {
+        Ok(()) => {
+            println!("artefacts written to {}", opts.out_dir.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,51 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | Artefact | Module | Subcommand |
+//! |---|---|---|
+//! | Sec. IV env-log evaluation | [`eval`] | `eval-env` |
+//! | Sec. IV GPU-metrics evaluation | [`eval`] | `eval-gpu` |
+//! | Table I | [`table1`] | `table1` |
+//! | Fig. 3 (reconstruction) | [`fig3`] | `fig3` |
+//! | Fig. 4 (case 1 rack view) | [`cases`] | `case1` |
+//! | Fig. 5 (case 1 spectrum) | [`fig3`] | `fig5` |
+//! | Fig. 6 (case 2 rack views) | [`cases`] | `case2` |
+//! | Fig. 7 (case 2 spectra) | [`cases`] | `case2` |
+//! | Fig. 8 (method embeddings) | [`fig8`] | `fig8` |
+//! | Fig. 9 (timing vs data size) | [`fig9`] | `fig9` |
+
+pub mod cases;
+pub mod compression;
+pub mod eval;
+pub mod fig3;
+pub mod fig8;
+pub mod fig9;
+pub mod questions;
+pub mod report;
+pub mod streaming_cmp;
+pub mod table1;
+
+use std::path::PathBuf;
+
+/// Options shared by every experiment.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Use the paper's original workload sizes instead of scaled defaults.
+    pub full: bool,
+    /// Directory for reports and SVG artefacts.
+    pub out_dir: PathBuf,
+    /// Workload seed.
+    pub seed: u64,
+    /// Timing repetitions (the paper averages over 10).
+    pub reps: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            full: false,
+            out_dir: PathBuf::from("results"),
+            seed: 42,
+            reps: 1,
+        }
+    }
+}

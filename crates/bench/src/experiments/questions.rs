@@ -1,0 +1,194 @@
+//! **Q1 and Q2** (Sec. I): the paper's first two research questions,
+//! answered quantitatively against the generator's ground truth.
+//!
+//! - **Q1** — *are the extracted mrDMD modes reliable enough to represent
+//!   the underlying system dynamics?* We plant jobs with known workload
+//!   periods, fit I-mrDMD, and check that (a) the planted frequencies appear
+//!   among the extracted modes and (b) they agree with an independent
+//!   Fourier periodogram of the same data.
+//! - **Q2** — *what is the difference in accuracy between online and
+//!   regular mrDMD?* The paper reports the reconstruction difference grows
+//!   only by a bounded amount per update. We stream the same timeline in
+//!   1..16 batches and tabulate ‖recon_online − recon_batch‖_F.
+
+use super::Opts;
+use crate::harness::{row, ExperimentOutput};
+use hpc_linalg::dominant_frequency;
+use hpc_telemetry::{theta, Job, JobLog, Profile, Scenario};
+use imrdmd::prelude::*;
+
+/// Q1 outcome.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Q1Result {
+    /// Planted workload frequencies (Hz).
+    pub planted_hz: Vec<f64>,
+    /// How many of them an extracted mode matches within 20%.
+    pub recovered_by_mrdmd: usize,
+    /// How many the Fourier periodogram of a loaded sensor confirms.
+    pub confirmed_by_fourier: usize,
+}
+
+/// One Q2 row.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Q2Row {
+    /// Number of streamed batches after the initial fit.
+    pub batches: usize,
+    /// ‖recon_online − recon_batch‖_F.
+    pub frobenius_diff: f64,
+    /// Online relative reconstruction error.
+    pub online_rel_err: f64,
+    /// Batch relative reconstruction error.
+    pub batch_rel_err: f64,
+}
+
+/// Runs both questions.
+pub fn run(opts: &Opts) -> std::io::Result<(Q1Result, Vec<Q2Row>)> {
+    let mut out = ExperimentOutput::new(&opts.out_dir)?;
+    let total = 2048;
+    let n_nodes = 64;
+    let (scenario, planted_hz) = planted_scenario(opts.seed);
+    let data = scenario.generate(0, total);
+
+    // --- Q1 ---
+    let cfg = IMrDmdConfig {
+        mr: MrDmdConfig {
+            dt: scenario.dt(),
+            max_levels: 7,
+            max_cycles: 2,
+            rank: RankSelection::Svht,
+            ..MrDmdConfig::default()
+        },
+        ..IMrDmdConfig::default()
+    };
+    let mut model = IMrDmd::fit(&data.cols_range(0, total / 2), &cfg);
+    model.partial_fit(&data.cols_range(total / 2, total));
+    let spectrum = mode_spectrum(model.nodes());
+    let max_power = spectrum.iter().map(|p| p.power).fold(0.0f64, f64::max);
+    let recovered = planted_hz
+        .iter()
+        .filter(|&&f| {
+            spectrum
+                .iter()
+                .any(|p| p.power > 1e-6 * max_power && (p.frequency_hz - f).abs() <= 0.2 * f)
+        })
+        .count();
+    // Fourier cross-check: one sensor per planted group.
+    let confirmed = planted_hz
+        .iter()
+        .enumerate()
+        .filter(|(k, &f)| {
+            let sensor = k * (n_nodes / 3) + 1;
+            // Dominant frequency of that sensor's detrended series should be
+            // the group's workload frequency (the facility/rack waves are
+            // slower and weaker than the ~9 °C job oscillation).
+            dominant_frequency(data.row(sensor), scenario.dt())
+                .is_some_and(|fd| (fd - f).abs() <= 0.25 * f)
+        })
+        .count();
+    out.line("Q1: reliability of extracted modes against planted dynamics");
+    out.line(format!(
+        "  planted {:?} mHz → mrDMD recovered {recovered}/3, Fourier confirms {confirmed}/3",
+        planted_hz
+            .iter()
+            .map(|f| (f * 1e3 * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    ));
+    let q1 = Q1Result {
+        planted_hz,
+        recovered_by_mrdmd: recovered,
+        confirmed_by_fourier: confirmed,
+    };
+
+    // --- Q2 ---
+    out.line(String::new());
+    out.line("Q2: online (I-mrDMD) vs regular mrDMD accuracy as updates accumulate");
+    out.line(row(&[
+        "batches".into(),
+        "‖Δrecon‖_F".into(),
+        "online rel".into(),
+        "batch rel".into(),
+    ]));
+    let q2_cfg = IMrDmdConfig {
+        mr: MrDmdConfig {
+            dt: scenario.dt(),
+            max_levels: 5,
+            max_cycles: 2,
+            rank: RankSelection::Svht,
+            ..MrDmdConfig::default()
+        },
+        ..IMrDmdConfig::default()
+    };
+    let batch_fit = MrDmd::fit(&data, &q2_cfg.mr);
+    let batch_recon = batch_fit.reconstruct();
+    let batch_rel = batch_recon.fro_dist(&data) / data.fro_norm();
+    let mut rows = Vec::new();
+    for &batches in &[1usize, 2, 4, 8, 16] {
+        let prime = total / 2;
+        let chunk = (total - prime) / batches;
+        let mut online = IMrDmd::fit(&data.cols_range(0, prime), &q2_cfg);
+        for b in 0..batches {
+            let lo = prime + b * chunk;
+            let hi = if b == batches - 1 { total } else { lo + chunk };
+            online.partial_fit(&data.cols_range(lo, hi));
+        }
+        let online_recon = online.reconstruct();
+        let diff = online_recon.fro_dist(&batch_recon);
+        let online_rel = online_recon.fro_dist(&data) / data.fro_norm();
+        out.line(row(&[
+            batches.to_string(),
+            format!("{diff:.2}"),
+            format!("{online_rel:.4}"),
+            format!("{batch_rel:.4}"),
+        ]));
+        rows.push(Q2Row {
+            batches,
+            frobenius_diff: diff,
+            online_rel_err: online_rel,
+            batch_rel_err: batch_rel,
+        });
+    }
+    out.line(format!(
+        "shape: difference grows sub-linearly with update count ({}→{} over 1→16 batches; paper: 'increases only by a sum of 10–5000')",
+        rows.first().map(|r| format!("{:.0}", r.frobenius_diff)).unwrap_or_default(),
+        rows.last().map(|r| format!("{:.0}", r.frobenius_diff)).unwrap_or_default(),
+    ));
+    out.artefact(
+        "q1q2.json",
+        &serde_json::to_string_pretty(&serde_json::json!({ "q1": q1, "q2": rows })).unwrap(),
+    )?;
+    out.finish("q1q2")?;
+    Ok((q1, rows))
+}
+
+/// Helper for integration tests: the Q1 scenario with its planted truth.
+pub fn planted_scenario(seed: u64) -> (Scenario, Vec<f64>) {
+    let n_nodes = 64;
+    let total = 2048;
+    let mut machine = theta().scaled(n_nodes);
+    machine.series_per_node = 1;
+    let periods = [4800.0f64, 1600.0, 700.0];
+    let jobs: Vec<Job> = periods
+        .iter()
+        .enumerate()
+        .map(|(k, &period_s)| Job {
+            id: k as u32,
+            project: format!("planted-{k}"),
+            first_node: k * (n_nodes / 3),
+            n_nodes: n_nodes / 3,
+            start_step: 10,
+            end_step: total,
+            intensity: 25.0,
+            period_s,
+        })
+        .collect();
+    (
+        Scenario::new(
+            machine,
+            Profile::ScLog,
+            seed,
+            JobLog::new(jobs, n_nodes),
+            vec![],
+        ),
+        periods.iter().map(|p| 1.0 / p).collect(),
+    )
+}

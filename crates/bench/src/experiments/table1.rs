@@ -1,0 +1,134 @@
+//! **Table I**: completion time of the initial fit vs the incremental
+//! addition of 1,000 time points, for the SC Log (6 levels) and GPU Metrics
+//! (7 levels) datasets at N = 1,000 series and T ∈ {2k, 5k, 10k, 16k}.
+//!
+//! Paper reference values (seconds, Polaris node):
+//!
+//! | Dataset | T | Initial | Partial |
+//! |---|---|---|---|
+//! | SC Log | 2,000 | 3.62 | 3.77 |
+//! | SC Log | 16,000 | 10.40 | 4.33 |
+//! | GPU Metrics | 2,000 | 7.32 | 8.65 |
+//! | GPU Metrics | 16,000 | 62.80 | 18.62 |
+//!
+//! The reproduction target is the *shape*: initial fit grows with T, partial
+//! fit stays roughly flat, and GPU Metrics costs more than SC Log at equal
+//! sizes (more modes, one extra level).
+
+use super::Opts;
+use crate::harness::{row, timeit, timeit_mean, ExperimentOutput, Workloads};
+use imrdmd::prelude::*;
+
+/// One measured row of the table.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Row {
+    /// Dataset label.
+    pub dataset: String,
+    /// Number of series.
+    pub n: usize,
+    /// Total time points after the incremental addition.
+    pub t: usize,
+    /// Initial-fit seconds (on `t − 1000` points).
+    pub initial_fit: f64,
+    /// Partial-fit seconds (adding 1,000 points).
+    pub partial_fit: f64,
+    /// Modes extracted after the update.
+    pub modes: usize,
+}
+
+/// Runs Table I and returns the measured rows.
+pub fn run(opts: &Opts) -> std::io::Result<Vec<Row>> {
+    let mut out = ExperimentOutput::new(&opts.out_dir)?;
+    let n = 1000;
+    let add = 1000;
+    let totals: &[usize] = &[2000, 5000, 10_000, 16_000];
+    out.line("Table I: initial fit vs incremental addition of 1,000 time points");
+    out.line(format!(
+        "(N = {n} series; averaged over {} run(s))",
+        opts.reps
+    ));
+    out.line(row(&[
+        "Dataset".into(),
+        "N".into(),
+        "T".into(),
+        "Initial Fit".into(),
+        "Partial Fit".into(),
+        "Modes".into(),
+    ]));
+    let mut rows = Vec::new();
+    for (dataset, levels) in [("SC Log", 6usize), ("GPU Metrics", 7usize)] {
+        for &total in totals {
+            let t0 = total - add;
+            let scenario = if dataset == "SC Log" {
+                Workloads::sc_log(n, total, opts.seed)
+            } else {
+                Workloads::gpu_metrics(n, total, opts.seed)
+            };
+            let cfg = Workloads::imrdmd_config(&scenario, levels);
+            let initial_data = scenario.generate(0, t0);
+            let batch = scenario.generate(t0, total);
+            let initial_fit = timeit_mean(opts.reps, || {
+                std::hint::black_box(IMrDmd::fit(&initial_data, &cfg));
+            });
+            let model = IMrDmd::fit(&initial_data, &cfg);
+            let partial_fit = timeit_mean(opts.reps, || {
+                let mut m = model.clone();
+                m.partial_fit(&batch);
+                std::hint::black_box(&m);
+            });
+            let mut final_model = model.clone();
+            final_model.partial_fit(&batch);
+            let r = Row {
+                dataset: dataset.into(),
+                n,
+                t: total,
+                initial_fit,
+                partial_fit,
+                modes: final_model.n_modes(),
+            };
+            out.line(row(&[
+                r.dataset.clone(),
+                r.n.to_string(),
+                r.t.to_string(),
+                format!("{:.4}", r.initial_fit),
+                format!("{:.4}", r.partial_fit),
+                r.modes.to_string(),
+            ]));
+            rows.push(r);
+        }
+    }
+    // Shape checks the paper's narrative depends on.
+    let sc: Vec<&Row> = rows.iter().filter(|r| r.dataset == "SC Log").collect();
+    let gpu: Vec<&Row> = rows.iter().filter(|r| r.dataset == "GPU Metrics").collect();
+    out.line(String::new());
+    out.line(format!(
+        "shape: SC initial 2k→16k grows {:.2}x (paper 2.9x); partial stays within {:.2}x",
+        sc.last().unwrap().initial_fit / sc[0].initial_fit.max(1e-9),
+        sc.iter().map(|r| r.partial_fit).fold(0.0f64, f64::max)
+            / sc.iter()
+                .map(|r| r.partial_fit)
+                .fold(f64::INFINITY, f64::min)
+                .max(1e-9),
+    ));
+    out.line(format!(
+        "shape: GPU metrics vs SC log initial-fit ratio at 16k: {:.2}x (paper 6.0x)",
+        gpu.last().unwrap().initial_fit / sc.last().unwrap().initial_fit.max(1e-9)
+    ));
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialise");
+    out.artefact("table1.json", &json)?;
+    out.finish("table1")?;
+    Ok(rows)
+}
+
+/// Quick self-check used by integration tests: one SC-log row at reduced
+/// size, asserting the partial fit beats refitting from scratch.
+pub fn smoke(seed: u64) -> (f64, f64) {
+    let scenario = Workloads::sc_log(200, 3000, seed);
+    let cfg = Workloads::imrdmd_config(&scenario, 6);
+    let initial = scenario.generate(0, 2000);
+    let batch = scenario.generate(2000, 3000);
+    let (t_refit, _) = timeit(|| MrDmd::fit(&scenario.generate(0, 3000), &cfg.mr));
+    let mut model = IMrDmd::fit(&initial, &cfg);
+    let (t_partial, _) = timeit(|| model.partial_fit(&batch));
+    (t_refit, t_partial)
+}

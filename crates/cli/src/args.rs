@@ -1,0 +1,277 @@
+//! Argument parsing — hand-rolled `--flag value` pairs, no dependencies.
+
+use crate::CliError;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Generate synthetic telemetry CSV.
+    Synth {
+        /// Nodes to simulate (one temperature channel each).
+        nodes: usize,
+        /// Snapshots to generate.
+        steps: usize,
+        /// Generator seed.
+        seed: u64,
+        /// Output CSV path.
+        out: PathBuf,
+    },
+    /// Fit a fresh model from a snapshot CSV.
+    Fit {
+        /// Input snapshot CSV.
+        input: PathBuf,
+        /// Snapshot spacing in seconds.
+        dt: f64,
+        /// Tree depth.
+        levels: usize,
+        /// Slow-mode cycles per window.
+        max_cycles: usize,
+        /// Output model JSON path.
+        model: PathBuf,
+    },
+    /// Stream a new snapshot CSV into an existing model.
+    Update {
+        /// Model JSON to update.
+        model: PathBuf,
+        /// New snapshots CSV.
+        input: PathBuf,
+        /// Where to write the updated model (defaults to `model`).
+        model_out: Option<PathBuf>,
+    },
+    /// Spectrum + z-score analysis of a fitted model.
+    Analyze {
+        /// Model JSON.
+        model: PathBuf,
+        /// The telemetry CSV the model was fitted on (for baseline bands).
+        input: PathBuf,
+        /// Baseline band lower bound (raw units); quantile band if omitted.
+        band_lo: Option<f64>,
+        /// Baseline band upper bound.
+        band_hi: Option<f64>,
+    },
+    /// Render a rack view SVG from a model + layout string.
+    Render {
+        /// Model JSON.
+        model: PathBuf,
+        /// The telemetry CSV (for baselines).
+        input: PathBuf,
+        /// Layout grammar string (Sec. III-B).
+        layout: String,
+        /// Output SVG path.
+        out: PathBuf,
+    },
+    /// Print a model's tree summary and compression report.
+    Info {
+        /// Model JSON.
+        model: PathBuf,
+    },
+}
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info> [--flag value]...
+  synth   --nodes N --steps T [--seed S] --out FILE.csv
+  fit     --input FILE.csv --dt SECONDS [--levels L] [--max-cycles C] --model FILE.json
+  update  --model FILE.json --input FILE.csv [--model-out FILE.json]
+  analyze --model FILE.json --input FILE.csv [--band-lo X --band-hi Y]
+  render  --model FILE.json --input FILE.csv --layout \"SPEC\" --out FILE.svg
+  info    --model FILE.json";
+
+/// Parses an argv slice (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError(USAGE.into()));
+    };
+    let mut flags: BTreeMap<String, String> = BTreeMap::new();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(CliError(format!("expected a --flag, got `{flag}`")));
+        };
+        let Some(value) = it.next() else {
+            return Err(CliError(format!("flag --{name} needs a value")));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    let get = |name: &str| -> Result<String, CliError> {
+        flags
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CliError(format!("missing required --{name}\n{USAGE}")))
+    };
+    let num = |name: &str| -> Result<f64, CliError> {
+        get(name)?
+            .parse()
+            .map_err(|_| CliError(format!("--{name} must be a number")))
+    };
+    let int = |name: &str| -> Result<usize, CliError> {
+        get(name)?
+            .parse()
+            .map_err(|_| CliError(format!("--{name} must be an integer")))
+    };
+    let opt_num = |name: &str| -> Result<Option<f64>, CliError> {
+        flags
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError(format!("--{name} must be a number")))
+            })
+            .transpose()
+    };
+    match cmd.as_str() {
+        "synth" => Ok(Command::Synth {
+            nodes: int("nodes")?,
+            steps: int("steps")?,
+            seed: flags
+                .get("seed")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--seed must be an integer".into()))?
+                .unwrap_or(42),
+            out: get("out")?.into(),
+        }),
+        "fit" => Ok(Command::Fit {
+            input: get("input")?.into(),
+            dt: num("dt")?,
+            levels: flags
+                .get("levels")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--levels must be an integer".into()))?
+                .unwrap_or(6),
+            max_cycles: flags
+                .get("max-cycles")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--max-cycles must be an integer".into()))?
+                .unwrap_or(2),
+            model: get("model")?.into(),
+        }),
+        "update" => Ok(Command::Update {
+            model: get("model")?.into(),
+            input: get("input")?.into(),
+            model_out: flags.get("model-out").map(PathBuf::from),
+        }),
+        "analyze" => Ok(Command::Analyze {
+            model: get("model")?.into(),
+            input: get("input")?.into(),
+            band_lo: opt_num("band-lo")?,
+            band_hi: opt_num("band-hi")?,
+        }),
+        "render" => Ok(Command::Render {
+            model: get("model")?.into(),
+            input: get("input")?.into(),
+            layout: get("layout")?,
+            out: get("out")?.into(),
+        }),
+        "info" => Ok(Command::Info {
+            model: get("model")?.into(),
+        }),
+        other => Err(CliError(format!("unknown subcommand `{other}`\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_fit() {
+        let c = parse_args(&argv("fit --input a.csv --dt 20 --levels 5 --model m.json")).unwrap();
+        assert_eq!(
+            c,
+            Command::Fit {
+                input: "a.csv".into(),
+                dt: 20.0,
+                levels: 5,
+                max_cycles: 2,
+                model: "m.json".into()
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let c = parse_args(&argv("synth --nodes 8 --steps 100 --out x.csv")).unwrap();
+        assert_eq!(
+            c,
+            Command::Synth {
+                nodes: 8,
+                steps: 100,
+                seed: 42,
+                out: "x.csv".into()
+            }
+        );
+        let c = parse_args(&argv("fit --input a.csv --dt 1 --model m.json")).unwrap();
+        match c {
+            Command::Fit {
+                levels, max_cycles, ..
+            } => {
+                assert_eq!(levels, 6);
+                assert_eq!(max_cycles, 2);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flag_is_an_error() {
+        let e = parse_args(&argv("fit --input a.csv --dt 20")).unwrap_err();
+        assert!(e.0.contains("--model"));
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        assert!(parse_args(&argv("frobnicate --x 1")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_are_errors() {
+        assert!(parse_args(&argv("fit --input a.csv --dt abc --model m.json")).is_err());
+        assert!(parse_args(&argv("synth --nodes x --steps 10 --out o.csv")).is_err());
+    }
+
+    #[test]
+    fn update_optional_output() {
+        let c = parse_args(&argv("update --model m.json --input b.csv")).unwrap();
+        assert_eq!(
+            c,
+            Command::Update {
+                model: "m.json".into(),
+                input: "b.csv".into(),
+                model_out: None
+            }
+        );
+        let c = parse_args(&argv(
+            "update --model m.json --input b.csv --model-out n.json",
+        ))
+        .unwrap();
+        match c {
+            Command::Update { model_out, .. } => assert_eq!(model_out, Some("n.json".into())),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn analyze_band_flags() {
+        let c = parse_args(&argv(
+            "analyze --model m.json --input a.csv --band-lo 40 --band-hi 50",
+        ))
+        .unwrap();
+        match c {
+            Command::Analyze {
+                band_lo, band_hi, ..
+            } => {
+                assert_eq!(band_lo, Some(40.0));
+                assert_eq!(band_hi, Some(50.0));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+}

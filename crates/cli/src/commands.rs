@@ -1,0 +1,467 @@
+//! Command implementations. Each returns its human-readable report so the
+//! tests can assert on behaviour without capturing stdout.
+
+use crate::args::Command;
+use crate::CliError;
+use hpc_telemetry::{
+    read_snapshots_csv, theta, write_snapshots_csv, LayoutSpec, MachineSpec, Scenario,
+};
+use imrdmd::compression::compression_report;
+use imrdmd::prelude::*;
+use rackviz::RackView;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Executes a parsed command, returning the report text it printed.
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Synth {
+            nodes,
+            steps,
+            seed,
+            out,
+        } => synth(*nodes, *steps, *seed, out),
+        Command::Fit {
+            input,
+            dt,
+            levels,
+            max_cycles,
+            model,
+        } => fit(input, *dt, *levels, *max_cycles, model),
+        Command::Update {
+            model,
+            input,
+            model_out,
+        } => update(model, input, model_out.as_deref()),
+        Command::Analyze {
+            model,
+            input,
+            band_lo,
+            band_hi,
+        } => analyze(model, input, *band_lo, *band_hi),
+        Command::Render {
+            model,
+            input,
+            layout,
+            out,
+        } => render(model, input, layout, out),
+        Command::Info { model } => info(model),
+    }
+}
+
+fn load_model(path: &Path) -> Result<IMrDmd, CliError> {
+    let json = fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read model {}: {e}", path.display())))?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+fn save_model(path: &Path, model: &IMrDmd) -> Result<(), CliError> {
+    fs::write(path, serde_json::to_string(model)?)?;
+    Ok(())
+}
+
+fn load_csv(path: &Path) -> Result<hpc_linalg::Mat, CliError> {
+    let file = fs::File::open(path)
+        .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))?;
+    let (m, _first) = read_snapshots_csv(std::io::BufReader::new(file))?;
+    Ok(m)
+}
+
+fn synth(nodes: usize, steps: usize, seed: u64, out: &Path) -> Result<String, CliError> {
+    if nodes == 0 || steps < 2 {
+        return Err(CliError("synth needs --nodes ≥ 1 and --steps ≥ 2".into()));
+    }
+    let mut machine: MachineSpec = theta().scaled(nodes);
+    machine.series_per_node = 1;
+    let scenario = Scenario::sc_log(machine, steps, seed);
+    let data = scenario.generate(0, steps);
+    let mut file = std::io::BufWriter::new(fs::File::create(out)?);
+    write_snapshots_csv(&mut file, &data, 0)?;
+    use std::io::Write as _;
+    file.flush()?;
+    Ok(format!(
+        "wrote {} series × {steps} snapshots (seed {seed}, {} injected anomalies) to {}",
+        data.rows(),
+        scenario.anomalies().len(),
+        out.display()
+    ))
+}
+
+fn fit(
+    input: &Path,
+    dt: f64,
+    levels: usize,
+    max_cycles: usize,
+    model_path: &Path,
+) -> Result<String, CliError> {
+    if dt <= 0.0 {
+        return Err(CliError("--dt must be positive".into()));
+    }
+    let data = load_csv(input)?;
+    let cfg = IMrDmdConfig {
+        mr: MrDmdConfig {
+            dt,
+            max_levels: levels.max(1),
+            max_cycles: max_cycles.max(1),
+            rank: RankSelection::Svht,
+            ..MrDmdConfig::default()
+        },
+        ..IMrDmdConfig::default()
+    };
+    let model = IMrDmd::fit(&data, &cfg);
+    save_model(model_path, &model)?;
+    Ok(format!(
+        "fitted {} series × {} snapshots: {} modes across {} levels → {}",
+        model.n_rows(),
+        model.n_steps(),
+        model.n_modes(),
+        model.depth(),
+        model_path.display()
+    ))
+}
+
+fn update(model_path: &Path, input: &Path, model_out: Option<&Path>) -> Result<String, CliError> {
+    let mut model = load_model(model_path)?;
+    let batch = load_csv(input)?;
+    if batch.rows() != model.n_rows() {
+        return Err(CliError(format!(
+            "batch has {} series but the model tracks {}",
+            batch.rows(),
+            model.n_rows()
+        )));
+    }
+    let report = model.partial_fit(&batch);
+    let out = model_out.unwrap_or(model_path);
+    save_model(out, &model)?;
+    Ok(format!(
+        "absorbed {} snapshots (drift {:.3e}, {} new modes); model now spans {} snapshots → {}",
+        report.batch_len,
+        report.drift,
+        report.new_subtree_modes,
+        model.n_steps(),
+        out.display()
+    ))
+}
+
+fn analyze(
+    model_path: &Path,
+    input: &Path,
+    band_lo: Option<f64>,
+    band_hi: Option<f64>,
+) -> Result<String, CliError> {
+    let model = load_model(model_path)?;
+    let data = load_csv(input)?;
+    let (zs, band) = zscores(&model, &data, band_lo, band_hi)?;
+    let mut out = String::new();
+    let spectrum = mode_spectrum(model.nodes());
+    let _ = writeln!(
+        out,
+        "model: {} modes across {} levels",
+        model.n_modes(),
+        model.depth()
+    );
+    for (level, power) in power_by_level(&spectrum) {
+        let _ = writeln!(out, "  level {level}: total power {power:.3e}");
+    }
+    let th = ZThresholds::default();
+    let states = zs.states(&th);
+    let hot: Vec<usize> = states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == NodeState::Hot)
+        .map(|(i, _)| i)
+        .collect();
+    let idle = states.iter().filter(|s| **s == NodeState::Idle).count();
+    let _ = writeln!(
+        out,
+        "baseline band {:.2}–{:.2} ({} series): {} hot, {} idle, {:.0}% near baseline",
+        band.0,
+        band.1,
+        zs.baseline_rows.len(),
+        hot.len(),
+        idle,
+        zs.fraction_near(&th) * 100.0
+    );
+    if !hot.is_empty() {
+        let _ = writeln!(out, "hot series: {:?}", &hot[..hot.len().min(16)]);
+    }
+    Ok(out)
+}
+
+fn zscores(
+    model: &IMrDmd,
+    data: &hpc_linalg::Mat,
+    band_lo: Option<f64>,
+    band_hi: Option<f64>,
+) -> Result<(ZScores, (f64, f64)), CliError> {
+    if data.rows() != model.n_rows() {
+        return Err(CliError(format!(
+            "input has {} series but the model tracks {}",
+            data.rows(),
+            model.n_rows()
+        )));
+    }
+    let mags = row_mode_magnitudes(model.nodes(), &BandFilter::all(), data.rows());
+    let band = match (band_lo, band_hi) {
+        (Some(lo), Some(hi)) if lo <= hi => (lo, hi),
+        (None, None) => {
+            // Middle 40% of per-series means.
+            let mut means: Vec<f64> = (0..data.rows())
+                .map(|i| data.row(i).iter().sum::<f64>() / data.cols().max(1) as f64)
+                .collect();
+            means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            (means[means.len() * 3 / 10], means[means.len() * 7 / 10])
+        }
+        _ => {
+            return Err(CliError(
+                "--band-lo and --band-hi must be given together, lo ≤ hi".into(),
+            ))
+        }
+    };
+    let baseline = select_baseline_rows(data, band.0, band.1);
+    if baseline.is_empty() {
+        return Err(CliError(format!(
+            "no series has a mean in the baseline band {:.2}–{:.2}",
+            band.0, band.1
+        )));
+    }
+    Ok((ZScores::from_baseline(&mags, &baseline), band))
+}
+
+fn render(model_path: &Path, input: &Path, layout: &str, out: &Path) -> Result<String, CliError> {
+    let model = load_model(model_path)?;
+    let data = load_csv(input)?;
+    let spec = LayoutSpec::parse(layout).map_err(|e| CliError(e.to_string()))?;
+    if spec.total_nodes() < model.n_rows() {
+        return Err(CliError(format!(
+            "layout holds {} nodes but the model tracks {} series",
+            spec.total_nodes(),
+            model.n_rows()
+        )));
+    }
+    let (zs, _) = zscores(&model, &data, None, None)?;
+    let machine = MachineSpec {
+        name: spec.system.clone(),
+        layout: spec,
+        n_nodes: model.n_rows(),
+        series_per_node: 1,
+        sample_interval_s: 0.0,
+    };
+    let view = RackView::new(&machine)
+        .with_values(&zs.z)
+        .with_title(format!("{} — z-scores", machine.name));
+    fs::write(out, view.to_svg())?;
+    Ok(format!("rack view written to {}", out.display()))
+}
+
+fn info(model_path: &Path) -> Result<String, CliError> {
+    let model = load_model(model_path)?;
+    let rep = compression_report(model.nodes(), model.n_rows(), model.n_steps());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} series × {} snapshots, root rank {}, {} drift samples{}",
+        model.n_rows(),
+        model.n_steps(),
+        model.root_rank(),
+        model.drift_log().len(),
+        if model.is_stale() { " [STALE]" } else { "" }
+    );
+    let _ = write!(out, "{}", model.as_mrdmd().tree_summary());
+    let _ = writeln!(
+        out,
+        "storage: raw {:.2} MB → model {:.3} MB ({:.1}x)",
+        rep.raw_bytes as f64 / 1e6,
+        rep.model_bytes as f64 / 1e6,
+        rep.ratio
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("imrdmd-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn synth_fit_update_analyze_info_pipeline() {
+        let csv = tmp("pipeline.csv");
+        let csv2 = tmp("pipeline2.csv");
+        let model = tmp("pipeline.json");
+
+        // synth
+        let r = run(&parse_args(&argv(&format!(
+            "synth --nodes 24 --steps 700 --seed 9 --out {}",
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("24 series"));
+
+        // split into initial + batch by rewriting CSVs
+        let data = load_csv(&csv).unwrap();
+        let mut f = fs::File::create(&csv).unwrap();
+        write_snapshots_csv(&mut f, &data.cols_range(0, 500), 0).unwrap();
+        let mut f = fs::File::create(&csv2).unwrap();
+        write_snapshots_csv(&mut f, &data.cols_range(500, 700), 500).unwrap();
+
+        // fit
+        let r = run(&parse_args(&argv(&format!(
+            "fit --input {} --dt 20 --levels 4 --model {}",
+            csv.display(),
+            model.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("500 snapshots"), "{r}");
+
+        // update
+        let r = run(&parse_args(&argv(&format!(
+            "update --model {} --input {}",
+            model.display(),
+            csv2.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("absorbed 200 snapshots"), "{r}");
+        assert!(r.contains("700 snapshots"), "{r}");
+
+        // analyze (auto band)
+        let mut full = fs::File::create(&csv).unwrap();
+        write_snapshots_csv(&mut full, &data, 0).unwrap();
+        let r = run(&parse_args(&argv(&format!(
+            "analyze --model {} --input {}",
+            model.display(),
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("baseline band"), "{r}");
+        assert!(r.contains("near baseline"), "{r}");
+
+        // info
+        let r =
+            run(&parse_args(&argv(&format!("info --model {}", model.display()))).unwrap()).unwrap();
+        assert!(r.contains("24 series × 700 snapshots"), "{r}");
+        assert!(r.contains("storage:"), "{r}");
+    }
+
+    #[test]
+    fn render_produces_svg() {
+        let csv = tmp("render.csv");
+        let model = tmp("render.json");
+        let svg = tmp("render.svg");
+        run(&parse_args(&argv(&format!(
+            "synth --nodes 16 --steps 300 --out {}",
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse_args(&argv(&format!(
+            "fit --input {} --dt 20 --levels 3 --model {}",
+            csv.display(),
+            model.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let cmd = Command::Render {
+            model: model.clone(),
+            input: csv.clone(),
+            layout: "mini 1 1 row0-0:0-3 1 c:0 1 s:0-3 1 b:0 n:0".into(),
+            out: svg.clone(),
+        };
+        let r = run(&cmd).unwrap();
+        assert!(r.contains("rack view written"));
+        let contents = fs::read_to_string(&svg).unwrap();
+        assert!(contents.contains("</svg>"));
+    }
+
+    #[test]
+    fn update_rejects_mismatched_series() {
+        let csv = tmp("mismatch.csv");
+        let csv_bad = tmp("mismatch_bad.csv");
+        let model = tmp("mismatch.json");
+        run(&parse_args(&argv(&format!(
+            "synth --nodes 8 --steps 300 --out {}",
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse_args(&argv(&format!(
+            "fit --input {} --dt 20 --levels 3 --model {}",
+            csv.display(),
+            model.display()
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse_args(&argv(&format!(
+            "synth --nodes 9 --steps 100 --out {}",
+            csv_bad.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let err = run(&Command::Update {
+            model: model.clone(),
+            input: csv_bad.clone(),
+            model_out: None,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("9 series"), "{err}");
+    }
+
+    #[test]
+    fn missing_files_are_clean_errors() {
+        let err = run(&Command::Info {
+            model: tmp("does-not-exist.json"),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("cannot read model"));
+        let err = run(&Command::Fit {
+            input: tmp("missing.csv"),
+            dt: 1.0,
+            levels: 3,
+            max_cycles: 2,
+            model: tmp("m.json"),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("cannot open"));
+    }
+
+    #[test]
+    fn render_rejects_undersized_layout() {
+        let csv = tmp("small_layout.csv");
+        let model = tmp("small_layout.json");
+        run(&parse_args(&argv(&format!(
+            "synth --nodes 16 --steps 200 --out {}",
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse_args(&argv(&format!(
+            "fit --input {} --dt 20 --levels 3 --model {}",
+            csv.display(),
+            model.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let err = run(&Command::Render {
+            model,
+            input: csv,
+            layout: "tiny 1 1 row0-0:0-1 1 c:0 1 s:0 1 b:0 n:0".into(),
+            out: tmp("never.svg"),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("layout holds 2 nodes"), "{err}");
+    }
+}

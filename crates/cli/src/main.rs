@@ -1,0 +1,20 @@
+//! Thin argv shim over the library half (see `lib.rs` for the command set).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match imrdmd_cli::parse_args(&args).and_then(|cmd| imrdmd_cli::run(&cmd)) {
+        Ok(report) => {
+            print!("{report}");
+            if !report.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Baseline selection and z-score analysis (Sec. III-A.2 and the case
+//! studies).
+//!
+//! After the multiresolution decomposition, each sensor (row) gets an
+//! aggregate mode magnitude over the band-filtered, high-power modes. A
+//! *baseline* set of sensors — chosen by a reading band, e.g. 46–57 °C in
+//! case study 1 — defines the expected magnitude distribution, and every
+//! sensor's z-score against that distribution colours the rack view:
+//! `|z| ≤ 1.5` near baseline, `z > 2` overheating risk, strongly negative
+//! `z` an idle/stalled node.
+
+use crate::mrdmd::ModeSet;
+use crate::spectrum::BandFilter;
+use hpc_linalg::Mat;
+use serde::{Deserialize, Serialize};
+
+/// Thresholds used to classify a z-score, with the paper's defaults.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ZThresholds {
+    /// |z| at or below this is "near baseline" (paper: 1.5).
+    pub near: f64,
+    /// z above this is "very high" / overheating risk (paper: 2.0).
+    pub high: f64,
+}
+
+impl Default for ZThresholds {
+    fn default() -> Self {
+        ZThresholds {
+            near: 1.5,
+            high: 2.0,
+        }
+    }
+}
+
+/// Classification of a sensor relative to the baseline population.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Strongly negative z: the node is likely idle or stalled.
+    Idle,
+    /// |z| within the near band.
+    NearBaseline,
+    /// Positive z between `near` and `high`.
+    Warm,
+    /// z above `high`: overheating risk.
+    Hot,
+}
+
+/// Classifies a z-score with the given thresholds.
+pub fn classify(z: f64, th: &ZThresholds) -> NodeState {
+    if z > th.high {
+        NodeState::Hot
+    } else if z > th.near {
+        NodeState::Warm
+    } else if z >= -th.near {
+        NodeState::NearBaseline
+    } else {
+        NodeState::Idle
+    }
+}
+
+/// Selects baseline rows: those whose mean reading over the window lies in
+/// `[lo, hi]` (the paper picks temperature bands, e.g. 45–60 °C).
+pub fn select_baseline_rows(data: &Mat, lo: f64, hi: f64) -> Vec<usize> {
+    (0..data.rows())
+        .filter(|&i| {
+            let row = data.row(i);
+            if row.is_empty() {
+                return false;
+            }
+            let mean = row.iter().sum::<f64>() / row.len() as f64;
+            mean >= lo && mean <= hi
+        })
+        .collect()
+}
+
+/// Per-row aggregate mode magnitude over the filtered modes:
+/// `m_i = √( Σ_j (|φ_j[i]|·|a_j|)² )`, amplitude-weighted so rows that load
+/// onto energetic dynamics score higher.
+pub fn row_mode_magnitudes<'a>(
+    nodes: impl IntoIterator<Item = &'a ModeSet>,
+    filter: &BandFilter,
+    n_rows: usize,
+) -> Vec<f64> {
+    let mut acc = vec![0.0f64; n_rows];
+    for node in nodes {
+        let idx = filter.select_modes(node);
+        if idx.is_empty() {
+            continue;
+        }
+        let amps: Vec<f64> = idx.iter().map(|&j| node.amplitudes[j].abs()).collect();
+        // A node's local row `i` is global sensor row `row_offset + i`
+        // (nodes from `add_series` cover only the appended sensors).
+        let local_rows = node
+            .modes
+            .rows()
+            .min(n_rows.saturating_sub(node.row_offset));
+        #[allow(clippy::needless_range_loop)] // `i` also offsets into `acc`
+        for i in 0..local_rows {
+            let row = node.modes.row(i);
+            for (&j, &a) in idx.iter().zip(&amps) {
+                let m = row[j].abs() * a;
+                acc[node.row_offset + i] += m * m;
+            }
+        }
+    }
+    for x in &mut acc {
+        *x = x.sqrt();
+    }
+    acc
+}
+
+/// Z-scores of every row against the baseline population.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ZScores {
+    /// One z-score per row.
+    pub z: Vec<f64>,
+    /// Baseline population mean of the magnitude.
+    pub baseline_mean: f64,
+    /// Baseline population standard deviation (floored away from zero).
+    pub baseline_std: f64,
+    /// The rows that defined the baseline.
+    pub baseline_rows: Vec<usize>,
+}
+
+impl ZScores {
+    /// Computes z-scores of `magnitudes` relative to the subset indexed by
+    /// `baseline_rows`.
+    ///
+    /// # Panics
+    /// Panics if `baseline_rows` is empty or contains an out-of-range index.
+    pub fn from_baseline(magnitudes: &[f64], baseline_rows: &[usize]) -> ZScores {
+        assert!(
+            !baseline_rows.is_empty(),
+            "baseline population must be non-empty"
+        );
+        let vals: Vec<f64> = baseline_rows.iter().map(|&i| magnitudes[i]).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        // Floor keeps z finite when the baseline happens to be degenerate.
+        let std = var.sqrt().max(1e-12 * mean.abs().max(1.0));
+        let z = magnitudes.iter().map(|&m| (m - mean) / std).collect();
+        ZScores {
+            z,
+            baseline_mean: mean,
+            baseline_std: std,
+            baseline_rows: baseline_rows.to_vec(),
+        }
+    }
+
+    /// Classifies every row.
+    pub fn states(&self, th: &ZThresholds) -> Vec<NodeState> {
+        self.z.iter().map(|&z| classify(z, th)).collect()
+    }
+
+    /// Fraction of rows within the near-baseline band.
+    pub fn fraction_near(&self, th: &ZThresholds) -> f64 {
+        if self.z.is_empty() {
+            return 0.0;
+        }
+        let near = self.z.iter().filter(|&&z| z.abs() <= th.near).count();
+        near as f64 / self.z.len() as f64
+    }
+}
+
+/// Two-dimensional per-row embedding from the decomposition: each row's
+/// amplitude-weighted loading on the two highest-power filtered modes.
+///
+/// This is what Fig. 8's mrDMD / I-mrDMD panels plot; baseline and
+/// non-baseline sensor populations separate because they load onto different
+/// dynamics.
+pub fn embedding_2d<'a>(
+    nodes: impl IntoIterator<Item = &'a ModeSet>,
+    filter: &BandFilter,
+    n_rows: usize,
+) -> Mat {
+    // Rank (node, mode) pairs by power.
+    let mut ranked: Vec<(&ModeSet, usize, f64)> = Vec::new();
+    for node in nodes {
+        let powers = node.powers();
+        for j in filter.select_modes(node) {
+            ranked.push((node, j, powers[j]));
+        }
+    }
+    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    let mut out = Mat::zeros(n_rows, 2);
+    for (dim, &(node, j, _)) in ranked.iter().take(2).enumerate() {
+        let a = node.amplitudes[j].abs();
+        let local_rows = node
+            .modes
+            .rows()
+            .min(n_rows.saturating_sub(node.row_offset));
+        for i in 0..local_rows {
+            out[(node.row_offset + i, dim)] = node.modes.row(i)[j].abs() * a;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dmd::RankSelection;
+    use crate::mrdmd::{MrDmd, MrDmdConfig};
+
+    fn two_population_data(p: usize, t: usize) -> Mat {
+        // First half of rows: calm baseline oscillation. Second half: hot,
+        // energetic dynamics.
+        Mat::from_fn(p, t, |i, j| {
+            let tt = j as f64 * 0.5;
+            if i < p / 2 {
+                50.0 + (std::f64::consts::TAU * 0.01 * tt).sin()
+            } else {
+                70.0 + 8.0 * (std::f64::consts::TAU * 0.05 * tt).sin()
+            }
+        })
+    }
+
+    fn fit(data: &Mat) -> MrDmd {
+        MrDmd::fit(
+            data,
+            &MrDmdConfig {
+                dt: 0.5,
+                max_levels: 3,
+                max_cycles: 2,
+                rank: RankSelection::Fixed(6),
+                nyquist_factor: 4,
+                min_window: 16,
+                max_window_growth: 1e3,
+            },
+        )
+    }
+
+    #[test]
+    fn baseline_selection_by_band() {
+        let data = two_population_data(10, 64);
+        let rows = select_baseline_rows(&data, 45.0, 55.0);
+        assert_eq!(rows, vec![0, 1, 2, 3, 4]);
+        let hot = select_baseline_rows(&data, 65.0, 75.0);
+        assert_eq!(hot, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn hot_rows_get_high_zscores() {
+        let data = two_population_data(12, 256);
+        let m = fit(&data);
+        let mags = row_mode_magnitudes(&m.nodes, &BandFilter::all(), 12);
+        let baseline = select_baseline_rows(&data, 45.0, 55.0);
+        let zs = ZScores::from_baseline(&mags, &baseline);
+        // Baseline rows near zero, hot rows well above.
+        let mean_base: f64 = baseline.iter().map(|&i| zs.z[i]).sum::<f64>() / baseline.len() as f64;
+        let mean_hot: f64 = (6..12).map(|i| zs.z[i]).sum::<f64>() / 6.0;
+        assert!(mean_base.abs() < 2.0, "baseline mean z {mean_base}");
+        assert!(mean_hot > 2.0, "hot mean z {mean_hot}");
+    }
+
+    #[test]
+    fn classification_bands() {
+        let th = ZThresholds::default();
+        assert_eq!(classify(0.0, &th), NodeState::NearBaseline);
+        assert_eq!(classify(1.5, &th), NodeState::NearBaseline);
+        assert_eq!(classify(1.8, &th), NodeState::Warm);
+        assert_eq!(classify(2.5, &th), NodeState::Hot);
+        assert_eq!(classify(-2.0, &th), NodeState::Idle);
+        assert_eq!(classify(-1.5, &th), NodeState::NearBaseline);
+    }
+
+    #[test]
+    fn zscores_of_baseline_population_average_zero() {
+        let mags = vec![1.0, 2.0, 3.0, 10.0, 12.0];
+        let zs = ZScores::from_baseline(&mags, &[0, 1, 2]);
+        let mean_base = (zs.z[0] + zs.z[1] + zs.z[2]) / 3.0;
+        assert!(mean_base.abs() < 1e-12);
+        assert!(zs.z[3] > 2.0 && zs.z[4] > zs.z[3]);
+    }
+
+    #[test]
+    fn degenerate_baseline_does_not_divide_by_zero() {
+        let mags = vec![5.0, 5.0, 5.0, 6.0];
+        let zs = ZScores::from_baseline(&mags, &[0, 1, 2]);
+        assert!(zs.z.iter().all(|z| z.is_finite()));
+        assert!(zs.z[3] > 0.0);
+    }
+
+    #[test]
+    fn embedding_separates_populations() {
+        let data = two_population_data(12, 256);
+        let m = fit(&data);
+        let emb = embedding_2d(&m.nodes, &BandFilter::all(), 12);
+        assert_eq!(emb.shape(), (12, 2));
+        // Centroid distance between populations should exceed the average
+        // within-population spread.
+        let centroid = |rows: std::ops::Range<usize>| -> (f64, f64) {
+            let n = rows.len() as f64;
+            let sx: f64 = rows.clone().map(|i| emb[(i, 0)]).sum();
+            let sy: f64 = rows.map(|i| emb[(i, 1)]).sum();
+            (sx / n, sy / n)
+        };
+        let (ax, ay) = centroid(0..6);
+        let (bx, by) = centroid(6..12);
+        let sep = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        assert!(sep > 0.0, "populations should not coincide");
+    }
+
+    #[test]
+    fn magnitudes_respect_row_offset() {
+        // Two single-node trees: one at offset 0, one covering global rows
+        // 3..5 — their magnitudes must land on their own sensors.
+        let data = two_population_data(3, 128);
+        let m = fit(&data);
+        let mut offset_nodes: Vec<crate::mrdmd::ModeSet> = m.nodes.clone();
+        for n in &mut offset_nodes {
+            n.row_offset = 3;
+        }
+        let base = row_mode_magnitudes(&m.nodes, &BandFilter::all(), 6);
+        let shifted = row_mode_magnitudes(&offset_nodes, &BandFilter::all(), 6);
+        assert!(base[..3].iter().any(|&v| v > 0.0));
+        assert!(base[3..].iter().all(|&v| v == 0.0));
+        assert!(
+            shifted[..3].iter().all(|&v| v == 0.0),
+            "shifted {shifted:?}"
+        );
+        assert_eq!(&shifted[3..], &base[..3]);
+        // Same for the 2-D embedding.
+        let e = embedding_2d(&offset_nodes, &BandFilter::all(), 6);
+        assert!((0..3).all(|i| e[(i, 0)] == 0.0 && e[(i, 1)] == 0.0));
+        assert!((3..6).any(|i| e[(i, 0)] != 0.0 || e[(i, 1)] != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_baseline_panics() {
+        let _ = ZScores::from_baseline(&[1.0, 2.0], &[]);
+    }
+
+    #[test]
+    fn fraction_near_counts_correctly() {
+        let zs = ZScores {
+            z: vec![0.0, 1.0, -1.4, 3.0, -2.0],
+            baseline_mean: 0.0,
+            baseline_std: 1.0,
+            baseline_rows: vec![0],
+        };
+        let th = ZThresholds::default();
+        assert!((zs.fraction_near(&th) - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,950 @@
+//! Incremental multiresolution DMD (I-mrDMD) — Algorithm 1 of the paper.
+//!
+//! The batch mrDMD recomputes the entire tree whenever new snapshots arrive,
+//! which on terabyte environment-log streams exceeds the collection interval.
+//! I-mrDMD instead keeps the level-1 (root) SVD as an [`IncrementalSvd`] and,
+//! per arriving batch of `T₁` snapshots:
+//!
+//! 1. folds the batch's decimated columns into the root SVD (Brand update),
+//! 2. re-solves the cheap `r × r` root eigenproblem → updated level-1 modes
+//!    spanning `[0, T+T₁)`,
+//! 3. increments the level of every previously computed node, so the new
+//!    level 2 corresponds to the timeline split at `T` (Fig. 1(c)),
+//! 4. runs the multiresolution recursion *only* on the new window
+//!    `[T, T+T₁)` residual, at levels `2..L`,
+//! 5. measures the Frobenius drift between the new and previous level-1
+//!    reconstructions over `[0, T)` (on the decimated grid, so the check is
+//!    `O(P·r·T/step)` not `O(P·T)`); when a threshold is exceeded the stale
+//!    deeper levels can be recomputed — synchronously or on a worker thread
+//!    (the paper defers this step to future work; here it is an opt-in
+//!    extension).
+//!
+//! The cost of `partial_fit` is therefore governed by the batch length, not
+//! by the accumulated history — the property behind Table I's flat
+//! "Partial Fit" column.
+
+use crate::dmd::{Dmd, DmdConfig};
+use crate::mrdmd::{fit_tree, ModeSet, MrDmd, MrDmdConfig};
+use hpc_linalg::{IncrementalSvd, Mat};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the incremental decomposition.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IMrDmdConfig {
+    /// The underlying multiresolution configuration.
+    pub mr: MrDmdConfig,
+    /// Rank cap of the streaming root SVD.
+    pub isvd_max_rank: usize,
+    /// Frobenius drift (new vs old root reconstruction over the old window,
+    /// decimated grid) beyond which the tree is flagged stale.
+    pub drift_threshold: Option<f64>,
+    /// Retain the full-resolution history (needed for [`IMrDmd::recompute`]
+    /// and exact reconstruction comparisons; costs `O(P·T)` memory).
+    pub keep_history: bool,
+    /// Automatically run [`IMrDmd::refresh_subtrees`] inside `partial_fit`
+    /// whenever the drift threshold trips (requires `keep_history`). Off by
+    /// default: the paper treats the refresh as an asynchronous side task.
+    pub auto_refresh: bool,
+}
+
+impl Default for IMrDmdConfig {
+    fn default() -> Self {
+        IMrDmdConfig {
+            mr: MrDmdConfig::default(),
+            isvd_max_rank: 48,
+            drift_threshold: None,
+            keep_history: false,
+            auto_refresh: false,
+        }
+    }
+}
+
+/// Summary of one incremental update.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PartialFitReport {
+    /// Snapshots absorbed by this update.
+    pub batch_len: usize,
+    /// Decimated columns appended to the root SVD.
+    pub new_root_cols: usize,
+    /// Frobenius drift of the root reconstruction over the old timeline.
+    pub drift: f64,
+    /// Whether the drift exceeded the configured threshold.
+    pub stale: bool,
+    /// Modes extracted in the new window's subtree.
+    pub new_subtree_modes: usize,
+}
+
+/// Streaming multiresolution DMD state.
+///
+/// Serializable: a fitted model can be persisted (e.g. JSON via serde) and
+/// resumed in a later session, including the streaming SVD state — only the
+/// optional full-resolution history makes the payload large.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IMrDmd {
+    cfg: IMrDmdConfig,
+    p: usize,
+    t_total: usize,
+    /// Root decimation step, fixed at the initial fit so the streaming grid
+    /// stays arithmetic (`0, s, 2s, …`).
+    root_step: usize,
+    /// Decimated root stream (`P × n_sub`).
+    sub_data: Mat,
+    /// Absolute index of the next decimated column to capture.
+    next_sub_abs: usize,
+    /// Streaming SVD of the decimated stream minus its last column (the `X`
+    /// matrix of the root DMD pair).
+    isvd: IncrementalSvd,
+    /// Level-1 slow modes over `[0, t_total)`.
+    root: ModeSet,
+    /// Levels ≥ 2 (old nodes level-shifted, plus per-batch new subtrees).
+    subnodes: Vec<ModeSet>,
+    /// Drift measured at each partial fit.
+    drift_log: Vec<f64>,
+    stale: bool,
+    history: Option<Mat>,
+}
+
+impl IMrDmd {
+    /// Initial fit: identical tree to the batch [`MrDmd`] (same root, same
+    /// recursion), plus the streaming SVD state for subsequent updates.
+    pub fn fit(data: &Mat, cfg: &IMrDmdConfig) -> IMrDmd {
+        assert!(data.cols() >= 2, "initial fit needs at least two snapshots");
+        let p = data.rows();
+        let t = data.cols();
+        let root_step = cfg.mr.subsample_step(t);
+        let sub = data.subsample_cols(root_step);
+        let n_sub = sub.cols();
+        assert!(
+            n_sub >= 2,
+            "decimated root stream needs at least two columns"
+        );
+        let x = sub.cols_range(0, n_sub - 1);
+        let isvd = IncrementalSvd::new(&x, cfg.isvd_max_rank.max(1));
+        let mut state = IMrDmd {
+            cfg: *cfg,
+            p,
+            t_total: t,
+            root_step,
+            sub_data: sub,
+            next_sub_abs: n_sub * root_step,
+            isvd,
+            root: empty_root(p, t, root_step),
+            subnodes: Vec::new(),
+            drift_log: Vec::new(),
+            stale: false,
+            history: cfg.keep_history.then(|| data.clone()),
+        };
+        state.root = state.solve_root(t);
+        // Residual after the root's slow dynamics, then the usual recursion
+        // over the two halves at level 2 — all in place on one buffer.
+        let mut residual = data.clone();
+        state
+            .root
+            .subtract_reconstruction(&mut residual, 0, cfg.mr.dt);
+        if cfg.mr.max_levels >= 2 && t / 2 >= cfg.mr.min_window {
+            let mid = t / 2;
+            fit_tree(
+                &mut residual,
+                0,
+                mid,
+                0,
+                0,
+                &cfg.mr,
+                2,
+                cfg.mr.max_levels,
+                &mut state.subnodes,
+            );
+            fit_tree(
+                &mut residual,
+                mid,
+                t,
+                0,
+                0,
+                &cfg.mr,
+                2,
+                cfg.mr.max_levels,
+                &mut state.subnodes,
+            );
+        }
+        state
+    }
+
+    /// Solves the root DMD from the current streaming SVD and returns the
+    /// slow-mode set spanning a window of `window` snapshots.
+    fn solve_root(&self, window: usize) -> ModeSet {
+        let n_sub = self.sub_data.cols();
+        let y = self.sub_data.cols_range(1, n_sub);
+        let dmd_cfg = DmdConfig {
+            dt: self.cfg.mr.dt * self.root_step as f64,
+            rank: self.cfg.mr.rank,
+        };
+        let dmd = Dmd::from_svd(&self.isvd.to_svd(), &y, &self.sub_data, &dmd_cfg);
+        let cutoff = self.cfg.mr.slow_cutoff_hz(window);
+        let slow: Vec<usize> = dmd
+            .frequencies()
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f <= cutoff)
+            .map(|(i, _)| i)
+            .collect();
+        let mut omegas: Vec<hpc_linalg::c64> = slow.iter().map(|&i| dmd.omegas[i]).collect();
+        crate::mrdmd::clamp_growth(
+            &mut omegas,
+            window as f64 * self.cfg.mr.dt,
+            self.cfg.mr.max_window_growth,
+        );
+        ModeSet {
+            level: 1,
+            start: 0,
+            window,
+            step: self.root_step,
+            row_offset: 0,
+            modes: dmd.modes.select_cols(&slow),
+            lambdas: slow.iter().map(|&i| dmd.lambdas[i]).collect(),
+            omegas,
+            amplitudes: slow.iter().map(|&i| dmd.amplitudes[i]).collect(),
+        }
+    }
+
+    /// Absorbs a batch of `T₁` new snapshots (columns) and updates the tree
+    /// per Algorithm 1. Returns a report of what changed.
+    pub fn partial_fit(&mut self, batch: &Mat) -> PartialFitReport {
+        assert_eq!(
+            batch.rows(),
+            self.p,
+            "batch row count must match the stream"
+        );
+        let t1 = batch.cols();
+        if t1 == 0 {
+            return PartialFitReport {
+                batch_len: 0,
+                new_root_cols: 0,
+                drift: 0.0,
+                stale: self.stale,
+                new_subtree_modes: 0,
+            };
+        }
+        let t_old = self.t_total;
+        let t_new = t_old + t1;
+
+        // (1) Extend the decimated root stream and the streaming SVD.
+        let mut new_cols: Vec<usize> = Vec::new(); // batch-local column indices
+        while self.next_sub_abs < t_new {
+            new_cols.push(self.next_sub_abs - t_old);
+            self.next_sub_abs += self.root_step;
+        }
+        let n_new = new_cols.len();
+        let old_sub_cols = self.sub_data.cols();
+        if n_new > 0 {
+            let mut block = Mat::zeros(self.p, n_new);
+            for (k, &c) in new_cols.iter().enumerate() {
+                block.set_col(k, &batch.col(c));
+            }
+            // The streaming SVD covers X = decimated[..n−1]; the previous
+            // last column now enters X together with all but the last of the
+            // new block.
+            let prev_last = self.sub_data.col(old_sub_cols - 1);
+            let mut x_block = Mat::zeros(self.p, n_new);
+            x_block.set_col(0, &prev_last);
+            for k in 0..n_new - 1 {
+                x_block.set_col(k + 1, &block.col(k));
+            }
+            self.isvd.update(&x_block);
+            self.sub_data = self.sub_data.hstack(&block);
+        }
+
+        // (2) Updated level-1 modes over [0, T+T₁).
+        let old_root = std::mem::replace(&mut self.root, empty_root(self.p, t_new, self.root_step));
+        self.root = if n_new > 0 {
+            self.solve_root(t_new)
+        } else {
+            extend_window(old_root.clone(), t_new)
+        };
+
+        // (5) Drift of the root reconstruction over the old timeline,
+        // measured on the decimated grid.
+        let drift = self.root_drift(&old_root, old_sub_cols);
+        self.drift_log.push(drift);
+        if let Some(th) = self.cfg.drift_threshold {
+            if drift > th {
+                self.stale = true;
+            }
+        }
+
+        // (3) Previous nodes shift one level down (Fig. 1(c): the timeline is
+        // now split at T, so everything below the old root deepens by one).
+        for node in &mut self.subnodes {
+            node.level += 1;
+        }
+
+        // (4) Multiresolution recursion on the new window only.
+        let mut residual = batch.clone();
+        self.root
+            .subtract_reconstruction(&mut residual, t_old, self.cfg.mr.dt);
+        let before = self.subnodes.len();
+        let mut new_modes = 0usize;
+        if self.cfg.mr.max_levels >= 2 && t1 >= self.cfg.mr.min_window {
+            fit_tree(
+                &mut residual,
+                0,
+                t1,
+                t_old,
+                0,
+                &self.cfg.mr,
+                2,
+                self.cfg.mr.max_levels,
+                &mut self.subnodes,
+            );
+            new_modes = self.subnodes[before..].iter().map(ModeSet::n_modes).sum();
+        }
+
+        self.t_total = t_new;
+        if let Some(h) = &mut self.history {
+            *h = h.hstack(batch);
+        }
+        if self.stale && self.cfg.auto_refresh && self.history.is_some() {
+            self.refresh_subtrees();
+        }
+        PartialFitReport {
+            batch_len: t1,
+            new_root_cols: n_new,
+            drift,
+            stale: self.stale,
+            new_subtree_modes: new_modes,
+        }
+    }
+
+    /// Frobenius norm of the difference between the current and previous
+    /// root reconstructions over the previous timeline, evaluated at the
+    /// decimated snapshots (cheap: `O(P·r·n_sub)`).
+    fn root_drift(&self, old_root: &ModeSet, old_sub_cols: usize) -> f64 {
+        let dt = self.cfg.mr.dt;
+        let mut acc = 0.0f64;
+        for k in 0..old_sub_cols {
+            let abs = k * self.root_step;
+            let new_col = self.root.eval_extrapolated(abs, dt);
+            let old_col = old_root.eval_extrapolated(abs, dt);
+            acc += new_col
+                .iter()
+                .zip(&old_col)
+                .map(|(&a, &b)| {
+                    let d = a - b;
+                    d * d
+                })
+                .sum::<f64>();
+        }
+        acc.sqrt()
+    }
+
+    /// Current level-1 mode set.
+    pub fn root(&self) -> &ModeSet {
+        &self.root
+    }
+
+    /// Every node: root first, then levels ≥ 2 in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = &ModeSet> {
+        std::iter::once(&self.root).chain(self.subnodes.iter())
+    }
+
+    /// Total modes across the tree.
+    pub fn n_modes(&self) -> usize {
+        self.nodes().map(ModeSet::n_modes).sum()
+    }
+
+    /// Snapshots absorbed so far.
+    pub fn n_steps(&self) -> usize {
+        self.t_total
+    }
+
+    /// Number of sensors (rows).
+    pub fn n_rows(&self) -> usize {
+        self.p
+    }
+
+    /// Deepest level currently materialised.
+    pub fn depth(&self) -> usize {
+        self.nodes().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// The drift recorded at each partial fit.
+    pub fn drift_log(&self) -> &[f64] {
+        &self.drift_log
+    }
+
+    /// Whether accumulated drift has exceeded the configured threshold.
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// The streaming configuration.
+    pub fn config(&self) -> &IMrDmdConfig {
+        &self.cfg
+    }
+
+    /// Rank of the streaming root SVD.
+    pub fn root_rank(&self) -> usize {
+        self.isvd.rank()
+    }
+
+    /// Reconstructs the denoised signal over absolute snapshots `[t0, t1)`.
+    pub fn reconstruct_range(&self, t0: usize, t1: usize) -> Mat {
+        assert!(t0 <= t1 && t1 <= self.t_total);
+        let mut out = Mat::zeros(self.p, t1 - t0);
+        for node in self.nodes() {
+            node.add_reconstruction(&mut out, t0, self.cfg.mr.dt);
+        }
+        out
+    }
+
+    /// Reconstructs the full absorbed timeline.
+    pub fn reconstruct(&self) -> Mat {
+        self.reconstruct_range(0, self.t_total)
+    }
+
+    /// Full-resolution history, if `keep_history` was enabled.
+    pub fn history(&self) -> Option<&Mat> {
+        self.history.as_ref()
+    }
+
+    /// Rebuilds the whole tree from history with a fresh batch fit — the
+    /// "recompute stale levels" escape hatch the paper defers to future work.
+    ///
+    /// # Panics
+    /// Panics if `keep_history` was not enabled.
+    pub fn recompute(&mut self) {
+        let data = self
+            .history
+            .clone()
+            .expect("recompute requires keep_history");
+        *self = IMrDmd::fit(&data, &self.cfg);
+    }
+
+    /// Refreshes only levels 2..L against the *current* root — the cheaper
+    /// variant of [`recompute`](Self::recompute) the paper sketches: the root
+    /// SVD state is kept, the stale deeper levels are refitted from the
+    /// residual, with the two halves processed on separate threads (the
+    /// "embarrassingly parallel" observation of Sec. III-A.1).
+    ///
+    /// # Panics
+    /// Panics if `keep_history` was not enabled.
+    pub fn refresh_subtrees(&mut self) {
+        let data = self
+            .history
+            .as_ref()
+            .expect("refresh_subtrees requires keep_history");
+        let t = self.t_total;
+        let mut residual = data.clone();
+        self.root
+            .subtract_reconstruction(&mut residual, 0, self.cfg.mr.dt);
+        let mr = self.cfg.mr;
+        let mut fresh: Vec<ModeSet> = Vec::new();
+        if mr.max_levels >= 2 && t / 2 >= mr.min_window {
+            let mid = t / 2;
+            let (mut left_buf, mut right_buf) =
+                (residual.cols_range(0, mid), residual.cols_range(mid, t));
+            let (mut left_nodes, mut right_nodes) = (Vec::new(), Vec::new());
+            std::thread::scope(|scope| {
+                let l = scope.spawn(|| {
+                    let w = left_buf.cols();
+                    fit_tree(
+                        &mut left_buf,
+                        0,
+                        w,
+                        0,
+                        0,
+                        &mr,
+                        2,
+                        mr.max_levels,
+                        &mut left_nodes,
+                    );
+                });
+                let r = scope.spawn(|| {
+                    let w = right_buf.cols();
+                    fit_tree(
+                        &mut right_buf,
+                        0,
+                        w,
+                        mid,
+                        0,
+                        &mr,
+                        2,
+                        mr.max_levels,
+                        &mut right_nodes,
+                    );
+                });
+                l.join().expect("left subtree refit panicked");
+                r.join().expect("right subtree refit panicked");
+            });
+            fresh.append(&mut left_nodes);
+            fresh.append(&mut right_nodes);
+        }
+        self.subnodes = fresh;
+        self.stale = false;
+    }
+
+    /// Adds entirely new telemetry series (sensors) to the streaming state —
+    /// the paper's second future-work item. `new_rows` must carry the full
+    /// history of the new sensors (`r × n_steps`).
+    ///
+    /// The root SVD absorbs the rows incrementally; the new sensors' own
+    /// multiscale structure is fitted as a dedicated level-2 subtree covering
+    /// only the appended rows (`ModeSet::row_offset`). Previously fitted
+    /// nodes are untouched — they simply contribute nothing to the new rows.
+    ///
+    /// # Panics
+    /// Panics if the column count differs from the absorbed timeline.
+    pub fn add_series(&mut self, new_rows: &Mat) {
+        assert_eq!(
+            new_rows.cols(),
+            self.t_total,
+            "new series must span the absorbed timeline"
+        );
+        if new_rows.rows() == 0 {
+            return;
+        }
+        let p_old = self.p;
+        let r = new_rows.rows();
+        // Extend the decimated root stream and its SVD.
+        let new_sub = new_rows.subsample_cols(self.root_step);
+        debug_assert_eq!(new_sub.cols(), self.sub_data.cols());
+        let n_sub = self.sub_data.cols();
+        self.isvd.update_rows(&new_sub.cols_range(0, n_sub - 1));
+        self.sub_data = self.sub_data.vstack(&new_sub);
+        self.p = p_old + r;
+        // Root modes now cover all rows.
+        self.root = self.solve_root(self.t_total);
+        // Dedicated subtree for the new sensors' residual dynamics.
+        let mut residual = new_rows.clone();
+        {
+            // Subtract the root's contribution on the appended rows only.
+            let root_rows = ModeSet {
+                modes: self.root.modes.rows_range(p_old, self.p),
+                row_offset: 0,
+                ..self.root.clone()
+            };
+            root_rows.subtract_reconstruction(&mut residual, 0, self.cfg.mr.dt);
+        }
+        if self.cfg.mr.max_levels >= 2 && self.t_total / 2 >= self.cfg.mr.min_window {
+            let t = self.t_total;
+            let mid = t / 2;
+            fit_tree(
+                &mut residual,
+                0,
+                mid,
+                0,
+                p_old,
+                &self.cfg.mr,
+                2,
+                self.cfg.mr.max_levels,
+                &mut self.subnodes,
+            );
+            fit_tree(
+                &mut residual,
+                mid,
+                t,
+                0,
+                p_old,
+                &self.cfg.mr,
+                2,
+                self.cfg.mr.max_levels,
+                &mut self.subnodes,
+            );
+        }
+        if let Some(h) = &mut self.history {
+            *h = h.vstack(new_rows);
+        }
+    }
+
+    /// Forecasts `horizon` snapshots past the absorbed timeline by
+    /// extrapolating the mode dynamics of the root and of every node whose
+    /// window touches the right edge (the most recent context at each
+    /// timescale).
+    ///
+    /// DMD forecasting is only trustworthy over horizons comparable to the
+    /// finest captured timescale; growth clamping keeps the extrapolation
+    /// bounded regardless.
+    pub fn forecast(&self, horizon: usize) -> Mat {
+        let mut out = Mat::zeros(self.p, horizon);
+        let dt = self.cfg.mr.dt;
+        let edge_nodes: Vec<&ModeSet> = self
+            .nodes()
+            .filter(|n| n.start + n.window == self.t_total)
+            .collect();
+        for node in &edge_nodes {
+            for h in 0..horizon {
+                let abs = self.t_total + h;
+                let vals = node.eval_extrapolated(abs, dt);
+                for (i, v) in vals.iter().enumerate() {
+                    let row = node.row_offset + i;
+                    if row < self.p {
+                        out[(row, h)] += v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Equivalent batch decomposition of the same tree (for comparisons).
+    pub fn as_mrdmd(&self) -> MrDmd {
+        MrDmd {
+            config: self.cfg.mr,
+            nodes: self.nodes().cloned().collect(),
+            n_rows: self.p,
+            n_steps: self.t_total,
+        }
+    }
+}
+
+/// Spawns a background thread that refits the decomposition from history;
+/// poll [`AsyncRefit::try_take`] and swap the result in when ready.
+///
+/// This implements the paper's observation that the levels-2..L refresh "is
+/// an embarrassingly parallel problem \[that\] would not add an overhead to the
+/// current computation": the stream keeps absorbing batches while the refit
+/// runs elsewhere.
+pub struct AsyncRefit {
+    rx: crossbeam::channel::Receiver<IMrDmd>,
+}
+
+impl AsyncRefit {
+    /// Starts a refit of `data` under `cfg` on a new thread.
+    pub fn spawn(data: Mat, cfg: IMrDmdConfig) -> AsyncRefit {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        std::thread::spawn(move || {
+            let refit = IMrDmd::fit(&data, &cfg);
+            let _ = tx.send(refit);
+        });
+        AsyncRefit { rx }
+    }
+
+    /// Returns the refit if it has finished, without blocking.
+    pub fn try_take(&self) -> Option<IMrDmd> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks until the refit finishes.
+    pub fn take(self) -> IMrDmd {
+        self.rx.recv().expect("refit thread panicked")
+    }
+}
+
+fn empty_root(p: usize, window: usize, step: usize) -> ModeSet {
+    ModeSet {
+        level: 1,
+        start: 0,
+        window,
+        step,
+        row_offset: 0,
+        modes: hpc_linalg::CMat::zeros(p, 0),
+        lambdas: vec![],
+        omegas: vec![],
+        amplitudes: vec![],
+    }
+}
+
+fn extend_window(mut node: ModeSet, window: usize) -> ModeSet {
+    node.window = window;
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dmd::RankSelection;
+
+    const TAU: f64 = std::f64::consts::TAU;
+
+    fn stream_data(p: usize, t: usize, dt: f64) -> Mat {
+        Mat::from_fn(p, t, |i, j| {
+            let x = i as f64 / p as f64;
+            let tt = j as f64 * dt;
+            (TAU * 0.01 * tt + 2.0 * x).sin()
+                + 0.4 * (TAU * 0.3 * tt + 4.0 * x).cos()
+                + 0.02 * (TAU * 5.0 * tt + 9.0 * x).sin()
+        })
+    }
+
+    fn cfg(dt: f64) -> IMrDmdConfig {
+        IMrDmdConfig {
+            mr: MrDmdConfig {
+                dt,
+                max_levels: 4,
+                max_cycles: 2,
+                rank: RankSelection::Fixed(6),
+                nyquist_factor: 4,
+                min_window: 16,
+                max_window_growth: 1e3,
+            },
+            isvd_max_rank: 24,
+            drift_threshold: None,
+            keep_history: true,
+            auto_refresh: false,
+        }
+    }
+
+    #[test]
+    fn initial_fit_matches_batch_reconstruction() {
+        let dt = 1.0;
+        let data = stream_data(8, 512, dt);
+        let c = cfg(dt);
+        let inc = IMrDmd::fit(&data, &c);
+        let batch = MrDmd::fit(&data, &c.mr);
+        let e_inc = inc.reconstruct().fro_dist(&data);
+        let e_batch = batch.reconstruct().fro_dist(&data);
+        // Same algorithm, possibly different SVD numerics — errors must be
+        // close (Q2).
+        assert!(
+            (e_inc - e_batch).abs() <= 0.1 * e_batch.max(1e-9) + 1e-6,
+            "inc {e_inc} vs batch {e_batch}"
+        );
+    }
+
+    #[test]
+    fn partial_fit_extends_timeline_and_tree() {
+        let dt = 1.0;
+        let data = stream_data(8, 768, dt);
+        let c = cfg(dt);
+        let mut inc = IMrDmd::fit(&data.cols_range(0, 512), &c);
+        let before_nodes = inc.nodes().count();
+        let report = inc.partial_fit(&data.cols_range(512, 768));
+        assert_eq!(report.batch_len, 256);
+        assert!(report.new_root_cols > 0);
+        assert_eq!(inc.n_steps(), 768);
+        assert!(inc.nodes().count() > before_nodes);
+        assert_eq!(inc.root().window, 768);
+    }
+
+    #[test]
+    fn old_nodes_shift_one_level_per_update() {
+        let dt = 1.0;
+        let data = stream_data(6, 640, dt);
+        let c = cfg(dt);
+        let mut inc = IMrDmd::fit(&data.cols_range(0, 512), &c);
+        let old_levels: Vec<usize> = inc.subnodes.iter().map(|n| n.level).collect();
+        inc.partial_fit(&data.cols_range(512, 640));
+        for (k, lvl) in old_levels.iter().enumerate() {
+            assert_eq!(inc.subnodes[k].level, lvl + 1);
+        }
+    }
+
+    #[test]
+    fn incremental_accuracy_close_to_batch_after_update() {
+        // Q2: the reconstruction difference between I-mrDMD and mrDMD stays
+        // small relative to signal norm.
+        let dt = 1.0;
+        let data = stream_data(8, 768, dt);
+        let c = cfg(dt);
+        let mut inc = IMrDmd::fit(&data.cols_range(0, 512), &c);
+        inc.partial_fit(&data.cols_range(512, 768));
+        let batch = MrDmd::fit(&data, &c.mr);
+        let e_inc = inc.reconstruct().fro_dist(&data) / data.fro_norm();
+        let e_batch = batch.reconstruct().fro_dist(&data) / data.fro_norm();
+        assert!(e_inc < e_batch + 0.15, "inc {e_inc} batch {e_batch}");
+    }
+
+    #[test]
+    fn multiple_small_batches_accumulate() {
+        let dt = 1.0;
+        let data = stream_data(6, 512 + 4 * 64, dt);
+        let c = cfg(dt);
+        let mut inc = IMrDmd::fit(&data.cols_range(0, 512), &c);
+        for k in 0..4 {
+            let s = 512 + k * 64;
+            inc.partial_fit(&data.cols_range(s, s + 64));
+        }
+        assert_eq!(inc.n_steps(), 512 + 256);
+        assert_eq!(inc.drift_log().len(), 4);
+        let rel = inc.reconstruct().fro_dist(&data) / data.fro_norm();
+        assert!(rel < 0.5, "relative error {rel}");
+    }
+
+    #[test]
+    fn drift_threshold_marks_stale_and_recompute_clears() {
+        let dt = 1.0;
+        let base = stream_data(6, 512, dt);
+        let mut c = cfg(dt);
+        c.drift_threshold = Some(1e-12); // absurdly tight: any update trips it
+        let mut inc = IMrDmd::fit(&base, &c);
+        // A regime change guarantees nonzero drift.
+        let shifted = Mat::from_fn(6, 128, |i, j| base[(i, j % 512)] + 5.0);
+        inc.partial_fit(&shifted);
+        assert!(inc.is_stale());
+        inc.recompute();
+        assert!(!inc.is_stale());
+        assert_eq!(inc.n_steps(), 640);
+    }
+
+    #[test]
+    fn async_refit_produces_equivalent_state() {
+        let dt = 1.0;
+        let data = stream_data(6, 512, dt);
+        let c = cfg(dt);
+        let refit = AsyncRefit::spawn(data.clone(), c).take();
+        let direct = IMrDmd::fit(&data, &c);
+        assert_eq!(refit.n_steps(), direct.n_steps());
+        assert!(refit.reconstruct().fro_dist(&direct.reconstruct()) < 1e-6);
+    }
+
+    #[test]
+    fn batch_smaller_than_root_step_still_processed() {
+        let dt = 1.0;
+        // 510 snapshots → root step 31, decimated grid {0, 31, …, 496}, next
+        // grid point at 527 — an 8-snapshot batch adds no root column.
+        let data = stream_data(6, 518, dt);
+        let c = cfg(dt);
+        let mut inc = IMrDmd::fit(&data.cols_range(0, 510), &c);
+        let step = inc.root_step;
+        assert!(step > 8, "test premise: batch shorter than root step");
+        let report = inc.partial_fit(&data.cols_range(510, 518));
+        assert_eq!(report.new_root_cols, 0);
+        assert_eq!(inc.n_steps(), 518);
+        assert_eq!(inc.root().window, 518);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let dt = 1.0;
+        let data = stream_data(6, 512, dt);
+        let mut inc = IMrDmd::fit(&data, &cfg(dt));
+        let report = inc.partial_fit(&Mat::zeros(6, 0));
+        assert_eq!(report.batch_len, 0);
+        assert_eq!(inc.n_steps(), 512);
+    }
+
+    #[test]
+    fn refresh_subtrees_restores_batch_quality() {
+        let dt = 1.0;
+        let data = stream_data(8, 768, dt);
+        let c = cfg(dt);
+        let mut inc = IMrDmd::fit(&data.cols_range(0, 512), &c);
+        // Several updates accumulate structural divergence from the batch tree.
+        for k in 0..4 {
+            let lo = 512 + 64 * k;
+            inc.partial_fit(&data.cols_range(lo, lo + 64));
+        }
+        let before = inc.reconstruct().fro_dist(&data);
+        inc.refresh_subtrees();
+        assert!(!inc.is_stale());
+        let after = inc.reconstruct().fro_dist(&data);
+        // A refreshed tree (halving splits against the current root) is at
+        // least comparable to the incrementally grown one.
+        assert!(
+            after <= before * 1.2 + 1e-9,
+            "refresh worsened: {before} → {after}"
+        );
+        assert_eq!(inc.n_steps(), 768);
+        assert_eq!(inc.root().window, 768);
+    }
+
+    #[test]
+    fn add_series_extends_rows_and_reconstruction() {
+        let dt = 1.0;
+        let all = stream_data(12, 512, dt);
+        let c = cfg(dt);
+        let mut inc = IMrDmd::fit(&all.rows_range(0, 7), &c);
+        inc.add_series(&all.rows_range(7, 12));
+        assert_eq!(inc.n_rows(), 12);
+        let rec = inc.reconstruct();
+        assert_eq!(rec.rows(), 12);
+        assert!(rec.as_slice().iter().all(|v| v.is_finite()));
+        // The added rows reconstruct comparably to a fresh batch fit on the
+        // same rows — the incremental path loses nothing fundamental.
+        let new_part = rec.rows_range(7, 12);
+        let target = all.rows_range(7, 12);
+        let rel = new_part.fro_dist(&target) / target.fro_norm();
+        let fresh = MrDmd::fit(&target, &c.mr);
+        let rel_fresh = fresh.reconstruct().fro_dist(&target) / target.fro_norm();
+        assert!(
+            rel <= rel_fresh + 0.15,
+            "add_series rel err {rel} vs fresh fit on same rows {rel_fresh}"
+        );
+        // And subsequent partial fits accept the widened stream.
+        let more = Mat::from_fn(12, 64, |i, j| all[(i, (512 + j) % 512)]);
+        inc.partial_fit(&more);
+        assert_eq!(inc.n_steps(), 576);
+    }
+
+    #[test]
+    fn add_series_nodes_carry_row_offset() {
+        let dt = 1.0;
+        let all = stream_data(8, 512, dt);
+        let c = cfg(dt);
+        let mut inc = IMrDmd::fit(&all.rows_range(0, 6), &c);
+        inc.add_series(&all.rows_range(6, 8));
+        assert!(
+            inc.nodes()
+                .any(|n| n.row_offset == 6 && n.modes.rows() == 2),
+            "expected a dedicated subtree for the appended rows"
+        );
+        // Root covers all rows.
+        assert_eq!(inc.root().modes.rows(), 8);
+        assert_eq!(inc.root().row_offset, 0);
+    }
+
+    #[test]
+    fn forecast_tracks_stationary_oscillation() {
+        let dt = 1.0;
+        let data = stream_data(8, 640, dt);
+        let c = cfg(dt);
+        let inc = IMrDmd::fit(&data.cols_range(0, 576), &c);
+        let horizon = 32;
+        let fc = inc.forecast(horizon);
+        assert_eq!(fc.shape(), (8, horizon));
+        assert!(fc.as_slice().iter().all(|v| v.is_finite()));
+        // The forecast must beat a zero predictor on the de-meaned truth.
+        let truth = data.cols_range(576, 576 + horizon);
+        let err = fc.fro_dist(&truth);
+        let zero_err = truth.fro_norm();
+        assert!(
+            err < zero_err,
+            "forecast err {err} vs zero-predictor {zero_err}"
+        );
+    }
+
+    #[test]
+    fn auto_refresh_clears_staleness_inline() {
+        let dt = 1.0;
+        let data = stream_data(8, 768, dt);
+        let mut c = cfg(dt);
+        c.drift_threshold = Some(1e-12);
+        c.auto_refresh = true;
+        c.keep_history = true;
+        let mut inc = IMrDmd::fit(&data.cols_range(0, 512), &c);
+        inc.partial_fit(&data.cols_range(512, 768));
+        // The inline refresh ran and cleared the flag.
+        assert!(!inc.is_stale());
+        // Its tree is the refreshed (halving) structure, still covering all.
+        assert_eq!(inc.n_steps(), 768);
+        let rel = inc.reconstruct().fro_dist(&data) / data.fro_norm();
+        assert!(rel < 0.5, "post-refresh error {rel}");
+    }
+
+    #[test]
+    fn model_persists_through_serde_roundtrip() {
+        let dt = 1.0;
+        let data = stream_data(8, 640, dt);
+        let c = cfg(dt);
+        let mut model = IMrDmd::fit(&data.cols_range(0, 512), &c);
+        model.partial_fit(&data.cols_range(512, 640));
+        let json = serde_json::to_string(&model).expect("serialise");
+        let mut back: IMrDmd = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back.n_steps(), model.n_steps());
+        assert_eq!(back.n_modes(), model.n_modes());
+        assert!(back.reconstruct().fro_dist(&model.reconstruct()) < 1e-12);
+        // The resumed model keeps streaming.
+        let more = Mat::from_fn(8, 64, |i, j| data[(i, j % 640)]);
+        back.partial_fit(&more);
+        assert_eq!(back.n_steps(), 704);
+    }
+
+    #[test]
+    fn compression_report_flows_from_stream_state() {
+        let dt = 1.0;
+        let data = stream_data(16, 1024, dt);
+        let inc = IMrDmd::fit(&data, &cfg(dt));
+        let r = crate::compression::compression_report(inc.nodes(), inc.n_rows(), inc.n_steps());
+        assert_eq!(r.n_modes, inc.n_modes());
+        assert!(r.ratio > 1.0, "ratio {}", r.ratio);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the decomposition pipeline on random multiscale
+//! signals.
+
+use hpc_linalg::{dominant_frequency, Mat};
+use imrdmd::prelude::*;
+use proptest::prelude::*;
+
+const TAU: f64 = std::f64::consts::TAU;
+
+/// A random multiscale traveling-wave signal with bounded noise.
+fn signal(p: usize, t: usize, f1: f64, f2: f64, noise: f64, phase: f64) -> Mat {
+    Mat::from_fn(p, t, |i, j| {
+        let x = i as f64 / p as f64;
+        let tt = j as f64;
+        (TAU * f1 * tt + 2.0 * x + phase).sin()
+            + 0.5 * (TAU * f2 * tt + 5.0 * x).cos()
+            + noise * (((i * 2654435761 + j * 40503) % 997) as f64 / 997.0 - 0.5)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// DMD recovers a planted frequency that the Fourier periodogram agrees
+    /// on, for any admissible phase and mild noise.
+    #[test]
+    fn dmd_agrees_with_fourier(
+        f1 in 0.01f64..0.05,
+        phase in 0.0f64..6.0,
+        noise in 0.0f64..0.02,
+    ) {
+        let data = signal(16, 400, f1, f1 * 3.0, noise, phase);
+        let dmd = Dmd::fit(&data, &DmdConfig { dt: 1.0, rank: RankSelection::Fixed(4) });
+        let freqs = dmd.frequencies();
+        let hit = freqs.iter().any(|&f| (f - f1).abs() < 0.15 * f1 + 1e-3);
+        prop_assert!(hit, "planted {f1}, got {freqs:?}");
+        // Cross-check with the periodogram of one series.
+        let four = dominant_frequency(data.row(0), 1.0).unwrap();
+        prop_assert!((four - f1).abs() < 0.2 * f1 + 3e-3, "fourier {four} vs planted {f1}");
+    }
+
+    /// mrDMD reconstruction error decreases (or stays equal) as noise
+    /// decreases.
+    #[test]
+    fn reconstruction_error_scales_with_noise(noise in 0.0f64..0.3) {
+        let cfg = MrDmdConfig {
+            dt: 1.0,
+            max_levels: 4,
+            max_cycles: 2,
+            rank: RankSelection::Fixed(6),
+            ..MrDmdConfig::default()
+        };
+        let noisy = signal(12, 256, 0.004, 0.02, noise, 0.0);
+        let clean = signal(12, 256, 0.004, 0.02, 0.0, 0.0);
+        let m_noisy = MrDmd::fit(&noisy, &cfg);
+        let m_clean = MrDmd::fit(&clean, &cfg);
+        let e_noisy = m_noisy.reconstruct().fro_dist(&noisy);
+        let e_clean = m_clean.reconstruct().fro_dist(&clean);
+        prop_assert!(e_clean <= e_noisy + 1e-6, "clean {e_clean} vs noisy {e_noisy}");
+    }
+
+    /// The streaming update absorbs any batch split without changing the
+    /// absorbed totals, and the reconstruction stays finite and bounded.
+    #[test]
+    fn partial_fit_invariants(split in 150usize..250, f1 in 0.002f64..0.02) {
+        let t = 384;
+        let data = signal(10, t, f1, f1 * 4.0, 0.01, 1.0);
+        let cfg = IMrDmdConfig {
+            mr: MrDmdConfig {
+                dt: 1.0,
+                max_levels: 3,
+                max_cycles: 2,
+                rank: RankSelection::Fixed(6),
+                ..MrDmdConfig::default()
+            },
+            ..IMrDmdConfig::default()
+        };
+        let mut inc = IMrDmd::fit(&data.cols_range(0, split), &cfg);
+        let report = inc.partial_fit(&data.cols_range(split, t));
+        prop_assert_eq!(report.batch_len, t - split);
+        prop_assert_eq!(inc.n_steps(), t);
+        prop_assert!(report.drift.is_finite() && report.drift >= 0.0);
+        let rec = inc.reconstruct();
+        prop_assert!(rec.as_slice().iter().all(|v| v.is_finite()));
+        // Reconstruction never exceeds a generous multiple of the data norm
+        // (growth clamping at work).
+        prop_assert!(rec.fro_norm() < 10.0 * data.fro_norm());
+    }
+
+    /// Spectrum powers are invariant under reordering of node iteration.
+    #[test]
+    fn spectrum_total_power_is_iteration_order_independent(seedish in 0usize..100) {
+        let data = signal(8, 256, 0.005 + seedish as f64 * 1e-5, 0.03, 0.01, 0.5);
+        let cfg = MrDmdConfig {
+            dt: 1.0,
+            max_levels: 4,
+            max_cycles: 2,
+            rank: RankSelection::Fixed(4),
+            ..MrDmdConfig::default()
+        };
+        let m = MrDmd::fit(&data, &cfg);
+        let fwd: f64 = mode_spectrum(&m.nodes).iter().map(|p| p.power).sum();
+        let rev: f64 = {
+            let rev_nodes: Vec<_> = m.nodes.iter().rev().collect();
+            mode_spectrum(rev_nodes).iter().map(|p| p.power).sum()
+        };
+        prop_assert!((fwd - rev).abs() < 1e-9 * fwd.max(1.0));
+    }
+
+    /// Mode magnitudes honour the band filter: narrower bands never yield
+    /// larger magnitudes.
+    #[test]
+    fn band_filter_monotonicity(f_hi in 0.001f64..0.1) {
+        let data = signal(10, 256, 0.004, 0.03, 0.02, 0.0);
+        let cfg = MrDmdConfig {
+            dt: 1.0,
+            max_levels: 4,
+            max_cycles: 2,
+            rank: RankSelection::Fixed(4),
+            ..MrDmdConfig::default()
+        };
+        let m = MrDmd::fit(&data, &cfg);
+        let narrow = row_mode_magnitudes(&m.nodes, &BandFilter::band(0.0, f_hi), 10);
+        let wide = row_mode_magnitudes(&m.nodes, &BandFilter::all(), 10);
+        for (n, w) in narrow.iter().zip(&wide) {
+            prop_assert!(n <= &(w + 1e-12), "narrow {n} > wide {w}");
+        }
+    }
+}

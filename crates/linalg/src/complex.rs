@@ -1,0 +1,349 @@
+//! A minimal double-precision complex number type.
+//!
+//! The DMD eigenproblem is intrinsically complex (oscillatory modes come in
+//! conjugate pairs), and the sanctioned dependency set has no complex-number
+//! crate, so we implement the arithmetic we need from scratch. The layout is
+//! `#[repr(C)]` `(f64, f64)` so slices of `c64` can be reinterpreted as
+//! interleaved buffers if ever needed.
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct c64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+#[allow(non_camel_case_types)]
+impl c64 {
+    /// The additive identity.
+    pub const ZERO: c64 = c64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: c64 = c64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: c64 = c64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64 { re, im }
+    }
+
+    /// Embeds a real number into the complex plane.
+    #[inline(always)]
+    pub const fn from_real(re: f64) -> Self {
+        c64 { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`, computed via `hypot` to avoid overflow/underflow.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        if self.im == 0.0 {
+            if self.re >= 0.0 {
+                c64::new(self.re.sqrt(), 0.0)
+            } else {
+                c64::new(0.0, (-self.re).sqrt())
+            }
+        } else {
+            let r = self.abs();
+            let re = ((r + self.re) / 2.0).sqrt();
+            let im = ((r - self.re) / 2.0).sqrt().copysign(self.im);
+            c64::new(re, im)
+        }
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        c64::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal branch of the natural logarithm.
+    pub fn ln(self) -> Self {
+        c64::new(self.abs().ln(), self.arg())
+    }
+
+    /// Multiplicative inverse, with scaling to avoid overflow.
+    pub fn inv(self) -> Self {
+        // Smith's algorithm: scale by the larger component.
+        if self.re.abs() >= self.im.abs() {
+            let r = self.im / self.re;
+            let d = self.re + self.im * r;
+            c64::new(1.0 / d, -r / d)
+        } else {
+            let r = self.re / self.im;
+            let d = self.re * r + self.im;
+            c64::new(r / d, -1.0 / d)
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        c64::new(self.re * s, self.im * s)
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Fused multiply-accumulate convenience: `self + a * b`.
+    #[inline(always)]
+    pub fn mul_add(self, a: c64, b: c64) -> Self {
+        c64::new(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+}
+
+impl Serialize for c64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (self.re, self.im).serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for c64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let (re, im) = <(f64, f64)>::deserialize(d)?;
+        Ok(c64::new(re, im))
+    }
+}
+
+impl fmt::Debug for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for c64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        c64::from_real(re)
+    }
+}
+
+impl Add for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn add(self, rhs: c64) -> c64 {
+        c64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn sub(self, rhs: c64) -> c64 {
+        c64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, rhs: c64) -> c64 {
+        c64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for c64 {
+    type Output = c64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ by definition
+    fn div(self, rhs: c64) -> c64 {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn neg(self) -> c64 {
+        c64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> c64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<c64> for f64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, rhs: c64) -> c64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> c64 {
+        c64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for c64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: c64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for c64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: c64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for c64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: c64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for c64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: c64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for c64 {
+    fn sum<I: Iterator<Item = c64>>(iter: I) -> c64 {
+        iter.fold(c64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: c64, b: c64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64::new(3.0, -4.0);
+        assert_eq!(z + c64::ZERO, z);
+        assert_eq!(z * c64::ONE, z);
+        assert_eq!(z - z, c64::ZERO);
+        assert!(close(z * z.inv(), c64::ONE, 1e-14));
+    }
+
+    #[test]
+    fn abs_and_norm() {
+        let z = c64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), c64::new(3.0, -4.0));
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let z = c64::new(0.3, 1.2);
+        assert!(close(z.exp().ln(), z, 1e-12));
+        // Euler: e^{iπ} = -1
+        assert!(close(
+            (c64::I * std::f64::consts::PI).exp(),
+            c64::new(-1.0, 0.0),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn sqrt_branches() {
+        assert!(close(c64::new(4.0, 0.0).sqrt(), c64::new(2.0, 0.0), 1e-15));
+        assert!(close(c64::new(-4.0, 0.0).sqrt(), c64::new(0.0, 2.0), 1e-15));
+        let z = c64::new(1.0, 2.0);
+        let s = z.sqrt();
+        assert!(close(s * s, z, 1e-12));
+        // Principal branch keeps the sign of the imaginary part.
+        let z = c64::new(1.0, -2.0);
+        let s = z.sqrt();
+        assert!(s.im < 0.0);
+        assert!(close(s * s, z, 1e-12));
+    }
+
+    #[test]
+    fn division_avoids_overflow() {
+        let big = c64::new(1e300, 1e300);
+        let q = big / big;
+        assert!(close(q, c64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn ln_of_negative_real_gives_pi() {
+        let l = c64::new(-1.0, 0.0).ln();
+        assert!(close(l, c64::new(0.0, std::f64::consts::PI), 1e-14));
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = c64::new(1.5, -0.5);
+        let b = c64::new(-2.0, 3.0);
+        let acc = c64::new(0.25, 0.75);
+        assert!(close(acc.mul_add(a, b), acc + a * b, 1e-15));
+    }
+}

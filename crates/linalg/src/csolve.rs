@@ -1,0 +1,141 @@
+//! Small dense complex linear solves (Gaussian elimination with partial
+//! pivoting). Used for the `r × r` normal-equation systems that fit DMD mode
+//! amplitudes; `r` is tens, so a dense O(r³) solve is the right tool.
+
+use crate::cmat::CMat;
+use crate::complex::c64;
+
+/// Solves `a · x = b` for a square complex system via partial-pivoted
+/// Gaussian elimination.
+///
+/// # Panics
+/// Panics if `a` is not square, dimensions disagree, or the matrix is
+/// numerically singular.
+pub fn solve_complex(a: &CMat, b: &[c64]) -> Vec<c64> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve_complex requires a square matrix");
+    assert_eq!(b.len(), n);
+    let mut m = a.clone();
+    let mut x = b.to_vec();
+    for k in 0..n {
+        // Partial pivot on column k.
+        let (piv, pmag) = (k..n)
+            .map(|i| (i, m[(i, k)].abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(pmag > 0.0, "singular system in solve_complex");
+        if piv != k {
+            for j in 0..n {
+                let tmp = m[(k, j)];
+                m[(k, j)] = m[(piv, j)];
+                m[(piv, j)] = tmp;
+            }
+            x.swap(k, piv);
+        }
+        let inv_pivot = m[(k, k)].inv();
+        for i in k + 1..n {
+            let factor = m[(i, k)] * inv_pivot;
+            if factor == c64::ZERO {
+                continue;
+            }
+            for j in k..n {
+                let val = m[(i, j)] - factor * m[(k, j)];
+                m[(i, j)] = val;
+            }
+            x[i] = x[i] - factor * x[k];
+        }
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in i + 1..n {
+            s -= m[(i, j)] * x[j];
+        }
+        x[i] = s * m[(i, i)].inv();
+    }
+    x
+}
+
+/// Solves the least-squares problem `min ‖a·x − b‖₂` for a tall complex
+/// matrix via the normal equations `(aᴴa)x = aᴴb`.
+///
+/// Adequate for the well-conditioned mode-amplitude fits in this suite; the
+/// condition number is squared, so do not use it for ill-conditioned systems.
+pub fn lstsq_complex(a: &CMat, b: &[c64]) -> Vec<c64> {
+    assert_eq!(a.rows(), b.len());
+    let ah = a.conj_transpose();
+    let gram = ah.matmul(a);
+    let rhs = ah.matvec(b);
+    // Tikhonov whisper to keep near-rank-deficient fits finite.
+    let mut g = gram;
+    let scale = (0..g.rows())
+        .map(|i| g[(i, i)].abs())
+        .fold(0.0f64, f64::max);
+    let eps = scale.max(1e-300) * 1e-13;
+    for i in 0..g.rows() {
+        let d = g[(i, i)] + c64::from_real(eps);
+        g[(i, i)] = d;
+    }
+    solve_complex(&g, &rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = CMat::identity(3);
+        let b = vec![c64::new(1.0, 2.0), c64::new(-1.0, 0.5), c64::new(0.0, -3.0)];
+        let x = solve_complex(&a, &b);
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((*xi - *bi).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn solves_known_complex_system() {
+        // a = [[1, i], [-i, 2]]; pick x, compute b = a x, recover x.
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 0)] = c64::ONE;
+        a[(0, 1)] = c64::I;
+        a[(1, 0)] = -c64::I;
+        a[(1, 1)] = c64::from_real(2.0);
+        let x_true = vec![c64::new(1.0, 1.0), c64::new(-2.0, 0.5)];
+        let b = a.matvec(&x_true);
+        let x = solve_complex(&a, &b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 1)] = c64::ONE;
+        a[(1, 0)] = c64::ONE;
+        let b = vec![c64::from_real(3.0), c64::from_real(5.0)];
+        let x = solve_complex(&a, &b);
+        assert!((x[0] - c64::from_real(5.0)).abs() < 1e-14);
+        assert!((x[1] - c64::from_real(3.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn lstsq_exact_on_consistent_tall_system() {
+        let a = CMat::from_fn(5, 2, |i, j| c64::new((i + j) as f64, (i as f64) * 0.3));
+        let x_true = vec![c64::new(0.5, -1.0), c64::new(2.0, 0.25)];
+        let b = a.matvec(&x_true);
+        let x = lstsq_complex(&a, &b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_system_panics() {
+        let a = CMat::zeros(2, 2);
+        let b = vec![c64::ONE, c64::ONE];
+        let _ = solve_complex(&a, &b);
+    }
+}

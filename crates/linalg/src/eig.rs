@@ -1,0 +1,423 @@
+//! Dense eigendecomposition of small real matrices with complex spectra.
+//!
+//! DMD reduces the dynamics to an `r × r` real matrix `Ã` whose eigenvalues
+//! (generally complex-conjugate pairs) are the discrete-time DMD eigenvalues.
+//! We compute them with the classic dense pipeline, done entirely in complex
+//! arithmetic for simplicity (r is small — tens to low hundreds):
+//!
+//! 1. unitary Hessenberg reduction (complex Householder),
+//! 2. shifted QR iteration with Wilkinson shifts and deflation → Schur form
+//!    `A = Z·T·Zᴴ` with `T` upper triangular,
+//! 3. eigenvectors of `T` by back-substitution, rotated back through `Z`.
+
+use crate::cmat::CMat;
+use crate::complex::c64;
+use crate::mat::Mat;
+
+/// An eigendecomposition `A·W = W·diag(λ)`.
+#[derive(Clone, Debug)]
+pub struct Eig {
+    /// Eigenvalues.
+    pub values: Vec<c64>,
+    /// Eigenvectors as columns (unit 2-norm).
+    pub vectors: CMat,
+}
+
+/// Computes eigenvalues and right eigenvectors of a square real matrix.
+///
+/// # Panics
+/// Panics if `a` is not square or the QR iteration fails to converge (which
+/// for Wilkinson-shifted QR with exceptional shifts does not occur in
+/// practice on finite inputs).
+pub fn eig_real(a: &Mat) -> Eig {
+    assert_eq!(a.rows(), a.cols(), "eig requires a square matrix");
+    eig_complex(&CMat::from_real(a))
+}
+
+/// Computes eigenvalues and right eigenvectors of a square complex matrix.
+pub fn eig_complex(a: &CMat) -> Eig {
+    let n = a.rows();
+    assert_eq!(n, a.cols());
+    if n == 0 {
+        return Eig {
+            values: vec![],
+            vectors: CMat::zeros(0, 0),
+        };
+    }
+    if n == 1 {
+        return Eig {
+            values: vec![a[(0, 0)]],
+            vectors: CMat::identity(1),
+        };
+    }
+    let (mut h, mut z) = hessenberg(a);
+    schur_qr(&mut h, &mut z);
+    let values: Vec<c64> = (0..n).map(|i| h[(i, i)]).collect();
+    let vectors = triangular_eigenvectors(&h, &z, &values);
+    Eig { values, vectors }
+}
+
+/// Unitary reduction to upper Hessenberg form: returns `(H, Z)` with
+/// `A = Z·H·Zᴴ` and `H[i][j] = 0` for `i > j+1`.
+fn hessenberg(a: &CMat) -> (CMat, CMat) {
+    let n = a.rows();
+    let mut h = a.clone();
+    let mut z = CMat::identity(n);
+    for k in 0..n.saturating_sub(2) {
+        // Householder vector for column k, rows k+1..n.
+        let mut v: Vec<c64> = (k + 1..n).map(|i| h[(i, k)]).collect();
+        let alpha = vec_norm(&v);
+        if alpha == 0.0 {
+            continue;
+        }
+        // Reflect onto -phase(v0)·alpha·e1 for stability.
+        let phase = if v[0].abs() > 0.0 {
+            v[0] / v[0].abs()
+        } else {
+            c64::ONE
+        };
+        v[0] += phase * alpha;
+        let vnorm = vec_norm(&v);
+        if vnorm == 0.0 {
+            continue;
+        }
+        for x in &mut v {
+            *x = *x / vnorm;
+        }
+        // H ← (I − 2vvᴴ) H, on rows k+1..n.
+        for col in 0..n {
+            let mut dot = c64::ZERO;
+            for (ii, &vi) in v.iter().enumerate() {
+                dot = dot.mul_add(vi.conj(), h[(k + 1 + ii, col)]);
+            }
+            dot = dot * 2.0;
+            for (ii, &vi) in v.iter().enumerate() {
+                let val = h[(k + 1 + ii, col)] - dot * vi;
+                h[(k + 1 + ii, col)] = val;
+            }
+        }
+        // H ← H (I − 2vvᴴ), on columns k+1..n.
+        for row in 0..n {
+            let mut dot = c64::ZERO;
+            for (ii, &vi) in v.iter().enumerate() {
+                dot = dot.mul_add(h[(row, k + 1 + ii)], vi);
+            }
+            dot = dot * 2.0;
+            for (ii, &vi) in v.iter().enumerate() {
+                let val = h[(row, k + 1 + ii)] - dot * vi.conj();
+                h[(row, k + 1 + ii)] = val;
+            }
+        }
+        // Z ← Z (I − 2vvᴴ).
+        for row in 0..n {
+            let mut dot = c64::ZERO;
+            for (ii, &vi) in v.iter().enumerate() {
+                dot = dot.mul_add(z[(row, k + 1 + ii)], vi);
+            }
+            dot = dot * 2.0;
+            for (ii, &vi) in v.iter().enumerate() {
+                let val = z[(row, k + 1 + ii)] - dot * vi.conj();
+                z[(row, k + 1 + ii)] = val;
+            }
+        }
+        // Clean the annihilated entries exactly.
+        for i in k + 2..n {
+            h[(i, k)] = c64::ZERO;
+        }
+        h[(k + 1, k)] = c64::new(-(phase.re * alpha), -(phase.im * alpha));
+    }
+    (h, z)
+}
+
+/// Single-shift QR iteration on a Hessenberg matrix, accumulating the unitary
+/// similarity into `z`. On return `h` is upper triangular (complex Schur form).
+fn schur_qr(h: &mut CMat, z: &mut CMat) {
+    let n = h.rows();
+    let eps = f64::EPSILON;
+    let mut hi = n; // active block is [lo, hi)
+    let mut iters_at_this_size = 0usize;
+    let max_total = 40 * n.max(1);
+    let mut total = 0usize;
+    while hi > 1 {
+        total += 1;
+        assert!(total <= max_total, "QR iteration failed to converge");
+        // Deflate: find lo such that subdiagonals above are negligible.
+        let mut lo = hi - 1;
+        while lo > 0 {
+            let sub = h[(lo, lo - 1)].abs();
+            let scale = h[(lo - 1, lo - 1)].abs() + h[(lo, lo)].abs();
+            if sub <= eps * scale.max(f64::MIN_POSITIVE) {
+                h[(lo, lo - 1)] = c64::ZERO;
+                break;
+            }
+            lo -= 1;
+        }
+        if lo == hi - 1 {
+            // 1×1 block converged.
+            hi -= 1;
+            iters_at_this_size = 0;
+            continue;
+        }
+        iters_at_this_size += 1;
+        // Wilkinson shift from the trailing 2×2 of the active block; an
+        // exceptional shift every 12 stalls breaks rare symmetry cycles.
+        let shift = if iters_at_this_size.is_multiple_of(12) {
+            h[(hi - 1, hi - 2)].abs() * c64::new(0.75, 0.0) + h[(hi - 1, hi - 1)]
+        } else {
+            wilkinson_shift(h, hi)
+        };
+        // Explicit shifted QR step: factor (H − μI) = QR on the active block,
+        // then form RQ + μI. Subtracting/restoring μ only touches the diagonal.
+        for i in lo..hi {
+            let d = h[(i, i)] - shift;
+            h[(i, i)] = d;
+        }
+        let mut rots: Vec<(f64, c64)> = Vec::with_capacity(hi - lo - 1);
+        for k in lo..hi - 1 {
+            let (c, s) = givens(h[(k, k)], h[(k + 1, k)]);
+            rots.push((c, s));
+            apply_givens_left(h, k, k + 1, c, s, lo.saturating_sub(1), h.cols());
+        }
+        for (idx, &(c, s)) in rots.iter().enumerate() {
+            let k = lo + idx;
+            apply_givens_right(h, k, k + 1, c, s, 0, (k + 3).min(hi));
+            apply_givens_right(z, k, k + 1, c, s, 0, z.rows());
+        }
+        for i in lo..hi {
+            let d = h[(i, i)] + shift;
+            h[(i, i)] = d;
+        }
+    }
+    // Zero out the (numerically negligible) subdiagonal dust.
+    for i in 1..n {
+        for j in 0..i {
+            h[(i, j)] = c64::ZERO;
+        }
+    }
+}
+
+/// Eigenvalue of the trailing 2×2 block of the active region closest to the
+/// bottom-right entry.
+fn wilkinson_shift(h: &CMat, hi: usize) -> c64 {
+    let a = h[(hi - 2, hi - 2)];
+    let b = h[(hi - 2, hi - 1)];
+    let c = h[(hi - 1, hi - 2)];
+    let d = h[(hi - 1, hi - 1)];
+    let tr = a + d;
+    let det = a * d - b * c;
+    let disc = (tr * tr - det * 4.0).sqrt();
+    let l1 = (tr + disc) * 0.5;
+    let l2 = (tr - disc) * 0.5;
+    if (l1 - d).abs() <= (l2 - d).abs() {
+        l1
+    } else {
+        l2
+    }
+}
+
+/// Complex Givens rotation: returns `(c, s)` with `c` real so that
+/// `[c s; -s̄ c]·[a; b] = [r; 0]`.
+fn givens(a: c64, b: c64) -> (f64, c64) {
+    if b.abs() == 0.0 {
+        return (1.0, c64::ZERO);
+    }
+    if a.abs() == 0.0 {
+        return (0.0, b.conj() / b.abs());
+    }
+    let norm = (a.norm_sqr() + b.norm_sqr()).sqrt();
+    let alpha = a / a.abs();
+    let c = a.abs() / norm;
+    let s = alpha * b.conj() / norm;
+    (c, s)
+}
+
+/// Applies the rotation to rows `i`, `j` over columns `[c0, c1)`.
+fn apply_givens_left(m: &mut CMat, i: usize, j: usize, c: f64, s: c64, c0: usize, c1: usize) {
+    for col in c0..c1 {
+        let xi = m[(i, col)];
+        let xj = m[(j, col)];
+        m[(i, col)] = xi * c + s * xj;
+        m[(j, col)] = xj * c - s.conj() * xi;
+    }
+}
+
+/// Applies the conjugate-transposed rotation to columns `i`, `j` over rows
+/// `[r0, r1)` (right multiplication by `Gᴴ`).
+fn apply_givens_right(m: &mut CMat, i: usize, j: usize, c: f64, s: c64, r0: usize, r1: usize) {
+    for row in r0..r1 {
+        let xi = m[(row, i)];
+        let xj = m[(row, j)];
+        m[(row, i)] = xi * c + xj * s.conj();
+        m[(row, j)] = xj * c - xi * s;
+    }
+}
+
+/// Computes eigenvectors of the triangular Schur factor by back-substitution
+/// and maps them back through `Z`.
+fn triangular_eigenvectors(t: &CMat, z: &CMat, values: &[c64]) -> CMat {
+    let n = t.rows();
+    let tnorm = t.fro_norm().max(f64::MIN_POSITIVE);
+    let mut vecs = CMat::zeros(n, n);
+    for (k, &lam) in values.iter().enumerate() {
+        let mut y = vec![c64::ZERO; n];
+        y[k] = c64::ONE;
+        for i in (0..k).rev() {
+            let mut s = c64::ZERO;
+            for j in i + 1..=k {
+                s = s.mul_add(t[(i, j)], y[j]);
+            }
+            let mut d = t[(i, i)] - lam;
+            if d.abs() < 1e-300_f64.max(f64::EPSILON * tnorm) {
+                // Defective/repeated eigenvalue: perturb the pivot.
+                d = c64::from_real(f64::EPSILON * tnorm);
+            }
+            y[i] = -s / d;
+        }
+        // x = Z y, normalised.
+        let x = z.matvec(&y);
+        let nrm = x.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+        let x: Vec<c64> = if nrm > 0.0 {
+            x.iter().map(|&v| v / nrm).collect()
+        } else {
+            x
+        };
+        vecs.set_col(k, &x);
+    }
+    vecs
+}
+
+fn vec_norm(v: &[c64]) -> f64 {
+    v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Mat, e: &Eig) -> f64 {
+        // ‖A·W − W·diag(λ)‖_F
+        let aw = CMat::from_real(a).matmul(&e.vectors);
+        let wl = e.vectors.scale_cols(&e.values);
+        aw.sub(&wl).fro_norm()
+    }
+
+    fn sorted_values(e: &Eig) -> Vec<c64> {
+        let mut v = e.values.clone();
+        v.sort_by(|a, b| {
+            b.re.partial_cmp(&a.re)
+                .unwrap()
+                .then(b.im.partial_cmp(&a.im).unwrap())
+        });
+        v
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Mat::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 7.0],
+        ]);
+        let e = eig_real(&a);
+        let vals = sorted_values(&e);
+        assert!((vals[0] - c64::from_real(7.0)).abs() < 1e-12);
+        assert!((vals[1] - c64::from_real(3.0)).abs() < 1e-12);
+        assert!((vals[2] - c64::from_real(-1.0)).abs() < 1e-12);
+        assert!(residual(&a, &e) < 1e-10);
+    }
+
+    #[test]
+    fn rotation_matrix_has_unit_complex_pair() {
+        let th = 0.3f64;
+        let a = Mat::from_rows(&[vec![th.cos(), -th.sin()], vec![th.sin(), th.cos()]]);
+        let e = eig_real(&a);
+        for &l in &e.values {
+            assert!((l.abs() - 1.0).abs() < 1e-12);
+        }
+        let mut ims: Vec<f64> = e.values.iter().map(|l| l.im).collect();
+        ims.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((ims[0] + th.sin()).abs() < 1e-12);
+        assert!((ims[1] - th.sin()).abs() < 1e-12);
+        assert!(residual(&a, &e) < 1e-10);
+    }
+
+    #[test]
+    fn companion_matrix_roots() {
+        // Companion matrix of x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3).
+        let a = Mat::from_rows(&[
+            vec![6.0, -11.0, 6.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+        ]);
+        let e = eig_real(&a);
+        let mut res: Vec<f64> = e.values.iter().map(|l| l.re).collect();
+        res.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((res[0] - 1.0).abs() < 1e-9);
+        assert!((res[1] - 2.0).abs() < 1e-9);
+        assert!((res[2] - 3.0).abs() < 1e-9);
+        assert!(e.values.iter().all(|l| l.im.abs() < 1e-9));
+    }
+
+    #[test]
+    fn random_matrix_residual_small() {
+        // Deterministic pseudo-random 12×12.
+        let a = Mat::from_fn(12, 12, |i, j| {
+            (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 7.0
+        });
+        let e = eig_real(&a);
+        assert!(residual(&a, &e) < 1e-8, "residual {}", residual(&a, &e));
+        // Trace = sum of eigenvalues.
+        let tr: f64 = (0..12).map(|i| a[(i, i)]).sum();
+        let se: c64 = e.values.iter().copied().sum();
+        assert!((se.re - tr).abs() < 1e-8);
+        assert!(se.im.abs() < 1e-8);
+    }
+
+    #[test]
+    fn defective_jordan_block_does_not_panic() {
+        let a = Mat::from_rows(&[vec![2.0, 1.0], vec![0.0, 2.0]]);
+        let e = eig_real(&a);
+        for &l in &e.values {
+            assert!((l - c64::from_real(2.0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn symmetric_matrix_real_spectrum() {
+        let a = Mat::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 2.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let e = eig_real(&a);
+        // Known eigenvalues 2, 2±√2.
+        let mut res: Vec<f64> = e.values.iter().map(|l| l.re).collect();
+        res.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let s2 = 2.0f64.sqrt();
+        assert!((res[0] - (2.0 - s2)).abs() < 1e-10);
+        assert!((res[1] - 2.0).abs() < 1e-10);
+        assert!((res[2] - (2.0 + s2)).abs() < 1e-10);
+        assert!(e.values.iter().all(|l| l.im.abs() < 1e-10));
+    }
+
+    #[test]
+    fn complex_input_eigenvalues() {
+        // diag(i, -i) rotated by a unitary similarity keeps the spectrum.
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 0)] = c64::I;
+        a[(1, 1)] = -c64::I;
+        let e = eig_complex(&a);
+        let mut ims: Vec<f64> = e.values.iter().map(|l| l.im).collect();
+        ims.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((ims[0] + 1.0).abs() < 1e-12 && (ims[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_by_one_and_empty() {
+        let e = eig_real(&Mat::from_rows(&[vec![5.0]]));
+        assert_eq!(e.values.len(), 1);
+        assert!((e.values[0] - c64::from_real(5.0)).abs() < 1e-15);
+        let e0 = eig_real(&Mat::zeros(0, 0));
+        assert!(e0.values.is_empty());
+    }
+}

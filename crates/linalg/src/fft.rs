@@ -1,0 +1,193 @@
+//! Radix-2 FFT and periodogram.
+//!
+//! Not part of the DMD pipeline itself, but the natural cross-check for it:
+//! the suite's tests validate extracted mode frequencies against the Fourier
+//! periodogram of the same window, and the telemetry generators' planted
+//! periodicities are verified spectrally.
+
+use crate::complex::c64;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(buf: &mut [c64]) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -std::f64::consts::TAU / len as f64;
+        let wlen = c64::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = c64::ONE;
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a complex signal (copied).
+pub fn fft(signal: &[c64]) -> Vec<c64> {
+    let mut buf = signal.to_vec();
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Inverse FFT.
+pub fn ifft(spectrum: &[c64]) -> Vec<c64> {
+    let n = spectrum.len();
+    let mut buf: Vec<c64> = spectrum.iter().map(|z| z.conj()).collect();
+    fft_in_place(&mut buf);
+    let scale = 1.0 / n as f64;
+    buf.iter().map(|z| z.conj() * scale).collect()
+}
+
+/// One-sided periodogram of a real signal sampled every `dt` seconds,
+/// zero-padded to the next power of two. Returns `(frequency_hz, power)`
+/// pairs for the positive frequencies, with the mean removed first (the DC
+/// bin would otherwise swamp everything).
+pub fn periodogram(signal: &[f64], dt: f64) -> Vec<(f64, f64)> {
+    assert!(dt > 0.0, "sampling interval must be positive");
+    if signal.len() < 2 {
+        return vec![];
+    }
+    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+    let n = signal.len().next_power_of_two();
+    let mut buf = vec![c64::ZERO; n];
+    for (b, &x) in buf.iter_mut().zip(signal) {
+        *b = c64::from_real(x - mean);
+    }
+    fft_in_place(&mut buf);
+    let df = 1.0 / (n as f64 * dt);
+    (1..n / 2)
+        .map(|k| (k as f64 * df, buf[k].norm_sqr() / n as f64))
+        .collect()
+}
+
+/// Frequency (Hz) of the strongest periodogram peak, or `None` for
+/// degenerate input.
+///
+/// ```
+/// use hpc_linalg::fft::dominant_frequency;
+///
+/// let dt = 0.01; // 100 Hz sampling
+/// let signal: Vec<f64> =
+///     (0..512).map(|k| (std::f64::consts::TAU * 5.0 * k as f64 * dt).sin()).collect();
+/// let f = dominant_frequency(&signal, dt).unwrap();
+/// assert!((f - 5.0).abs() < 0.3);
+/// ```
+pub fn dominant_frequency(signal: &[f64], dt: f64) -> Option<f64> {
+    periodogram(signal, dt)
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .filter(|&(_, p)| p > 0.0)
+        .map(|(f, _)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![c64::ZERO; 8];
+        buf[0] = c64::ONE;
+        fft_in_place(&mut buf);
+        for z in &buf {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let signal: Vec<c64> = (0..64)
+            .map(|k| c64::new((k as f64 * 0.3).sin(), (k as f64 * 0.17).cos()))
+            .collect();
+        let back = ifft(&fft(&signal));
+        for (a, b) in signal.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let signal: Vec<c64> = (0..128)
+            .map(|k| c64::from_real((k as f64 * 0.7).sin()))
+            .collect();
+        let time_energy: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
+        let spec = fft(&signal);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn pure_tone_lands_in_correct_bin() {
+        // 8 cycles over 256 samples → bin 8.
+        let n = 256;
+        let signal: Vec<c64> = (0..n)
+            .map(|k| c64::from_real((std::f64::consts::TAU * 8.0 * k as f64 / n as f64).cos()))
+            .collect();
+        let spec = fft(&signal);
+        let peak = (0..n / 2)
+            .max_by(|&a, &b| spec[a].norm_sqr().partial_cmp(&spec[b].norm_sqr()).unwrap())
+            .unwrap();
+        assert_eq!(peak, 8);
+    }
+
+    #[test]
+    fn dominant_frequency_matches_planted_tone() {
+        let dt = 0.01; // 100 Hz sampling
+        let f0 = 7.0;
+        let signal: Vec<f64> = (0..512)
+            .map(|k| (std::f64::consts::TAU * f0 * k as f64 * dt).sin() + 3.0)
+            .collect();
+        let f = dominant_frequency(&signal, dt).unwrap();
+        assert!((f - f0).abs() < 0.3, "found {f}, planted {f0}");
+    }
+
+    #[test]
+    fn periodogram_removes_dc() {
+        let signal = vec![5.0; 64];
+        let p = periodogram(&signal, 1.0);
+        assert!(p.iter().all(|&(_, pw)| pw < 1e-20));
+    }
+
+    #[test]
+    fn non_power_of_two_input_padded() {
+        let dt = 0.1;
+        let f0 = 1.0;
+        let signal: Vec<f64> = (0..300)
+            .map(|k| (std::f64::consts::TAU * f0 * k as f64 * dt).sin())
+            .collect();
+        let f = dominant_frequency(&signal, dt).unwrap();
+        assert!((f - f0).abs() < 0.1, "found {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_bad_length() {
+        let mut buf = vec![c64::ZERO; 6];
+        fft_in_place(&mut buf);
+    }
+}

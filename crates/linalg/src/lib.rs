@@ -1,0 +1,42 @@
+//! # hpc-linalg
+//!
+//! From-scratch dense linear algebra substrate for the I-mrDMD suite.
+//!
+//! The reference implementation of the paper leans on NumPy/LAPACK; the
+//! sanctioned dependency set here has no linear algebra crate, so this crate
+//! provides exactly the kernels the decomposition pipeline needs:
+//!
+//! - [`Mat`] / [`CMat`]: dense row-major real and complex matrices with
+//!   cache-friendly, thread-parallel products,
+//! - [`mod@qr`]: Householder QR, least squares, and Gram–Schmidt complements,
+//! - [`mod@svd`]: one-sided Jacobi SVD plus a randomized truncated variant,
+//! - [`svht`]: the Gavish–Donoho optimal singular value hard threshold,
+//! - [`eig`]: complex Schur-based eigendecomposition for the projected
+//!   DMD operator,
+//! - [`isvd`]: the Brand/Kühl incremental SVD that makes mrDMD streamable.
+//!
+//! Everything is `f64`; matrices are row-major with rows = sensors and
+//! columns = time points, matching the paper's `P × T` convention.
+
+#![warn(missing_docs)]
+pub mod cmat;
+pub mod complex;
+pub mod csolve;
+pub mod eig;
+pub mod fft;
+pub mod isvd;
+pub mod mat;
+pub mod qr;
+pub mod svd;
+pub mod svht;
+
+pub use cmat::CMat;
+pub use complex::c64;
+pub use csolve::{lstsq_complex, solve_complex};
+pub use eig::{eig_complex, eig_real, Eig};
+pub use fft::{dominant_frequency, fft, fft_in_place, ifft, periodogram};
+pub use isvd::IncrementalSvd;
+pub use mat::Mat;
+pub use qr::{lstsq, orthonormal_complement, qr, solve_upper_triangular, Qr};
+pub use svd::{svd, svd_randomized, svd_truncated, Svd};
+pub use svht::{svht_rank, svht_rank_known_noise};

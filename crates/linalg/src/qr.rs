@@ -1,0 +1,276 @@
+//! Householder QR factorisation and least-squares solves.
+//!
+//! The thin QR (`A = Q·R`, `Q` m×n with orthonormal columns, `R` n×n upper
+//! triangular) underpins the randomized range finder, the incremental-SVD
+//! residual orthogonalisation, and DMD amplitude fitting.
+
+use crate::mat::Mat;
+
+/// Result of a thin QR factorisation.
+pub struct Qr {
+    /// `m × n` factor with orthonormal columns.
+    pub q: Mat,
+    /// `n × n` upper-triangular factor.
+    pub r: Mat,
+}
+
+/// Computes the thin QR factorisation of `a` (`m ≥ n` not required: for wide
+/// matrices `q` is `m × m` and `r` is `m × n`).
+pub fn qr(a: &Mat) -> Qr {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Householder vectors stored column by column; Q accumulated afterwards.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for j in 0..k {
+        // Build the Householder reflector for column j below the diagonal.
+        let mut v: Vec<f64> = (j..m).map(|i| r[(i, j)]).collect();
+        let alpha = norm2(&v);
+        if alpha == 0.0 {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+        v[0] += sign * alpha;
+        let vnorm = norm2(&v);
+        if vnorm == 0.0 {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        for x in &mut v {
+            *x /= vnorm;
+        }
+        // Apply (I - 2vvᵀ) to R[j.., j..].
+        for col in j..n {
+            let mut dot = 0.0;
+            for (ii, &vi) in v.iter().enumerate() {
+                dot += vi * r[(j + ii, col)];
+            }
+            dot *= 2.0;
+            for (ii, &vi) in v.iter().enumerate() {
+                r[(j + ii, col)] -= dot * vi;
+            }
+        }
+        vs.push(v);
+    }
+    // Accumulate thin Q by applying the reflectors to the first k columns of I.
+    let qcols = k;
+    let mut q = Mat::zeros(m, qcols);
+    for j in 0..qcols {
+        q[(j, j)] = 1.0;
+    }
+    for j in (0..vs.len()).rev() {
+        let v = &vs[j];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for col in 0..qcols {
+            let mut dot = 0.0;
+            for (ii, &vi) in v.iter().enumerate() {
+                dot += vi * q[(j + ii, col)];
+            }
+            dot *= 2.0;
+            for (ii, &vi) in v.iter().enumerate() {
+                q[(j + ii, col)] -= dot * vi;
+            }
+        }
+    }
+    // Trim R to k×n and zero the strictly-lower triangle (numerical dust).
+    let mut r_out = Mat::zeros(k, n);
+    for i in 0..k {
+        for j in i..n {
+            r_out[(i, j)] = r[(i, j)];
+        }
+    }
+    Qr { q, r: r_out }
+}
+
+/// Solves the least-squares problem `min ‖a·x − b‖₂` for each column of `b`
+/// via QR. `a` must have full column rank and `m ≥ n`.
+pub fn lstsq(a: &Mat, b: &Mat) -> Mat {
+    assert!(
+        a.rows() >= a.cols(),
+        "lstsq expects a tall (or square) system"
+    );
+    assert_eq!(a.rows(), b.rows());
+    let f = qr(a);
+    let qtb = f.q.t_matmul(b); // n × rhs
+    solve_upper_triangular(&f.r, &qtb)
+}
+
+/// Back-substitution: solves `r·x = b` for upper-triangular `r`.
+///
+/// # Panics
+/// Panics if a diagonal entry is exactly zero.
+pub fn solve_upper_triangular(r: &Mat, b: &Mat) -> Mat {
+    let n = r.rows();
+    assert_eq!(r.cols(), n);
+    assert_eq!(b.rows(), n);
+    let rhs = b.cols();
+    let mut x = b.clone();
+    for i in (0..n).rev() {
+        let d = r[(i, i)];
+        assert!(d != 0.0, "singular triangular system");
+        for col in 0..rhs {
+            let mut s = x[(i, col)];
+            for j in i + 1..n {
+                s -= r[(i, j)] * x[(j, col)];
+            }
+            x[(i, col)] = s / d;
+        }
+    }
+    x
+}
+
+/// Orthonormalises the columns of `a` against the columns of `basis` and then
+/// against each other (modified Gram–Schmidt with one re-orthogonalisation
+/// pass). Returns the orthonormal complement; columns that are numerically in
+/// the span of `basis` are dropped.
+///
+/// This is the residual-expansion step of the incremental SVD: new snapshot
+/// columns are split into their projection onto the current left basis and an
+/// orthonormal remainder.
+pub fn orthonormal_complement(basis: &Mat, a: &Mat, tol: f64) -> Mat {
+    assert_eq!(basis.rows(), a.rows());
+    let m = a.rows();
+    let mut kept: Vec<Vec<f64>> = Vec::new();
+    for j in 0..a.cols() {
+        let mut v = a.col(j);
+        let orig_norm = norm2(&v);
+        if orig_norm <= tol {
+            continue;
+        }
+        // Two Gram-Schmidt passes ("twice is enough" — Kahan/Parlett).
+        for _pass in 0..2 {
+            project_out(basis, &mut v);
+            for u in &kept {
+                let d = dot(u, &v);
+                for (vi, &ui) in v.iter_mut().zip(u) {
+                    *vi -= d * ui;
+                }
+            }
+        }
+        let nrm = norm2(&v);
+        if nrm > tol * orig_norm.max(1.0) {
+            for x in &mut v {
+                *x /= nrm;
+            }
+            kept.push(v);
+        }
+    }
+    let mut out = Mat::zeros(m, kept.len());
+    for (j, v) in kept.iter().enumerate() {
+        out.set_col(j, v);
+    }
+    out
+}
+
+fn project_out(basis: &Mat, v: &mut [f64]) {
+    if basis.cols() == 0 {
+        return;
+    }
+    let coeffs = basis.t_matvec(v); // basisᵀ v
+                                    // v -= basis * coeffs
+    #[allow(clippy::needless_range_loop)] // v and basis rows iterate in lockstep
+    for i in 0..basis.rows() {
+        let row = basis.row(i);
+        let mut s = 0.0;
+        for (&b, &c) in row.iter().zip(&coeffs) {
+            s += b * c;
+        }
+        v[i] -= s;
+    }
+}
+
+pub(crate) fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|&x| x * x).sum::<f64>().sqrt()
+}
+
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orthonormality_error(q: &Mat) -> f64 {
+        let g = q.t_matmul(q);
+        g.sub(&Mat::identity(q.cols())).fro_norm()
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrix() {
+        let a = Mat::from_fn(8, 4, |i, j| ((i * 3 + j * 7) % 13) as f64 - 6.0);
+        let f = qr(&a);
+        assert!(f.q.matmul(&f.r).fro_dist(&a) < 1e-12);
+        assert!(orthonormality_error(&f.q) < 1e-12);
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular() {
+        let a = Mat::from_fn(6, 6, |i, j| (i as f64 + 1.0) * (j as f64 - 2.5));
+        let f = qr(&a);
+        for i in 0..f.r.rows() {
+            for j in 0..i {
+                assert_eq!(f.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_handles_wide_matrix() {
+        let a = Mat::from_fn(3, 7, |i, j| ((i + 2 * j) % 5) as f64 - 2.0);
+        let f = qr(&a);
+        assert_eq!(f.q.shape(), (3, 3));
+        assert_eq!(f.r.shape(), (3, 7));
+        assert!(f.q.matmul(&f.r).fro_dist(&a) < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_solution() {
+        let a = Mat::from_fn(10, 3, |i, j| ((i + 1) as f64).powi(j as i32));
+        let x_true = Mat::from_rows(&[vec![2.0], vec![-1.0], vec![0.5]]);
+        let b = a.matmul(&x_true);
+        let x = lstsq(&a, &b);
+        assert!(x.fro_dist(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_minimises_residual_for_inconsistent_system() {
+        // Overdetermined: best fit of a constant to [0, 1] is 0.5.
+        let a = Mat::from_rows(&[vec![1.0], vec![1.0]]);
+        let b = Mat::from_rows(&[vec![0.0], vec![1.0]]);
+        let x = lstsq(&a, &b);
+        assert!((x[(0, 0)] - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn complement_is_orthogonal_to_basis() {
+        let basis = qr(&Mat::from_fn(6, 2, |i, j| ((i + j) % 3) as f64 + 0.1)).q;
+        let a = Mat::from_fn(6, 3, |i, j| ((i * j + 1) % 7) as f64 - 3.0);
+        let c = orthonormal_complement(&basis, &a, 1e-12);
+        assert!(c.cols() >= 1);
+        let cross = basis.t_matmul(&c);
+        assert!(cross.fro_norm() < 1e-10);
+        assert!(orthonormality_error(&c) < 1e-10);
+    }
+
+    #[test]
+    fn complement_drops_spanned_columns() {
+        let basis = qr(&Mat::from_fn(5, 2, |i, j| if i == j { 1.0 } else { 0.0 })).q;
+        // Columns that live entirely in the basis span.
+        let a = basis.matmul(&Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, -1.0]]));
+        let c = orthonormal_complement(&basis, &a, 1e-10);
+        assert_eq!(c.cols(), 0);
+    }
+
+    #[test]
+    fn qr_of_rank_deficient_matrix_does_not_panic() {
+        // Two identical columns.
+        let a = Mat::from_fn(5, 2, |i, _| i as f64);
+        let f = qr(&a);
+        assert!(f.q.matmul(&f.r).fro_dist(&a) < 1e-12);
+    }
+}

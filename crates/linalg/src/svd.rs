@@ -1,0 +1,357 @@
+//! Singular value decomposition: one-sided Jacobi (robust, dependency-free)
+//! and a randomized truncated variant for the large snapshot matrices.
+//!
+//! The DMD pipeline only ever needs a *truncated* SVD (the rank comes from the
+//! Gavish–Donoho hard threshold or a user cap), so the randomized range-finder
+//! path (Halko–Martinsson–Tropp) is the hot one; the Jacobi path is the exact
+//! fallback and the inner solver for the small projected problems.
+
+use crate::mat::Mat;
+use crate::qr::qr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A (possibly truncated) singular value decomposition `A ≈ U·diag(s)·Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// `m × r` left singular vectors (orthonormal columns).
+    pub u: Mat,
+    /// `r` singular values, non-increasing.
+    pub s: Vec<f64>,
+    /// `n × r` right singular vectors (orthonormal columns; **not** transposed).
+    pub v: Mat,
+}
+
+impl Svd {
+    /// Current rank (number of retained singular triplets).
+    pub fn rank(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Truncates to the leading `r` triplets (no-op if already ≤ r).
+    pub fn truncate(&self, r: usize) -> Svd {
+        let r = r.min(self.rank());
+        Svd {
+            u: self.u.cols_range(0, r),
+            s: self.s[..r].to_vec(),
+            v: self.v.cols_range(0, r),
+        }
+    }
+
+    /// Reassembles `U·diag(s)·Vᵀ`.
+    pub fn reconstruct(&self) -> Mat {
+        let us = scale_cols(&self.u, &self.s);
+        us.matmul(&self.v.transpose())
+    }
+
+    /// Moore–Penrose pseudoinverse `V·diag(1/s)·Uᵀ`, dropping singular values
+    /// below `rcond · s₀`.
+    pub fn pinv(&self, rcond: f64) -> Mat {
+        let s0 = self.s.first().copied().unwrap_or(0.0);
+        let inv: Vec<f64> = self
+            .s
+            .iter()
+            .map(|&x| {
+                if x > rcond * s0 && x > 0.0 {
+                    1.0 / x
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let vs = scale_cols(&self.v, &inv);
+        vs.matmul(&self.u.transpose())
+    }
+
+    /// Numerical rank at relative tolerance `tol` (fraction of s₀).
+    pub fn numerical_rank(&self, tol: f64) -> usize {
+        let s0 = self.s.first().copied().unwrap_or(0.0);
+        self.s.iter().take_while(|&&x| x > tol * s0).count()
+    }
+}
+
+/// Scales column `j` of `m` by `d[j]`.
+pub(crate) fn scale_cols(m: &Mat, d: &[f64]) -> Mat {
+    assert_eq!(m.cols(), d.len());
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        for (x, &s) in out.row_mut(i).iter_mut().zip(d) {
+            *x *= s;
+        }
+    }
+    out
+}
+
+/// Full SVD via one-sided Jacobi. Exact to machine precision but `O(mn²)` per
+/// sweep; intended for matrices up to a few thousand on a side.
+pub fn svd(a: &Mat) -> Svd {
+    if a.rows() >= a.cols() {
+        jacobi_svd_tall(a)
+    } else {
+        // Aᵀ = U'ΣV'ᵀ  ⇒  A = V'ΣU'ᵀ.
+        let t = jacobi_svd_tall(&a.transpose());
+        Svd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+        }
+    }
+}
+
+/// One-sided Jacobi on a tall (m ≥ n) matrix.
+fn jacobi_svd_tall(a: &Mat) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n);
+    // Work on Aᵀ so each A-column is a contiguous row.
+    let mut w = a.transpose(); // n × m
+    let mut vt = Mat::identity(n); // row j = column j of V
+    let tol = 1e-14;
+    let max_sweeps = 60;
+    for _sweep in 0..max_sweeps {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (app, aqq, apq) = {
+                    let wp = w.row(p);
+                    let wq = w.row(q);
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for (&x, &y) in wp.iter().zip(wq) {
+                        app += x * x;
+                        aqq += y * y;
+                        apq += x * y;
+                    }
+                    (app, aqq, apq)
+                };
+                if apq.abs() <= tol * (app * aqq).sqrt() || app == 0.0 || aqq == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                let zeta = (aqq - app) / (2.0 * apq);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let cs = 1.0 / (1.0 + t * t).sqrt();
+                let sn = cs * t;
+                rotate_rows(&mut w, p, q, cs, sn);
+                rotate_rows(&mut vt, p, q, cs, sn);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+    // Extract singular values and left vectors; sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|j| w.row(j).iter().map(|&x| x * x).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+    let mut u = Mat::zeros(m, n);
+    let mut v = Mat::zeros(n, n);
+    let mut s = Vec::with_capacity(n);
+    for (k, &j) in order.iter().enumerate() {
+        let nrm = norms[j];
+        s.push(nrm);
+        if nrm > 0.0 {
+            let wrow = w.row(j);
+            for i in 0..m {
+                u[(i, k)] = wrow[i] / nrm;
+            }
+        }
+        let vrow = vt.row(j);
+        for i in 0..n {
+            v[(i, k)] = vrow[i];
+        }
+    }
+    Svd { u, s, v }
+}
+
+/// Applies the Givens-like rotation to rows p and q:
+/// `row_p ← cs·row_p − sn·row_q`, `row_q ← sn·row_p + cs·row_q`.
+fn rotate_rows(w: &mut Mat, p: usize, q: usize, cs: f64, sn: f64) {
+    let cols = w.cols();
+    let data = w.as_mut_slice();
+    let (lo, hi) = if p < q { (p, q) } else { (q, p) };
+    let (head, tail) = data.split_at_mut(hi * cols);
+    let row_lo = &mut head[lo * cols..(lo + 1) * cols];
+    let row_hi = &mut tail[..cols];
+    let (rp, rq): (&mut [f64], &mut [f64]) = if p < q {
+        (row_lo, row_hi)
+    } else {
+        (row_hi, row_lo)
+    };
+    for (x, y) in rp.iter_mut().zip(rq.iter_mut()) {
+        let xp = *x;
+        let yq = *y;
+        *x = cs * xp - sn * yq;
+        *y = sn * xp + cs * yq;
+    }
+}
+
+/// Randomized truncated SVD of rank ≤ `rank` (Halko et al. 2011) with
+/// `oversample` extra probe vectors and `power_iters` subspace iterations.
+///
+/// Deterministic for a fixed `seed`, which keeps the incremental-vs-batch
+/// equivalence tests reproducible.
+pub fn svd_randomized(
+    a: &Mat,
+    rank: usize,
+    oversample: usize,
+    power_iters: usize,
+    seed: u64,
+) -> Svd {
+    let (m, n) = a.shape();
+    let k = rank.min(m.min(n));
+    let l = (k + oversample).min(m.min(n));
+    if l == 0 {
+        return Svd {
+            u: Mat::zeros(m, 0),
+            s: vec![],
+            v: Mat::zeros(n, 0),
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Gaussian probe Ω (n × l).
+    let omega = Mat::from_fn(n, l, |_, _| gaussian(&mut rng));
+    let mut q = qr(&a.matmul(&omega)).q; // m × l
+    for _ in 0..power_iters {
+        let z = a.t_matmul(&q); // n × l
+        let qz = qr(&z).q;
+        q = qr(&a.matmul(&qz)).q;
+    }
+    // Project: B = Qᵀ A  (l × n); exact SVD of small B.
+    let b = q.t_matmul(a);
+    let sb = svd(&b);
+    let u = q.matmul(&sb.u);
+    Svd {
+        u,
+        s: sb.s,
+        v: sb.v,
+    }
+    .truncate(k)
+}
+
+/// Truncated SVD that picks the cheapest correct algorithm: exact Jacobi when
+/// the target rank is a large fraction of the matrix, randomized otherwise.
+pub fn svd_truncated(a: &Mat, rank: usize) -> Svd {
+    let min_dim = a.rows().min(a.cols());
+    let rank = rank.min(min_dim);
+    // Randomized pays off once the requested rank is well under the ambient
+    // dimension; the 2× guard keeps the oversampled probe within bounds.
+    if rank + 10 < min_dim / 2 && min_dim > 64 {
+        svd_randomized(a, rank, 8, 2, 0x5eed_cafe)
+    } else {
+        svd(a).truncate(rank)
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    // Box–Muller; two uniforms → one normal (the partner is discarded, which
+    // is fine at this call volume).
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orthonormality_error(q: &Mat) -> f64 {
+        q.t_matmul(q).sub(&Mat::identity(q.cols())).fro_norm()
+    }
+
+    #[test]
+    fn svd_reconstructs_tall() {
+        let a = Mat::from_fn(9, 4, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0);
+        let f = svd(&a);
+        assert!(f.reconstruct().fro_dist(&a) < 1e-10);
+        assert!(orthonormality_error(&f.u) < 1e-10);
+        assert!(orthonormality_error(&f.v) < 1e-10);
+    }
+
+    #[test]
+    fn svd_reconstructs_wide() {
+        let a = Mat::from_fn(3, 8, |i, j| (i as f64 + 1.0).sin() * (j as f64 + 0.5));
+        let f = svd(&a);
+        assert!(f.reconstruct().fro_dist(&a) < 1e-10);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_match_known_case() {
+        // diag(3, 1) embedded in a rotation-free matrix.
+        let a = Mat::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]]);
+        let f = svd(&a);
+        assert!((f.s[0] - 3.0).abs() < 1e-12);
+        assert!((f.s[1] - 1.0).abs() < 1e-12);
+        assert!(f.s.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn rank_one_matrix_detected() {
+        let a = Mat::from_fn(6, 5, |i, j| (i as f64 + 1.0) * (j as f64 + 1.0));
+        let f = svd(&a);
+        assert_eq!(f.numerical_rank(1e-10), 1);
+    }
+
+    #[test]
+    fn pinv_solves_consistent_system() {
+        let a = Mat::from_fn(5, 3, |i, j| {
+            ((i + 1) * (j + 2)) as f64 + if i == j { 5.0 } else { 0.0 }
+        });
+        let x_true = Mat::from_rows(&[vec![1.0], vec![-2.0], vec![0.5]]);
+        let b = a.matmul(&x_true);
+        let x = svd(&a).pinv(1e-12).matmul(&b);
+        assert!(x.fro_dist(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn randomized_matches_exact_on_low_rank() {
+        // Rank-3 matrix, 80×70.
+        let u = Mat::from_fn(80, 3, |i, j| ((i * (j + 1)) as f64 * 0.1).sin());
+        let v = Mat::from_fn(70, 3, |i, j| ((i + j * j) as f64 * 0.07).cos());
+        let a = u.matmul(&v.transpose());
+        let exact = svd(&a);
+        let rnd = svd_randomized(&a, 3, 8, 2, 42);
+        for k in 0..3 {
+            assert!(
+                (exact.s[k] - rnd.s[k]).abs() < 1e-8 * exact.s[0].max(1.0),
+                "σ_{k}: {} vs {}",
+                exact.s[k],
+                rnd.s[k]
+            );
+        }
+        assert!(rnd.reconstruct().fro_dist(&a) < 1e-7 * a.fro_norm());
+    }
+
+    #[test]
+    fn truncated_svd_is_best_low_rank_approx() {
+        let a = Mat::from_fn(20, 15, |i, j| 1.0 / (1.0 + (i + j) as f64)); // Hilbert-ish, fast decay
+        let f = svd(&a);
+        let t = f.truncate(3);
+        // Eckart–Young: truncation error equals the tail singular values.
+        let err = t.reconstruct().fro_dist(&a);
+        let tail: f64 = f.s[3..].iter().map(|&x| x * x).sum::<f64>().sqrt();
+        assert!((err - tail).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix_svd() {
+        let a = Mat::zeros(4, 3);
+        let f = svd(&a);
+        assert!(f.s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn svd_truncated_dispatches_consistently() {
+        let a = Mat::from_fn(100, 90, |i, j| {
+            ((i as f64 - j as f64) * 0.05).exp() / (1.0 + i as f64)
+        });
+        let t1 = svd_truncated(&a, 5);
+        let exact = svd(&a).truncate(5);
+        for k in 0..5 {
+            assert!((t1.s[k] - exact.s[k]).abs() < 1e-6 * exact.s[0]);
+        }
+    }
+}

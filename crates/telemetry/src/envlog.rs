@@ -1,0 +1,720 @@
+//! Synthetic environment-log / GPU-metric generator.
+//!
+//! Substitutes for the paper's proprietary Theta environment logs and Polaris
+//! DCGM streams. Every reading is a *pure function* of
+//! `(seed, series, step)`, so any sub-range of the timeline can be generated
+//! independently and streaming chunk boundaries cannot change the data — the
+//! property the incremental-vs-batch equivalence tests rely on.
+//!
+//! The signal model layers the multiscale structure that makes mrDMD
+//! interesting:
+//!
+//! - a slow facility-level thermal wave (hours),
+//! - a per-rack cooling oscillation (tens of minutes),
+//! - job-induced heat: ramp-up/cool-down envelopes with per-job workload
+//!   oscillations (minutes) on allocated nodes,
+//! - profile-specific fast structure (the GPU profile adds burst harmonics,
+//!   which is why it yields more modes — matching the paper's observation),
+//! - injected anomalies (overheat ramps, stalls, fan degradation),
+//! - white sensor noise.
+
+use crate::joblog::JobLog;
+use crate::machine::MachineSpec;
+use hpc_linalg::Mat;
+use serde::{Deserialize, Serialize};
+
+/// Which telemetry flavour to synthesise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Profile {
+    /// Supercomputer environment log (Theta-style; the paper's "SC Log"
+    /// dataset). Channels cycle through the multifidelity sensor kinds the
+    /// paper lists — temperatures, voltages, fan speeds.
+    ScLog,
+    /// GPU metrics (Polaris-style per-GPU temperatures; richer fast
+    /// dynamics → more extracted modes).
+    GpuMetrics,
+}
+
+/// Physical sensor category of one telemetry channel.
+///
+/// The paper's environment logs are multifidelity: "voltages, current,
+/// temperatures (water/air/CPU), and fan speeds". Every kind is derived from
+/// the node's thermal state, so the cross-channel correlations are physical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// Node temperature in °C (the case studies' analysis target).
+    Temperature,
+    /// Supply voltage in V (droops slightly under thermal load).
+    Voltage,
+    /// Cooling fan speed in RPM (tracks temperature).
+    FanSpeed,
+    /// Node power draw in W.
+    Power,
+}
+
+/// An injected fault with ground truth, driving both the environment signal
+/// and the correlated hardware log.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Anomaly {
+    /// Node runs `delta` °C hot over `[start, end)` (ramped at both edges).
+    Overheat {
+        /// Affected node.
+        node: usize,
+        /// First hot snapshot.
+        start: usize,
+        /// First snapshot after recovery.
+        end: usize,
+        /// Peak temperature excess in °C.
+        delta: f64,
+    },
+    /// Node stops doing work over `[start, end)`: job heat vanishes and the
+    /// temperature sags below idle.
+    Stall {
+        /// Affected node.
+        node: usize,
+        /// First stalled snapshot.
+        start: usize,
+        /// First recovered snapshot.
+        end: usize,
+    },
+    /// Cooling slowly degrades from `start` onward.
+    FanDegradation {
+        /// Affected node.
+        node: usize,
+        /// Onset snapshot.
+        start: usize,
+        /// Added °C per snapshot (small).
+        slope: f64,
+    },
+}
+
+impl Anomaly {
+    /// The node this anomaly affects.
+    pub fn node(&self) -> usize {
+        match *self {
+            Anomaly::Overheat { node, .. }
+            | Anomaly::Stall { node, .. }
+            | Anomaly::FanDegradation { node, .. } => node,
+        }
+    }
+}
+
+/// A fully specified telemetry scenario: machine, jobs, anomalies, and the
+/// deterministic signal generator.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    machine: MachineSpec,
+    profile: Profile,
+    seed: u64,
+    noise_sigma: f64,
+    jobs: JobLog,
+    anomalies: Vec<Anomaly>,
+    /// Anomaly indices per node, for O(1) lookup in the hot path.
+    node_anomalies: Vec<Vec<u32>>,
+}
+
+impl Scenario {
+    /// Builds a scenario with explicit jobs and anomalies.
+    pub fn new(
+        machine: MachineSpec,
+        profile: Profile,
+        seed: u64,
+        jobs: JobLog,
+        anomalies: Vec<Anomaly>,
+    ) -> Scenario {
+        let mut node_anomalies = vec![Vec::new(); machine.n_nodes];
+        for (k, a) in anomalies.iter().enumerate() {
+            if a.node() < machine.n_nodes {
+                node_anomalies[a.node()].push(k as u32);
+            }
+        }
+        let noise_sigma = match profile {
+            Profile::ScLog => 0.35,
+            Profile::GpuMetrics => 0.6,
+        };
+        Scenario {
+            machine,
+            profile,
+            seed,
+            noise_sigma,
+            jobs,
+            anomalies,
+            node_anomalies,
+        }
+    }
+
+    /// Standard SC-log scenario: synthesised jobs plus a small set of
+    /// auto-injected anomalies scattered over `total_steps`.
+    ///
+    /// ```
+    /// use hpc_telemetry::{theta, Scenario};
+    ///
+    /// let scenario = Scenario::sc_log(theta().scaled(8), 200, 7);
+    /// let batch = scenario.generate(0, 100);
+    /// // Deterministic and chunk-independent.
+    /// assert_eq!(batch.cols_range(50, 100), scenario.generate(50, 100));
+    /// ```
+    pub fn sc_log(machine: MachineSpec, total_steps: usize, seed: u64) -> Scenario {
+        let n_nodes = machine.n_nodes;
+        let jobs = JobLog::synthesize(n_nodes, total_steps, (n_nodes / 48).clamp(4, 40), seed);
+        let anomalies = auto_anomalies(n_nodes, total_steps, seed);
+        Scenario::new(machine, Profile::ScLog, seed, jobs, anomalies)
+    }
+
+    /// Standard GPU-metrics scenario.
+    pub fn gpu_metrics(machine: MachineSpec, total_steps: usize, seed: u64) -> Scenario {
+        let n_nodes = machine.n_nodes;
+        let jobs = JobLog::synthesize(n_nodes, total_steps, (n_nodes / 24).clamp(6, 60), seed);
+        let anomalies = auto_anomalies(n_nodes, total_steps, seed.wrapping_add(1));
+        Scenario::new(machine, Profile::GpuMetrics, seed, jobs, anomalies)
+    }
+
+    /// The machine model.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// The telemetry profile.
+    pub fn profile(&self) -> Profile {
+        self.profile
+    }
+
+    /// Snapshot spacing in seconds.
+    pub fn dt(&self) -> f64 {
+        self.machine.sample_interval_s
+    }
+
+    /// Number of telemetry series (matrix rows).
+    pub fn n_series(&self) -> usize {
+        self.machine.n_series()
+    }
+
+    /// The job log driving the scenario.
+    pub fn job_log(&self) -> &JobLog {
+        &self.jobs
+    }
+
+    /// The injected anomalies (ground truth).
+    pub fn anomalies(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+
+    /// Physical kind of a channel: the SC-log profile cycles through
+    /// temperature, temperature, voltage, fan speed (then power, then
+    /// repeats for wider layouts); GPU metrics are all temperatures.
+    pub fn kind_of_channel(&self, channel: usize) -> SensorKind {
+        match self.profile {
+            Profile::GpuMetrics => SensorKind::Temperature,
+            Profile::ScLog => match channel % 5 {
+                0 | 1 => SensorKind::Temperature,
+                2 => SensorKind::Voltage,
+                3 => SensorKind::FanSpeed,
+                _ => SensorKind::Power,
+            },
+        }
+    }
+
+    /// Kind of a full series index.
+    pub fn kind_of_series(&self, series: usize) -> SensorKind {
+        self.kind_of_channel(series % self.machine.series_per_node)
+    }
+
+    /// Series indices of one kind among the given nodes' channels.
+    pub fn series_of_kind(&self, kind: SensorKind) -> Vec<usize> {
+        (0..self.n_series())
+            .filter(|&s| self.kind_of_series(s) == kind)
+            .collect()
+    }
+
+    /// The reading of telemetry series `series` at snapshot `step` —
+    /// deterministic in `(seed, series, step)`.
+    pub fn value(&self, series: usize, step: usize) -> f64 {
+        let spn = self.machine.series_per_node;
+        let node = series / spn;
+        let channel = series % spn;
+        let rack = self.machine.layout.rack_of(node);
+        let t = step as f64 * self.dt();
+        let tau = std::f64::consts::TAU;
+
+        // Static offsets: node-specific bias plus channel spread.
+        let node_bias = 3.0 * (unit_hash(self.seed, node as u64, 0xB1A5) - 0.5) * 2.0;
+        let (base, slow_amp, slow_period, rack_amp, rack_period) = match self.profile {
+            Profile::ScLog => (42.0, 3.0, 7200.0, 1.2, 1800.0),
+            Profile::GpuMetrics => (40.0, 2.0, 3600.0, 1.0, 600.0),
+        };
+        let mut v = base + node_bias + channel as f64 * 0.8;
+
+        // Facility-level slow wave, phase-shifted per rack row.
+        let rack_phase = rack as f64 * 0.35;
+        v += slow_amp * (tau * t / slow_period + rack_phase).sin();
+        // Rack cooling oscillation.
+        v += rack_amp * (tau * t / rack_period + rack as f64 * 0.7).sin();
+
+        // Whether a stall suppresses job heat at this step.
+        let stalled = self.node_anomalies[node].iter().any(|&k| {
+            matches!(self.anomalies[k as usize],
+                Anomaly::Stall { start, end, .. } if step >= start && step < end)
+        });
+
+        // Job-induced heat with ramp-up and cool-down envelopes.
+        if !stalled {
+            for job in self.jobs.jobs_on_node(node) {
+                let start_t = job.start_step as f64 * self.dt();
+                let end_t = job.end_step as f64 * self.dt();
+                if t < start_t {
+                    continue;
+                }
+                let envelope = if t < end_t {
+                    1.0 - (-(t - start_t) / 120.0).exp()
+                } else {
+                    (-(t - end_t) / 180.0).exp()
+                };
+                if envelope < 1e-3 {
+                    continue;
+                }
+                let job_phase = job.id as f64 * 1.7;
+                let mut heat = job.intensity
+                    * envelope
+                    * (1.0 + 0.35 * (tau * t / job.period_s + job_phase).sin());
+                if self.profile == Profile::GpuMetrics {
+                    // Per-GPU burst harmonics: each channel (GPU) gets extra
+                    // mid-frequency content, the source of the larger mode
+                    // counts the paper reports for GPU metrics.
+                    let g = channel as f64;
+                    heat += 0.35
+                        * job.intensity
+                        * (tau * t / (job.period_s / 3.0) + g * 1.3 + job_phase).sin();
+                    let burst = (tau * t / (job.period_s * 0.37) + g * 0.9).sin().max(0.0);
+                    heat += 0.25 * job.intensity * burst * burst * burst;
+                }
+                v += heat;
+            }
+        } else {
+            // Stalled node sags below idle.
+            v -= 4.0;
+        }
+
+        // Anomalies.
+        for &k in &self.node_anomalies[node] {
+            match self.anomalies[k as usize] {
+                Anomaly::Overheat {
+                    start, end, delta, ..
+                } => {
+                    v += delta * trapezoid(step, start, end, ((end - start) / 8).max(1));
+                }
+                Anomaly::FanDegradation { start, slope, .. } => {
+                    if step > start {
+                        v += slope * (step - start) as f64;
+                    }
+                }
+                Anomaly::Stall { .. } => {}
+            }
+        }
+
+        // `v` is the node's thermal state in °C; derive the channel's
+        // physical reading from it, with kind-appropriate noise floors.
+        let noise = gauss_hash(self.seed, series as u64, step as u64);
+        match self.kind_of_channel(channel) {
+            SensorKind::Temperature => v + self.noise_sigma * noise,
+            // Voltage droops ~4 mV/°C of thermal load above the idle point.
+            SensorKind::Voltage => 12.0 - 0.004 * (v - base) + 0.02 * noise,
+            // Fan controller tracks temperature: ~90 RPM/°C above 30 °C.
+            SensorKind::FanSpeed => (5000.0 + 90.0 * (v - 30.0) + 40.0 * noise).max(1500.0),
+            // Power follows thermal load at ~6 W/°C above 30 °C idle.
+            SensorKind::Power => (180.0 + 6.0 * (v - 30.0) + 5.0 * noise).max(60.0),
+        }
+    }
+
+    /// Generates the full snapshot matrix for steps `[t0, t1)`
+    /// (`n_series × (t1−t0)`), parallelised over rows.
+    pub fn generate(&self, t0: usize, t1: usize) -> Mat {
+        let rows: Vec<usize> = (0..self.n_series()).collect();
+        self.generate_rows(&rows, t0, t1)
+    }
+
+    /// Generates only the given series (rows), for steps `[t0, t1)`.
+    pub fn generate_rows(&self, rows: &[usize], t0: usize, t1: usize) -> Mat {
+        assert!(t0 <= t1);
+        let w = t1 - t0;
+        let mut out = Mat::zeros(rows.len(), w);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let work = rows.len().saturating_mul(w);
+        if threads <= 1 || work < 1 << 16 {
+            for (r, &series) in rows.iter().enumerate() {
+                let dst = out.row_mut(r);
+                for (c, x) in dst.iter_mut().enumerate() {
+                    *x = self.value(series, t0 + c);
+                }
+            }
+            return out;
+        }
+        let chunk = rows.len().div_ceil(threads);
+        let slices: Vec<(usize, &mut [f64])> = out
+            .as_mut_slice()
+            .chunks_mut(chunk * w)
+            .enumerate()
+            .map(|(ci, s)| (ci * chunk, s))
+            .collect();
+        std::thread::scope(|scope| {
+            for (r0, dst) in slices {
+                scope.spawn(move || {
+                    for (k, row) in dst.chunks_mut(w).enumerate() {
+                        let series = rows[r0 + k];
+                        for (c, x) in row.iter_mut().enumerate() {
+                            *x = self.value(series, t0 + c);
+                        }
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Mean reading of each rack's temperature channels over `[t0, t1)` —
+    /// the aggregation behind rack-level digests and dashboards.
+    pub fn rack_means(&self, t0: usize, t1: usize) -> Vec<f64> {
+        let n_racks = self.machine.layout.total_racks();
+        let mut out = Vec::with_capacity(n_racks);
+        for rack in 0..n_racks {
+            let nodes: Vec<usize> = self.machine.nodes_in_rack(rack).collect();
+            if nodes.is_empty() {
+                out.push(f64::NAN);
+                continue;
+            }
+            let rows: Vec<usize> = self
+                .series_of_nodes(&nodes)
+                .into_iter()
+                .filter(|&r| self.kind_of_series(r) == SensorKind::Temperature)
+                .collect();
+            if rows.is_empty() {
+                out.push(f64::NAN);
+                continue;
+            }
+            let m = self.generate_rows(&rows, t0, t1);
+            out.push(m.mean());
+        }
+        out
+    }
+
+    /// Series indices belonging to the given nodes (all channels).
+    pub fn series_of_nodes(&self, nodes: &[usize]) -> Vec<usize> {
+        let spn = self.machine.series_per_node;
+        nodes
+            .iter()
+            .flat_map(|&n| (n * spn)..(n * spn + spn))
+            .collect()
+    }
+}
+
+/// Piecewise-linear ramp up / plateau / ramp down over `[start, end)`.
+fn trapezoid(step: usize, start: usize, end: usize, ramp: usize) -> f64 {
+    if step < start || step >= end {
+        return 0.0;
+    }
+    let up = (step - start) as f64 / ramp as f64;
+    let down = (end - step) as f64 / ramp as f64;
+    up.min(down).min(1.0)
+}
+
+/// SplitMix64-style avalanche over `(seed, a, b)` → uniform in [0, 1).
+fn unit_hash(seed: u64, a: u64, b: u64) -> f64 {
+    let mut h = seed
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(a.wrapping_mul(0xbf58476d1ce4e5b9))
+        .wrapping_add(b.wrapping_mul(0x94d049bb133111eb));
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard normal via Box–Muller on two hash uniforms.
+fn gauss_hash(seed: u64, a: u64, b: u64) -> f64 {
+    let u1 = unit_hash(seed, a, b.wrapping_mul(2)).max(1e-12);
+    let u2 = unit_hash(seed, a, b.wrapping_mul(2) + 1);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Scatters a default anomaly set over the timeline: one overheat, one
+/// stall, one fan degradation per ~200 nodes (at least one of each).
+fn auto_anomalies(n_nodes: usize, total_steps: usize, seed: u64) -> Vec<Anomaly> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA11F_AB1E);
+    let groups = (n_nodes / 200).max(1);
+    let mut out = Vec::new();
+    for _ in 0..groups {
+        let node = rng.random_range(0..n_nodes);
+        let start = rng.random_range(0..(total_steps / 2).max(1));
+        let dur = rng.random_range((total_steps / 10).max(2)..(total_steps / 3).max(3));
+        out.push(Anomaly::Overheat {
+            node,
+            start,
+            end: (start + dur).min(total_steps),
+            delta: rng.random_range(8.0..15.0),
+        });
+        let node = rng.random_range(0..n_nodes);
+        let start = rng.random_range(0..(total_steps / 2).max(1));
+        let dur = rng.random_range((total_steps / 10).max(2)..(total_steps / 3).max(3));
+        out.push(Anomaly::Stall {
+            node,
+            start,
+            end: (start + dur).min(total_steps),
+        });
+        let node = rng.random_range(0..n_nodes);
+        out.push(Anomaly::FanDegradation {
+            node,
+            start: rng.random_range(0..(total_steps * 2 / 3).max(1)),
+            slope: rng.random_range(0.002..0.01),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::theta;
+
+    fn small_scenario() -> Scenario {
+        Scenario::sc_log(theta().scaled(32), 1000, 42)
+    }
+
+    #[test]
+    fn values_are_deterministic_and_chunk_independent() {
+        let s = small_scenario();
+        let full = s.generate(0, 200);
+        let left = s.generate(0, 120);
+        let right = s.generate(120, 200);
+        assert_eq!(full.cols_range(0, 120), left);
+        assert_eq!(full.cols_range(120, 200), right);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Scenario::sc_log(theta().scaled(8), 100, 1).generate(0, 50);
+        let b = Scenario::sc_log(theta().scaled(8), 100, 2).generate(0, 50);
+        assert!(a.fro_dist(&b) > 1.0);
+    }
+
+    #[test]
+    fn readings_in_physical_range_per_kind() {
+        let s = small_scenario();
+        let m = s.generate(0, 500);
+        for row in 0..m.rows() {
+            let kind = s.kind_of_series(row);
+            for &x in m.row(row) {
+                let ok = match kind {
+                    SensorKind::Temperature => (0.0..140.0).contains(&x),
+                    SensorKind::Voltage => (10.0..13.0).contains(&x),
+                    SensorKind::FanSpeed => (1500.0..20_000.0).contains(&x),
+                    SensorKind::Power => (60.0..1500.0).contains(&x),
+                };
+                assert!(ok, "{kind:?} reading {x} outside physical range");
+            }
+        }
+    }
+
+    #[test]
+    fn channel_kinds_cycle_for_sc_log() {
+        let s = small_scenario();
+        assert_eq!(s.kind_of_channel(0), SensorKind::Temperature);
+        assert_eq!(s.kind_of_channel(1), SensorKind::Temperature);
+        assert_eq!(s.kind_of_channel(2), SensorKind::Voltage);
+        assert_eq!(s.kind_of_channel(3), SensorKind::FanSpeed);
+        assert_eq!(s.kind_of_channel(4), SensorKind::Power);
+        // GPU metrics are all temperatures.
+        let g = Scenario::gpu_metrics(crate::machine::polaris().scaled(4), 100, 1);
+        for c in 0..4 {
+            assert_eq!(g.kind_of_channel(c), SensorKind::Temperature);
+        }
+    }
+
+    #[test]
+    fn fan_tracks_temperature_and_voltage_droops() {
+        let machine = theta().scaled(8);
+        let jobs = JobLog::new(vec![], 8);
+        let anomaly = Anomaly::Overheat {
+            node: 0,
+            start: 100,
+            end: 500,
+            delta: 15.0,
+        };
+        let s = Scenario::new(machine, Profile::ScLog, 3, jobs, vec![anomaly]);
+        // Node 0 channels: 0 temp, 1 temp, 2 voltage, 3 fan.
+        let before_fan = s.generate_rows(&[3], 0, 80).mean();
+        let during_fan = s.generate_rows(&[3], 200, 400).mean();
+        assert!(
+            during_fan > before_fan + 500.0,
+            "fan {before_fan} → {during_fan}"
+        );
+        let before_v = s.generate_rows(&[2], 0, 80).mean();
+        let during_v = s.generate_rows(&[2], 200, 400).mean();
+        assert!(
+            during_v < before_v - 0.02,
+            "voltage {before_v} → {during_v}"
+        );
+    }
+
+    #[test]
+    fn job_heat_raises_allocated_nodes() {
+        let machine = theta().scaled(16);
+        let jobs = JobLog::new(
+            vec![crate::joblog::Job {
+                id: 0,
+                project: "p".into(),
+                first_node: 0,
+                n_nodes: 8,
+                start_step: 100,
+                end_step: 900,
+                intensity: 15.0,
+                period_s: 300.0,
+            }],
+            16,
+        );
+        let s = Scenario::new(machine, Profile::ScLog, 7, jobs, vec![]);
+        let busy = s.generate_rows(&[0], 400, 800);
+        let idle = s.generate_rows(&s.series_of_nodes(&[12])[..1], 400, 800);
+        assert!(
+            busy.mean() > idle.mean() + 5.0,
+            "busy {} idle {}",
+            busy.mean(),
+            idle.mean()
+        );
+    }
+
+    #[test]
+    fn overheat_anomaly_visible_in_window() {
+        let machine = theta().scaled(8);
+        let jobs = JobLog::new(vec![], 8);
+        let anomaly = Anomaly::Overheat {
+            node: 2,
+            start: 200,
+            end: 600,
+            delta: 12.0,
+        };
+        let s = Scenario::new(machine, Profile::ScLog, 3, jobs, vec![anomaly]);
+        // Temperature channels of node 2 only.
+        let series: Vec<usize> = s
+            .series_of_nodes(&[2])
+            .into_iter()
+            .filter(|&r| s.kind_of_series(r) == SensorKind::Temperature)
+            .collect();
+        let during = s.generate_rows(&series, 300, 500).mean();
+        let before = s.generate_rows(&series, 0, 150).mean();
+        assert!(during > before + 8.0, "during {during} before {before}");
+    }
+
+    #[test]
+    fn stall_cools_node_below_idle() {
+        let machine = theta().scaled(8);
+        let jobs = JobLog::new(vec![], 8);
+        let s = Scenario::new(
+            machine,
+            Profile::ScLog,
+            3,
+            jobs,
+            vec![Anomaly::Stall {
+                node: 1,
+                start: 100,
+                end: 400,
+            }],
+        );
+        let series: Vec<usize> = s
+            .series_of_nodes(&[1])
+            .into_iter()
+            .filter(|&r| s.kind_of_series(r) == SensorKind::Temperature)
+            .collect();
+        let during = s.generate_rows(&series, 150, 350).mean();
+        let after = s.generate_rows(&series, 500, 700).mean();
+        assert!(during < after - 2.0, "during {during} after {after}");
+    }
+
+    #[test]
+    fn gpu_profile_has_richer_spectrum_than_sc_log() {
+        // Proxy for "more modes": more high-frequency variance after
+        // removing the per-series mean.
+        let machine = crate::machine::polaris().scaled(16);
+        let total = 600;
+        let sc = Scenario::new(
+            machine.clone(),
+            Profile::ScLog,
+            5,
+            JobLog::synthesize(16, total, 6, 5),
+            vec![],
+        );
+        let gpu = Scenario::new(
+            machine,
+            Profile::GpuMetrics,
+            5,
+            JobLog::synthesize(16, total, 6, 5),
+            vec![],
+        );
+        let hf = |m: &Mat| -> f64 {
+            // Mean squared first difference ≈ high-frequency energy.
+            let mut acc = 0.0;
+            for i in 0..m.rows() {
+                let r = m.row(i);
+                for w in r.windows(2) {
+                    let d = w[1] - w[0];
+                    acc += d * d;
+                }
+            }
+            acc / (m.rows() * (m.cols() - 1)) as f64
+        };
+        // Compare temperature channels only (the SC profile's fan/voltage
+        // channels live on different scales).
+        let sc_rows = sc.series_of_kind(SensorKind::Temperature);
+        let gpu_rows = gpu.series_of_kind(SensorKind::Temperature);
+        let a = hf(&sc.generate_rows(&sc_rows, 0, total));
+        let b = hf(&gpu.generate_rows(&gpu_rows, 0, total));
+        assert!(b > a, "GPU profile hf energy {b} should exceed SC log {a}");
+    }
+
+    #[test]
+    fn trapezoid_shape() {
+        assert_eq!(trapezoid(5, 10, 20, 2), 0.0);
+        assert_eq!(trapezoid(25, 10, 20, 2), 0.0);
+        assert!((trapezoid(11, 10, 20, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(trapezoid(15, 10, 20, 2), 1.0);
+        assert!((trapezoid(19, 10, 20, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_hash_moments() {
+        let n = 20_000;
+        let mut mean = 0.0;
+        let mut var = 0.0;
+        for i in 0..n {
+            let g = gauss_hash(9, 1, i as u64);
+            mean += g;
+            var += g * g;
+        }
+        mean /= n as f64;
+        var = var / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn rack_means_cover_populated_racks() {
+        let s = Scenario::sc_log(theta().scaled(400), 100, 3);
+        let means = s.rack_means(0, 50);
+        assert_eq!(means.len(), 24);
+        // 400 nodes fill the first three racks (192 per rack).
+        assert!(means[0].is_finite() && means[1].is_finite() && means[2].is_finite());
+        assert!(means[5].is_nan(), "unpopulated rack must be NaN");
+        assert!((20.0..90.0).contains(&means[0]), "rack 0 mean {}", means[0]);
+    }
+
+    #[test]
+    fn series_of_nodes_expands_channels() {
+        let s = small_scenario();
+        let series = s.series_of_nodes(&[0, 2]);
+        assert_eq!(series, vec![0, 1, 2, 3, 8, 9, 10, 11]);
+    }
+}

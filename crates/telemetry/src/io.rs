@@ -1,0 +1,230 @@
+//! Log import/export.
+//!
+//! Real deployments would feed archived logs rather than the synthetic
+//! generator, so the suite can round-trip its three log families through
+//! portable formats: snapshot matrices as CSV (one sensor per row, a header
+//! of step indices), job and hardware logs as JSON lines.
+
+use crate::hwlog::{HwEvent, HwLog};
+use crate::joblog::{Job, JobLog};
+use hpc_linalg::Mat;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Error type for log parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content.
+    Parse(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a snapshot matrix as CSV: header `series,t0,t1,…`, then one row
+/// per sensor: `s<i>,v,v,…`.
+pub fn write_snapshots_csv(w: &mut impl Write, m: &Mat, first_step: usize) -> Result<(), IoError> {
+    let mut line = String::with_capacity(m.cols() * 12);
+    line.push_str("series");
+    for c in 0..m.cols() {
+        let _ = write!(line, ",{}", first_step + c);
+    }
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    for i in 0..m.rows() {
+        line.clear();
+        let _ = write!(line, "s{i}");
+        for &v in m.row(i) {
+            let _ = write!(line, ",{v}");
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a snapshot matrix written by [`write_snapshots_csv`]. Returns the
+/// matrix and the first step index.
+pub fn read_snapshots_csv(r: impl Read) -> Result<(Mat, usize), IoError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| IoError::Parse("empty file".into()))??;
+    let mut head = header.split(',');
+    if head.next() != Some("series") {
+        return Err(IoError::Parse("missing `series` header".into()));
+    }
+    let first_step: usize = head
+        .next()
+        .ok_or_else(|| IoError::Parse("header has no step columns".into()))?
+        .trim()
+        .parse()
+        .map_err(|_| IoError::Parse("bad step index in header".into()))?;
+    let n_cols = 1 + head.count();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let _label = fields.next();
+        let vals: Result<Vec<f64>, _> = fields.map(|f| f.trim().parse::<f64>()).collect();
+        let vals = vals.map_err(|_| IoError::Parse(format!("bad value in row {}", rows.len())))?;
+        if vals.len() != n_cols {
+            return Err(IoError::Parse(format!(
+                "row {} has {} values, expected {n_cols}",
+                rows.len(),
+                vals.len()
+            )));
+        }
+        rows.push(vals);
+    }
+    if rows.is_empty() {
+        return Err(IoError::Parse("no data rows".into()));
+    }
+    Ok((Mat::from_rows(&rows), first_step))
+}
+
+/// Writes a job log as JSON lines (one job per line).
+pub fn write_job_log(w: &mut impl Write, log: &JobLog) -> Result<(), IoError> {
+    for job in &log.jobs {
+        let line = serde_json_line(job)?;
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a job log written by [`write_job_log`]; `n_nodes` rebuilds the
+/// per-node index.
+pub fn read_job_log(r: impl Read, n_nodes: usize) -> Result<JobLog, IoError> {
+    let mut jobs: Vec<Job> = Vec::new();
+    for line in BufReader::new(r).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        jobs.push(parse_json_line(&line)?);
+    }
+    Ok(JobLog::new(jobs, n_nodes))
+}
+
+/// Writes a hardware log as JSON lines.
+pub fn write_hw_log(w: &mut impl Write, log: &HwLog) -> Result<(), IoError> {
+    for ev in &log.events {
+        let line = serde_json_line(ev)?;
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a hardware log written by [`write_hw_log`].
+pub fn read_hw_log(r: impl Read) -> Result<HwLog, IoError> {
+    let mut events: Vec<HwEvent> = Vec::new();
+    for line in BufReader::new(r).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_json_line(&line)?);
+    }
+    events.sort_by_key(|e| e.step);
+    Ok(HwLog { events })
+}
+
+fn serde_json_line<T: serde::Serialize>(v: &T) -> Result<String, IoError> {
+    serde_json::to_string(v).map_err(|e| IoError::Parse(format!("serialise: {e}")))
+}
+
+fn parse_json_line<T: serde::de::DeserializeOwned>(line: &str) -> Result<T, IoError> {
+    serde_json::from_str(line).map_err(|e| IoError::Parse(format!("deserialise: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envlog::Scenario;
+    use crate::machine::theta;
+
+    #[test]
+    fn snapshots_roundtrip() {
+        let s = Scenario::sc_log(theta().scaled(6), 40, 3);
+        let m = s.generate(5, 25);
+        let mut buf = Vec::new();
+        write_snapshots_csv(&mut buf, &m, 5).unwrap();
+        let (back, first) = read_snapshots_csv(&buf[..]).unwrap();
+        assert_eq!(first, 5);
+        assert_eq!(back.shape(), m.shape());
+        assert!(back.fro_dist(&m) < 1e-9);
+    }
+
+    #[test]
+    fn job_log_roundtrip() {
+        let log = JobLog::synthesize(32, 500, 8, 7);
+        let mut buf = Vec::new();
+        write_job_log(&mut buf, &log).unwrap();
+        let back = read_job_log(&buf[..], 32).unwrap();
+        assert_eq!(back.jobs.len(), log.jobs.len());
+        for (a, b) in back.jobs.iter().zip(&log.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.first_node, b.first_node);
+            assert_eq!(a.start_step, b.start_step);
+        }
+        // The rebuilt node index behaves identically.
+        for node in 0..32 {
+            assert_eq!(
+                back.jobs_on_node(node).count(),
+                log.jobs_on_node(node).count()
+            );
+        }
+    }
+
+    #[test]
+    fn hw_log_roundtrip() {
+        let anomalies = vec![crate::envlog::Anomaly::Overheat {
+            node: 3,
+            start: 10,
+            end: 100,
+            delta: 9.0,
+        }];
+        let log = HwLog::synthesize(16, 200, &anomalies, 2.0, 5);
+        let mut buf = Vec::new();
+        write_hw_log(&mut buf, &log).unwrap();
+        let back = read_hw_log(&buf[..]).unwrap();
+        assert_eq!(back.events.len(), log.events.len());
+        assert_eq!(back.nodes_with_any(0, 200), log.nodes_with_any(0, 200));
+    }
+
+    #[test]
+    fn malformed_csv_is_an_error_not_a_panic() {
+        assert!(read_snapshots_csv(&b""[..]).is_err());
+        assert!(read_snapshots_csv(&b"wrong,0,1\ns0,1.0,2.0"[..]).is_err());
+        assert!(read_snapshots_csv(&b"series,0,1\ns0,1.0"[..]).is_err());
+        assert!(read_snapshots_csv(&b"series,0,1\ns0,1.0,abc"[..]).is_err());
+        assert!(read_snapshots_csv(&b"series,0,1\n"[..]).is_err());
+    }
+
+    #[test]
+    fn malformed_json_line_is_an_error() {
+        assert!(read_job_log(&b"{not json}"[..], 4).is_err());
+        assert!(read_hw_log(&b"{\"node\":1}"[..]).is_err());
+    }
+}

@@ -1,0 +1,430 @@
+//! The paper's generalizable rack-layout string grammar (Sec. III-B).
+//!
+//! A single string describes how a supercomputer's nodes are physically
+//! arranged, down from rack rows to blades:
+//!
+//! ```text
+//! <system> <rack-row-align> <rack-col-align> row<A>-<B>:<C>-<D>
+//!          <cab-align> c:<range> <slot-align> s:<range>
+//!          <blade-align> b:<range> n:<range>
+//! ```
+//!
+//! Alignment codes: `-1` right-to-left, `1` left-to-right, `2` bottom-to-top,
+//! anything else top-to-bottom (the paper's default). The paper's example —
+//! `"xc40 1 2 row0-1:0-10 2 c:0-7 1 s:0-7 1 b:0 n:0"` — is an XC40 with two
+//! rack rows of eleven racks, eight cabinets per rack stacked bottom-to-top,
+//! eight slots, one blade, one node per blade.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Placement direction of a group of components.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Align {
+    /// `1` in the grammar.
+    LeftToRight,
+    /// `-1` in the grammar.
+    RightToLeft,
+    /// `2` in the grammar.
+    BottomToTop,
+    /// The grammar's default.
+    TopToBottom,
+}
+
+impl Align {
+    fn from_code(code: i64) -> Align {
+        match code {
+            1 => Align::LeftToRight,
+            -1 => Align::RightToLeft,
+            2 => Align::BottomToTop,
+            _ => Align::TopToBottom,
+        }
+    }
+
+    fn code(self) -> i64 {
+        match self {
+            Align::LeftToRight => 1,
+            Align::RightToLeft => -1,
+            Align::BottomToTop => 2,
+            Align::TopToBottom => 0,
+        }
+    }
+}
+
+/// An inclusive index range `a-b` (a single number means `a-a`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdxRange {
+    /// First index.
+    pub lo: usize,
+    /// Last index (inclusive).
+    pub hi: usize,
+}
+
+impl IdxRange {
+    /// Number of indices in the range.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo + 1
+    }
+
+    /// True only for the impossible empty case (never constructed by parse).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn parse(s: &str) -> Result<IdxRange, LayoutError> {
+        let bad = || LayoutError::new(format!("invalid range `{s}`"));
+        if let Some((a, b)) = s.split_once('-') {
+            let lo = a.trim().parse().map_err(|_| bad())?;
+            let hi = b.trim().parse().map_err(|_| bad())?;
+            if hi < lo {
+                return Err(LayoutError::new(format!("descending range `{s}`")));
+            }
+            Ok(IdxRange { lo, hi })
+        } else {
+            let v = s.trim().parse().map_err(|_| bad())?;
+            Ok(IdxRange { lo: v, hi: v })
+        }
+    }
+}
+
+impl fmt::Display for IdxRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{}-{}", self.lo, self.hi)
+        }
+    }
+}
+
+/// Error from [`LayoutSpec::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayoutError {
+    msg: String,
+}
+
+impl LayoutError {
+    fn new(msg: String) -> Self {
+        LayoutError { msg }
+    }
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layout parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// A parsed machine layout.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayoutSpec {
+    /// System name, e.g. `xc40`.
+    pub system: String,
+    /// Alignment of rack rows.
+    pub rack_row_align: Align,
+    /// Alignment of racks within a row.
+    pub rack_col_align: Align,
+    /// Rack row indices.
+    pub rows: IdxRange,
+    /// Rack indices within each row.
+    pub racks_per_row: IdxRange,
+    /// Cabinet (cage) alignment within a rack.
+    pub cabinet_align: Align,
+    /// Cabinet indices per rack.
+    pub cabinets: IdxRange,
+    /// Slot alignment within a cabinet.
+    pub slot_align: Align,
+    /// Slot indices per cabinet.
+    pub slots: IdxRange,
+    /// Blade alignment within a slot.
+    pub blade_align: Align,
+    /// Blade indices per slot.
+    pub blades: IdxRange,
+    /// Node indices per blade.
+    pub nodes: IdxRange,
+}
+
+/// Physical coordinates of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodePosition {
+    /// Rack row.
+    pub row: usize,
+    /// Rack within the row.
+    pub rack: usize,
+    /// Cabinet (cage) within the rack.
+    pub cabinet: usize,
+    /// Slot within the cabinet.
+    pub slot: usize,
+    /// Blade within the slot.
+    pub blade: usize,
+    /// Node within the blade.
+    pub node: usize,
+}
+
+impl NodePosition {
+    /// Canonical Cray-style name, e.g. `c3-0c1s5b0n0` (rack 3, row 0,
+    /// cabinet 1, slot 5, blade 0, node 0).
+    pub fn name(&self) -> String {
+        format!(
+            "c{}-{}c{}s{}b{}n{}",
+            self.rack, self.row, self.cabinet, self.slot, self.blade, self.node
+        )
+    }
+}
+
+impl LayoutSpec {
+    /// Parses the layout grammar described in Sec. III-B.
+    ///
+    /// ```
+    /// use hpc_telemetry::LayoutSpec;
+    ///
+    /// // The paper's example: an XC40 with 2 rack rows of 11 racks.
+    /// let l = LayoutSpec::parse("xc40 1 2 row0-1:0-10 2 c:0-7 1 s:0-7 1 b:0 n:0").unwrap();
+    /// assert_eq!(l.total_racks(), 22);
+    /// assert_eq!(l.nodes_per_rack(), 64);
+    /// ```
+    pub fn parse(s: &str) -> Result<LayoutSpec, LayoutError> {
+        let toks: Vec<&str> = s.split_whitespace().collect();
+        let mut i = 0usize;
+        let mut next = |what: &str| -> Result<&str, LayoutError> {
+            let t = toks
+                .get(i)
+                .copied()
+                .ok_or_else(|| LayoutError::new(format!("missing {what}")))?;
+            i += 1;
+            Ok(t)
+        };
+        let system = next("system name")?.to_string();
+        let rra: i64 = next("rack row alignment")?
+            .parse()
+            .map_err(|_| LayoutError::new("rack row alignment must be an integer".into()))?;
+        let rca: i64 = next("rack column alignment")?
+            .parse()
+            .map_err(|_| LayoutError::new("rack column alignment must be an integer".into()))?;
+        // row<A>-<B>:<C>-<D>
+        let rowtok = next("row specification")?;
+        let rest = rowtok
+            .strip_prefix("row")
+            .ok_or_else(|| LayoutError::new(format!("expected `row...`, got `{rowtok}`")))?;
+        let (rows_s, racks_s) = rest
+            .split_once(':')
+            .ok_or_else(|| LayoutError::new(format!("row spec `{rowtok}` missing `:`")))?;
+        let rows = IdxRange::parse(rows_s)?;
+        let racks_per_row = IdxRange::parse(racks_s)?;
+
+        // Three aligned levels: c, s, b — each `<align> <tag>:<range>`.
+        let mut parse_level = |tag: char| -> Result<(Align, IdxRange), LayoutError> {
+            let a: i64 = next("alignment")?.parse().map_err(|_| {
+                LayoutError::new(format!("alignment before `{tag}:` must be an integer"))
+            })?;
+            let tok = next("level range")?;
+            let rest = tok
+                .strip_prefix(tag)
+                .and_then(|r| r.strip_prefix(':'))
+                .ok_or_else(|| {
+                    LayoutError::new(format!("expected `{tag}:<range>`, got `{tok}`"))
+                })?;
+            Ok((Align::from_code(a), IdxRange::parse(rest)?))
+        };
+        let (cabinet_align, cabinets) = parse_level('c')?;
+        let (slot_align, slots) = parse_level('s')?;
+        let (blade_align, blades) = parse_level('b')?;
+        // Final `n:<range>` has no alignment.
+        let ntok = next("node range")?;
+        let rest = ntok
+            .strip_prefix("n:")
+            .ok_or_else(|| LayoutError::new(format!("expected `n:<range>`, got `{ntok}`")))?;
+        let nodes = IdxRange::parse(rest)?;
+        if i != toks.len() {
+            return Err(LayoutError::new(format!(
+                "trailing tokens: {:?}",
+                &toks[i..]
+            )));
+        }
+        Ok(LayoutSpec {
+            system,
+            rack_row_align: Align::from_code(rra),
+            rack_col_align: Align::from_code(rca),
+            rows,
+            racks_per_row,
+            cabinet_align,
+            cabinets,
+            slot_align,
+            slots,
+            blade_align,
+            blades,
+            nodes,
+        })
+    }
+
+    /// Total racks in the machine.
+    pub fn total_racks(&self) -> usize {
+        self.rows.len() * self.racks_per_row.len()
+    }
+
+    /// Nodes per rack.
+    pub fn nodes_per_rack(&self) -> usize {
+        self.cabinets.len() * self.slots.len() * self.blades.len() * self.nodes.len()
+    }
+
+    /// Total node positions in the machine.
+    pub fn total_nodes(&self) -> usize {
+        self.total_racks() * self.nodes_per_rack()
+    }
+
+    /// Physical coordinates of the node with flat index `idx` (row-major:
+    /// rows → racks → cabinets → slots → blades → nodes).
+    ///
+    /// # Panics
+    /// Panics if `idx >= total_nodes()`.
+    pub fn node_position(&self, idx: usize) -> NodePosition {
+        assert!(idx < self.total_nodes(), "node index out of range");
+        let npb = self.nodes.len();
+        let bps = self.blades.len();
+        let spc = self.slots.len();
+        let cpr = self.cabinets.len();
+        let rpr = self.racks_per_row.len();
+        let node = idx % npb;
+        let idx = idx / npb;
+        let blade = idx % bps;
+        let idx = idx / bps;
+        let slot = idx % spc;
+        let idx = idx / spc;
+        let cabinet = idx % cpr;
+        let idx = idx / cpr;
+        let rack = idx % rpr;
+        let row = idx / rpr;
+        NodePosition {
+            row: self.rows.lo + row,
+            rack: self.racks_per_row.lo + rack,
+            cabinet: self.cabinets.lo + cabinet,
+            slot: self.slots.lo + slot,
+            blade: self.blades.lo + blade,
+            node: self.nodes.lo + node,
+        }
+    }
+
+    /// Flat index of the rack holding node `idx` (row-major over rows and
+    /// racks).
+    pub fn rack_of(&self, idx: usize) -> usize {
+        idx / self.nodes_per_rack()
+    }
+
+    /// Serialises back to the grammar (a parse/format round-trip is
+    /// identity up to whitespace).
+    pub fn to_layout_string(&self) -> String {
+        format!(
+            "{} {} {} row{}:{} {} c:{} {} s:{} {} b:{} n:{}",
+            self.system,
+            self.rack_row_align.code(),
+            self.rack_col_align.code(),
+            self.rows,
+            self.racks_per_row,
+            self.cabinet_align.code(),
+            self.cabinets,
+            self.slot_align.code(),
+            self.slots,
+            self.blade_align.code(),
+            self.blades,
+            self.nodes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_EXAMPLE: &str = "xc40 1 2 row0-1:0-10 2 c:0-7 1 s:0-7 1 b:0 n:0";
+
+    #[test]
+    fn parses_paper_example() {
+        let l = LayoutSpec::parse(PAPER_EXAMPLE).unwrap();
+        assert_eq!(l.system, "xc40");
+        assert_eq!(l.rack_row_align, Align::LeftToRight);
+        assert_eq!(l.rack_col_align, Align::BottomToTop);
+        assert_eq!(l.rows.len(), 2);
+        assert_eq!(l.racks_per_row.len(), 11);
+        assert_eq!(l.cabinets.len(), 8);
+        assert_eq!(l.cabinet_align, Align::BottomToTop);
+        assert_eq!(l.slots.len(), 8);
+        assert_eq!(l.blades.len(), 1);
+        assert_eq!(l.nodes.len(), 1);
+        assert_eq!(l.total_racks(), 22);
+        assert_eq!(l.nodes_per_rack(), 64);
+        assert_eq!(l.total_nodes(), 22 * 64);
+    }
+
+    #[test]
+    fn roundtrip_through_string() {
+        let l = LayoutSpec::parse(PAPER_EXAMPLE).unwrap();
+        let s = l.to_layout_string();
+        let l2 = LayoutSpec::parse(&s).unwrap();
+        assert_eq!(l, l2);
+    }
+
+    #[test]
+    fn node_positions_enumerate_without_collision() {
+        let l = LayoutSpec::parse("mini 1 1 row0-0:0-1 1 c:0-1 1 s:0-2 1 b:0-1 n:0-1").unwrap();
+        let n = l.total_nodes();
+        assert_eq!(n, 2 * 2 * 3 * 2 * 2);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            let pos = l.node_position(i);
+            assert!(seen.insert(pos.name()), "duplicate position {}", pos.name());
+            assert!(pos.slot <= l.slots.hi && pos.slot >= l.slots.lo);
+        }
+    }
+
+    #[test]
+    fn rack_of_is_consistent_with_positions() {
+        let l = LayoutSpec::parse(PAPER_EXAMPLE).unwrap();
+        for idx in [0, 63, 64, 127, l.total_nodes() - 1] {
+            let r = l.rack_of(idx);
+            assert!(r < l.total_racks());
+            // Nodes in the same rack share (row, rack) coordinates.
+            let p = l.node_position(idx);
+            let first_in_rack = l.node_position(r * l.nodes_per_rack());
+            assert_eq!((p.row, p.rack), (first_in_rack.row, first_in_rack.rack));
+        }
+    }
+
+    #[test]
+    fn single_number_ranges() {
+        let r = IdxRange::parse("5").unwrap();
+        assert_eq!((r.lo, r.hi), (5, 5));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_strings() {
+        assert!(LayoutSpec::parse("").is_err());
+        assert!(LayoutSpec::parse("xc40 1").is_err());
+        assert!(LayoutSpec::parse("xc40 1 2 rows0-1:0-10 2 c:0-7 1 s:0-7 1 b:0 n:0").is_err());
+        assert!(LayoutSpec::parse("xc40 1 2 row0-1 2 c:0-7 1 s:0-7 1 b:0 n:0").is_err());
+        assert!(LayoutSpec::parse("xc40 1 2 row0-1:0-10 2 x:0-7 1 s:0-7 1 b:0 n:0").is_err());
+        assert!(LayoutSpec::parse("xc40 1 2 row0-1:0-10 2 c:0-7 1 s:0-7 1 b:0 n:0 extra").is_err());
+        assert!(LayoutSpec::parse("xc40 1 2 row1-0:0-10 2 c:0-7 1 s:0-7 1 b:0 n:0").is_err());
+    }
+
+    #[test]
+    fn alignment_codes_roundtrip() {
+        for a in [
+            Align::LeftToRight,
+            Align::RightToLeft,
+            Align::BottomToTop,
+            Align::TopToBottom,
+        ] {
+            assert_eq!(Align::from_code(a.code()), a);
+        }
+    }
+
+    #[test]
+    fn names_are_cray_style() {
+        let l = LayoutSpec::parse(PAPER_EXAMPLE).unwrap();
+        let p = l.node_position(0);
+        assert_eq!(p.name(), "c0-0c0s0b0n0");
+    }
+}

@@ -1,0 +1,152 @@
+//! Machine models for the two systems the paper evaluates on.
+//!
+//! - **Theta** (Cray XC40): 4,392 compute nodes in 24 racks; environment logs
+//!   carry ~150 sensor readings per node every 15–30 s. We model the
+//!   temperature channels (four readings of each type per node) that the
+//!   paper's case studies analyse.
+//! - **Polaris** (HPE Apollo 6500 Gen10+): 560 nodes × 4 NVIDIA A100 GPUs;
+//!   the GPU-metrics scenario tracks per-GPU temperatures at ~3 s cadence.
+
+use crate::layout::LayoutSpec;
+use serde::{Deserialize, Serialize};
+
+/// A physical machine: layout plus sensor geometry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Physical layout (drives the rack visualization).
+    pub layout: LayoutSpec,
+    /// Populated compute nodes (≤ layout positions; the remainder are
+    /// service/empty slots).
+    pub n_nodes: usize,
+    /// Telemetry series recorded per node in the scenarios built on this
+    /// machine (e.g. temperature channels, or GPUs × metrics).
+    pub series_per_node: usize,
+    /// Sensor sampling interval in seconds.
+    pub sample_interval_s: f64,
+}
+
+impl MachineSpec {
+    /// Total telemetry series (`n_nodes × series_per_node`).
+    pub fn n_series(&self) -> usize {
+        self.n_nodes * self.series_per_node
+    }
+
+    /// The node owning telemetry series `i`.
+    pub fn node_of_series(&self, i: usize) -> usize {
+        i / self.series_per_node
+    }
+
+    /// The rack owning telemetry series `i`.
+    pub fn rack_of_series(&self, i: usize) -> usize {
+        self.layout.rack_of(self.node_of_series(i))
+    }
+
+    /// The populated node indices belonging to rack `rack` (row-major rack
+    /// order, clipped to `n_nodes`).
+    pub fn nodes_in_rack(&self, rack: usize) -> std::ops::Range<usize> {
+        let npr = self.layout.nodes_per_rack();
+        let lo = (rack * npr).min(self.n_nodes);
+        let hi = ((rack + 1) * npr).min(self.n_nodes);
+        lo..hi
+    }
+
+    /// A scaled copy with at most `max_nodes` nodes — the benchmark harness
+    /// uses this to shrink paper-sized workloads to container-sized ones
+    /// while keeping the topology shape.
+    pub fn scaled(&self, max_nodes: usize) -> MachineSpec {
+        let mut m = self.clone();
+        m.n_nodes = self.n_nodes.min(max_nodes.max(1));
+        m
+    }
+}
+
+/// The Theta Cray XC40 model: 24 racks (2 rows × 12), 192 node positions per
+/// rack, 4,392 populated nodes, four temperature readings per node at 20 s.
+pub fn theta() -> MachineSpec {
+    let layout = LayoutSpec::parse("xc40 1 2 row0-1:0-11 2 c:0-2 1 s:0-15 1 b:0-3 n:0")
+        .expect("static layout string is valid");
+    debug_assert_eq!(layout.total_nodes(), 4608);
+    MachineSpec {
+        name: "theta".into(),
+        layout,
+        n_nodes: 4392,
+        series_per_node: 4,
+        sample_interval_s: 20.0,
+    }
+}
+
+/// The Polaris Apollo 6500 model: 560 nodes (40 racks of 14), four A100 GPUs
+/// per node, one temperature series per GPU at 3 s cadence.
+pub fn polaris() -> MachineSpec {
+    let layout = LayoutSpec::parse("apollo6500 1 0 row0-0:0-39 1 c:0-1 1 s:0-6 1 b:0 n:0")
+        .expect("static layout string is valid");
+    debug_assert_eq!(layout.total_nodes(), 560);
+    MachineSpec {
+        name: "polaris".into(),
+        layout,
+        n_nodes: 560,
+        series_per_node: 4,
+        sample_interval_s: 3.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_matches_paper_inventory() {
+        let m = theta();
+        assert_eq!(m.layout.total_racks(), 24);
+        assert_eq!(m.n_nodes, 4392);
+        assert_eq!(m.n_series(), 4392 * 4);
+        assert!(m.layout.total_nodes() >= m.n_nodes);
+    }
+
+    #[test]
+    fn polaris_matches_paper_inventory() {
+        let m = polaris();
+        assert_eq!(m.n_nodes, 560);
+        assert_eq!(m.n_series(), 2240);
+        assert_eq!(m.sample_interval_s, 3.0);
+    }
+
+    #[test]
+    fn series_to_node_to_rack_mapping() {
+        let m = theta();
+        assert_eq!(m.node_of_series(0), 0);
+        assert_eq!(m.node_of_series(3), 0);
+        assert_eq!(m.node_of_series(4), 1);
+        let last = m.n_series() - 1;
+        assert_eq!(m.node_of_series(last), m.n_nodes - 1);
+        assert!(m.rack_of_series(last) < m.layout.total_racks());
+    }
+
+    #[test]
+    fn nodes_in_rack_partitions_the_machine() {
+        let m = theta().scaled(400);
+        let mut covered = 0;
+        for rack in 0..m.layout.total_racks() {
+            let r = m.nodes_in_rack(rack);
+            covered += r.len();
+            for n in r {
+                assert_eq!(m.layout.rack_of(n), rack);
+            }
+        }
+        assert_eq!(covered, m.n_nodes);
+        // Racks beyond the populated range are empty.
+        assert!(m.nodes_in_rack(23).is_empty() || m.n_nodes > 23 * m.layout.nodes_per_rack());
+    }
+
+    #[test]
+    fn scaling_preserves_topology() {
+        let m = theta().scaled(256);
+        assert_eq!(m.n_nodes, 256);
+        assert_eq!(m.layout.total_racks(), 24);
+        assert_eq!(m.n_series(), 1024);
+        // Scaling never grows.
+        assert_eq!(theta().scaled(10_000).n_nodes, 4392);
+    }
+}

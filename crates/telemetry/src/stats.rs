@@ -1,0 +1,254 @@
+//! Streaming per-series statistics.
+//!
+//! Online baseline selection needs running means without a second pass over
+//! terabyte logs: Welford's algorithm per series, a batch front-end over
+//! snapshot matrices, and an exponentially weighted variant for
+//! regime-tracking baselines (case study 2 picks different baseline bands as
+//! the machine's thermal state drifts).
+
+use hpc_linalg::Mat;
+use serde::{Deserialize, Serialize};
+
+/// Welford running mean/variance for one series.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Absorbs one observation.
+    ///
+    /// ```
+    /// use hpc_telemetry::Welford;
+    ///
+    /// let mut w = Welford::default();
+    /// for x in [2.0, 4.0, 6.0] { w.push(x); }
+    /// assert_eq!(w.mean(), 4.0);
+    /// assert!((w.variance() - 8.0 / 3.0).abs() < 1e-12);
+    /// ```
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observations absorbed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges two accumulators (Chan's parallel formula).
+    pub fn merge(&self, other: &Welford) -> Welford {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        Welford { n, mean, m2 }
+    }
+}
+
+/// Running statistics for every series of a snapshot stream.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StreamStats {
+    series: Vec<Welford>,
+    /// Optional exponential smoothing factor for the regime tracker.
+    ewma_alpha: f64,
+    ewma: Vec<f64>,
+}
+
+impl StreamStats {
+    /// Creates stats for `n_series` series; `ewma_alpha ∈ (0, 1]` weights the
+    /// most recent snapshot in the regime tracker (e.g. 0.01 for a ~100-step
+    /// memory).
+    pub fn new(n_series: usize, ewma_alpha: f64) -> StreamStats {
+        assert!(ewma_alpha > 0.0 && ewma_alpha <= 1.0);
+        StreamStats {
+            series: vec![Welford::default(); n_series],
+            ewma_alpha,
+            ewma: vec![f64::NAN; n_series],
+        }
+    }
+
+    /// Absorbs a snapshot batch (`n_series × t`).
+    pub fn absorb(&mut self, batch: &Mat) {
+        assert_eq!(batch.rows(), self.series.len(), "series count mismatch");
+        for i in 0..batch.rows() {
+            let w = &mut self.series[i];
+            let e = &mut self.ewma[i];
+            for &x in batch.row(i) {
+                w.push(x);
+                *e = if e.is_nan() {
+                    x
+                } else {
+                    *e + self.ewma_alpha * (x - *e)
+                };
+            }
+        }
+    }
+
+    /// Lifetime mean of series `i`.
+    pub fn mean(&self, i: usize) -> f64 {
+        self.series[i].mean()
+    }
+
+    /// Lifetime standard deviation of series `i`.
+    pub fn std(&self, i: usize) -> f64 {
+        self.series[i].std()
+    }
+
+    /// Recent (exponentially weighted) level of series `i`.
+    pub fn recent(&self, i: usize) -> f64 {
+        self.ewma[i]
+    }
+
+    /// Snapshots absorbed so far (per series).
+    pub fn count(&self) -> u64 {
+        self.series.first().map_or(0, Welford::count)
+    }
+
+    /// Series whose *recent* level lies in `[lo, hi]` — the streaming
+    /// counterpart of the analysis crate's `select_baseline_rows`, tracking
+    /// the machine's current regime rather than the full history.
+    pub fn baseline_rows_recent(&self, lo: f64, hi: f64) -> Vec<usize> {
+        self.ewma
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| !e.is_nan() && e >= lo && e <= hi)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Quantile band of recent levels: returns `(q_lo, q_hi)` values, e.g.
+    /// `(0.3, 0.7)` for the middle 40% — handy for auto-chosen baselines.
+    pub fn recent_quantile_band(&self, q_lo: f64, q_hi: f64) -> (f64, f64) {
+        assert!((0.0..=1.0).contains(&q_lo) && (0.0..=1.0).contains(&q_hi) && q_lo <= q_hi);
+        let mut vals: Vec<f64> = self.ewma.iter().copied().filter(|v| !v.is_nan()).collect();
+        if vals.is_empty() {
+            return (0.0, 0.0);
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pick = |q: f64| vals[((vals.len() - 1) as f64 * q).round() as usize];
+        (pick(q_lo), pick(q_hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|k| (k as f64 * 0.7).sin() * 10.0).collect();
+        let mut all = Welford::default();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::default();
+        let mut b = Welford::default();
+        for &x in &xs[..20] {
+            a.push(x);
+        }
+        for &x in &xs[20..] {
+            b.push(x);
+        }
+        let merged = a.merge(&b);
+        assert!((merged.mean() - all.mean()).abs() < 1e-12);
+        assert!((merged.variance() - all.variance()).abs() < 1e-10);
+        // Merging with empty is identity.
+        assert_eq!(all.merge(&Welford::default()).count(), all.count());
+    }
+
+    #[test]
+    fn stream_stats_absorb_batches() {
+        let m1 = Mat::from_rows(&[vec![1.0, 2.0], vec![10.0, 10.0]]);
+        let m2 = Mat::from_rows(&[vec![3.0], vec![10.0]]);
+        let mut s = StreamStats::new(2, 0.5);
+        s.absorb(&m1);
+        s.absorb(&m2);
+        assert_eq!(s.count(), 3);
+        assert!((s.mean(0) - 2.0).abs() < 1e-12);
+        assert!((s.mean(1) - 10.0).abs() < 1e-12);
+        assert!(s.std(1) < 1e-12);
+    }
+
+    #[test]
+    fn ewma_tracks_regime_change() {
+        let mut s = StreamStats::new(1, 0.2);
+        s.absorb(&Mat::from_rows(&[vec![10.0; 50]]));
+        let before = s.recent(0);
+        s.absorb(&Mat::from_rows(&[vec![50.0; 50]]));
+        let after = s.recent(0);
+        assert!((before - 10.0).abs() < 1e-6);
+        assert!(
+            after > 45.0,
+            "ewma should have moved to the new regime: {after}"
+        );
+        // Lifetime mean sits in between.
+        assert!((s.mean(0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_rows_follow_recent_levels() {
+        let mut s = StreamStats::new(3, 1.0);
+        s.absorb(&Mat::from_rows(&[vec![40.0], vec![50.0], vec![60.0]]));
+        assert_eq!(s.baseline_rows_recent(45.0, 55.0), vec![1]);
+        let (lo, hi) = s.recent_quantile_band(0.0, 1.0);
+        assert_eq!((lo, hi), (40.0, 60.0));
+    }
+
+    #[test]
+    fn quantile_band_midrange() {
+        let mut s = StreamStats::new(5, 1.0);
+        s.absorb(&Mat::from_rows(&[
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![4.0],
+            vec![5.0],
+        ]));
+        let (lo, hi) = s.recent_quantile_band(0.25, 0.75);
+        assert_eq!((lo, hi), (2.0, 4.0));
+    }
+}

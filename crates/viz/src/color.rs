@@ -1,0 +1,132 @@
+//! Colour maps for the rack and spectrum views.
+//!
+//! The paper colours z-scores with the *Turbo* diverging scheme (blue = cold
+//! / idle, green = near baseline, red = hot). We use Google's polynomial
+//! approximation of Turbo, exact to ~1/256 per channel.
+
+/// An sRGB colour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// `#rrggbb` hex string.
+    pub fn hex(&self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+/// The Turbo colormap at `t ∈ [0, 1]` (clamped): 0 = deep blue, ~0.5 =
+/// green, 1 = dark red. Polynomial fit from Google AI (Mikhailov 2019).
+pub fn turbo(t: f64) -> Rgb {
+    let x = t.clamp(0.0, 1.0);
+    let r =
+        34.61 + x * (1172.33 + x * (-10793.56 + x * (33300.12 + x * (-38394.49 + x * 14825.05))));
+    let g = 23.31 + x * (557.33 + x * (1225.33 + x * (-3574.96 + x * (1073.77 + x * 707.56))));
+    let b = 27.2 + x * (3211.1 + x * (-15327.97 + x * (27814.0 + x * (-22569.18 + x * 6838.66))));
+    Rgb {
+        r: r.round().clamp(0.0, 255.0) as u8,
+        g: g.round().clamp(0.0, 255.0) as u8,
+        b: b.round().clamp(0.0, 255.0) as u8,
+    }
+}
+
+/// Maps a z-score into Turbo as the paper does: blue hues for negative
+/// z (idle), green near zero (baseline), red for positive z (hot).
+/// `z_span` is the |z| mapped to the colour extremes (default 3).
+pub fn zscore_color(z: f64, z_span: f64) -> Rgb {
+    let span = if z_span > 0.0 { z_span } else { 3.0 };
+    // Map into [0.02, 0.98]: the polynomial fit of Turbo goes muddy-dark at
+    // the exact endpoints.
+    turbo(0.5 + 0.48 * (z / span).clamp(-1.0, 1.0))
+}
+
+/// Linear value→colour scale over `[lo, hi]`.
+pub fn value_color(v: f64, lo: f64, hi: f64) -> Rgb {
+    if hi <= lo {
+        return turbo(0.5);
+    }
+    turbo((v - lo) / (hi - lo))
+}
+
+/// Categorical palette for multi-series plots (colour-blind-safe subset).
+pub const SERIES_PALETTE: [&str; 8] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb", "#222222",
+];
+
+/// ASCII glyph ramp for terminal heatmaps, light to dark.
+pub const GLYPH_RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Glyph for `t ∈ [0, 1]`.
+pub fn glyph(t: f64) -> char {
+    let x = t.clamp(0.0, 1.0);
+    let idx = ((GLYPH_RAMP.len() - 1) as f64 * x).round() as usize;
+    GLYPH_RAMP[idx] as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turbo_hue_ordering() {
+        // The polynomial fit is muddy at the exact endpoints; the hue
+        // ordering blue → green → red holds just inside them.
+        let lo = turbo(0.05);
+        let hi = turbo(0.95);
+        assert!(lo.b > lo.r, "t=0.05 should be blueish: {lo:?}");
+        assert!(hi.r > hi.b, "t=0.95 should be reddish: {hi:?}");
+        let mid = turbo(0.5);
+        assert!(
+            mid.g > mid.r && mid.g > mid.b,
+            "t=0.5 should be greenish: {mid:?}"
+        );
+    }
+
+    #[test]
+    fn turbo_clamps_out_of_range() {
+        assert_eq!(turbo(-1.0), turbo(0.0));
+        assert_eq!(turbo(2.0), turbo(1.0));
+    }
+
+    #[test]
+    fn zscore_colors_follow_paper_semantics() {
+        let idle = zscore_color(-3.0, 3.0);
+        let base = zscore_color(0.0, 3.0);
+        let hot = zscore_color(3.0, 3.0);
+        assert!(idle.b > idle.r);
+        assert!(base.g > base.r && base.g > base.b);
+        assert!(hot.r > hot.b);
+    }
+
+    #[test]
+    fn hex_format() {
+        assert_eq!(
+            Rgb {
+                r: 255,
+                g: 0,
+                b: 16
+            }
+            .hex(),
+            "#ff0010"
+        );
+    }
+
+    #[test]
+    fn value_color_degenerate_range() {
+        assert_eq!(value_color(5.0, 1.0, 1.0), turbo(0.5));
+    }
+
+    #[test]
+    fn glyph_ramp_monotone() {
+        assert_eq!(glyph(0.0), ' ');
+        assert_eq!(glyph(1.0), '@');
+        assert_ne!(glyph(0.5), glyph(0.9));
+    }
+}

@@ -1,0 +1,165 @@
+//! Sensor × time heatmaps — the compact way to eyeball a snapshot matrix or
+//! its reconstruction (the raw view behind the paper's Fig. 3 panels).
+
+use crate::color::value_color;
+use crate::svg::SvgDoc;
+use hpc_linalg::Mat;
+use hpc_telemetry::Scenario;
+
+/// Heatmap rendering options.
+#[derive(Clone, Debug)]
+pub struct HeatmapConfig {
+    /// Chart title.
+    pub title: String,
+    /// Maximum rendered cells per axis; larger matrices are decimated by
+    /// averaging blocks (keeps SVG sizes sane for `P × T` telemetry).
+    pub max_cells: usize,
+    /// Explicit colour range; `None` uses the data min/max.
+    pub range: Option<(f64, f64)>,
+    /// Pixel size of one rendered cell.
+    pub cell_px: f64,
+}
+
+impl Default for HeatmapConfig {
+    fn default() -> Self {
+        HeatmapConfig {
+            title: String::new(),
+            max_cells: 256,
+            range: None,
+            cell_px: 3.0,
+        }
+    }
+}
+
+/// Renders a matrix as an SVG heatmap (rows top to bottom, time left to
+/// right, Turbo colour scale).
+pub fn heatmap_svg(m: &Mat, cfg: &HeatmapConfig) -> String {
+    let (rows, cols) = m.shape();
+    let r_step = rows.div_ceil(cfg.max_cells).max(1);
+    let c_step = cols.div_ceil(cfg.max_cells).max(1);
+    let out_rows = rows.div_ceil(r_step);
+    let out_cols = cols.div_ceil(c_step);
+    // Block means.
+    let mut cells = vec![0.0f64; out_rows * out_cols];
+    let mut counts = vec![0u32; out_rows * out_cols];
+    for i in 0..rows {
+        let oi = i / r_step;
+        for (j, &v) in m.row(i).iter().enumerate() {
+            let oj = j / c_step;
+            cells[oi * out_cols + oj] += v;
+            counts[oi * out_cols + oj] += 1;
+        }
+    }
+    for (c, &n) in cells.iter_mut().zip(&counts) {
+        if n > 0 {
+            *c /= n as f64;
+        }
+    }
+    let (lo, hi) = cfg.range.unwrap_or_else(|| {
+        let lo = cells.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = cells.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if lo.is_finite() && hi.is_finite() && hi > lo {
+            (lo, hi)
+        } else {
+            (0.0, 1.0)
+        }
+    });
+    let title_h = if cfg.title.is_empty() { 0.0 } else { 20.0 };
+    let width = out_cols as f64 * cfg.cell_px;
+    let height = out_rows as f64 * cfg.cell_px + title_h;
+    let mut doc = SvgDoc::new(width.max(40.0), height);
+    if !cfg.title.is_empty() {
+        doc.text(width / 2.0, 14.0, 12.0, "middle", &cfg.title);
+    }
+    for oi in 0..out_rows {
+        for oj in 0..out_cols {
+            let v = cells[oi * out_cols + oj];
+            doc.rect(
+                oj as f64 * cfg.cell_px,
+                title_h + oi as f64 * cfg.cell_px,
+                cfg.cell_px,
+                cfg.cell_px,
+                &value_color(v, lo, hi).hex(),
+                None,
+            );
+        }
+    }
+    doc.finish()
+}
+
+/// Convenience: heatmap of a scenario's snapshot range.
+pub fn scenario_heatmap(scenario: &Scenario, t0: usize, t1: usize, title: &str) -> String {
+    let m = scenario.generate(t0, t1);
+    heatmap_svg(
+        &m,
+        &HeatmapConfig {
+            title: title.into(),
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_matrix_renders_every_cell() {
+        let m = Mat::from_fn(4, 6, |i, j| (i * 6 + j) as f64);
+        let svg = heatmap_svg(&m, &HeatmapConfig::default());
+        // 24 cells + background rect.
+        assert_eq!(svg.matches("<rect").count(), 25);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn large_matrix_is_decimated() {
+        let m = Mat::from_fn(600, 1000, |i, j| ((i + j) % 17) as f64);
+        let cfg = HeatmapConfig {
+            max_cells: 100,
+            ..Default::default()
+        };
+        let svg = heatmap_svg(&m, &cfg);
+        let rects = svg.matches("<rect").count() - 1;
+        assert!(rects <= 100 * 100, "rects {rects}");
+        assert!(rects >= 50 * 50);
+    }
+
+    #[test]
+    fn explicit_range_clamps_colors() {
+        let m = Mat::from_fn(2, 2, |i, j| (i + j) as f64 * 100.0);
+        let cfg = HeatmapConfig {
+            range: Some((0.0, 1.0)),
+            ..Default::default()
+        };
+        // Out-of-range values clamp inside the colormap rather than panic.
+        let svg = heatmap_svg(&m, &cfg);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn constant_matrix_does_not_divide_by_zero() {
+        let m = Mat::from_fn(3, 3, |_, _| 7.0);
+        let svg = heatmap_svg(&m, &HeatmapConfig::default());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn scenario_heatmap_smoke() {
+        use hpc_telemetry::{theta, Scenario};
+        let s = Scenario::sc_log(theta().scaled(4), 60, 1);
+        let svg = scenario_heatmap(&s, 10, 50, "window");
+        assert!(svg.contains("</svg>"));
+        assert!(svg.contains(">window</text>"));
+    }
+
+    #[test]
+    fn title_present_when_set() {
+        let m = Mat::zeros(2, 2);
+        let cfg = HeatmapConfig {
+            title: "temps".into(),
+            ..Default::default()
+        };
+        assert!(heatmap_svg(&m, &cfg).contains(">temps</text>"));
+    }
+}

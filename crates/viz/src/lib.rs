@@ -1,0 +1,30 @@
+//! # rackviz
+//!
+//! Visualization substrate for the I-mrDMD suite — the paper's D3-in-Jupyter
+//! rack views and analysis plots, re-implemented as dependency-free SVG (and
+//! ASCII) renderers:
+//!
+//! - [`color`]: the Turbo colormap and the paper's z-score colour semantics,
+//! - [`svg`]: a minimal SVG document builder,
+//! - [`rack`]: the generalizable rack layout view driven by the layout
+//!   string grammar (Figs. 2, 4, 6), with job highlights and hardware-error
+//!   outlines,
+//! - [`plot`]: spectrum scatter (Figs. 5, 7), embedding comparison panels
+//!   (Fig. 8), time-series overlays (Fig. 3), and timing curves (Fig. 9).
+
+#![warn(missing_docs)]
+pub mod color;
+pub mod heatmap;
+pub mod plot;
+pub mod rack;
+pub mod report;
+pub mod svg;
+pub mod tree;
+
+pub use color::{glyph, turbo, value_color, zscore_color, Rgb};
+pub use heatmap::{heatmap_svg, scenario_heatmap, HeatmapConfig};
+pub use plot::{embedding_panel_svg, line_svg, scatter_svg, EmbeddingPanel, PlotConfig, Series};
+pub use rack::RackView;
+pub use report::HtmlReport;
+pub use svg::SvgDoc;
+pub use tree::{tree_svg, TreeNode};

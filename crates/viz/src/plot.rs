@@ -1,0 +1,374 @@
+//! SVG charts for the analysis artefacts: the mrDMD power spectrum
+//! (Figs. 5, 7), method-comparison scatter panels (Fig. 8), time-series
+//! overlays (Fig. 3), and timing curves (Fig. 9).
+
+use crate::color::SERIES_PALETTE;
+use crate::svg::SvgDoc;
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Axis configuration shared by the chart kinds.
+#[derive(Clone, Debug)]
+pub struct PlotConfig {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// Log-scale the y axis (power spectra, timing plots).
+    pub log_y: bool,
+    /// Canvas width in pixels.
+    pub width: f64,
+    /// Canvas height in pixels.
+    pub height: f64,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        PlotConfig {
+            title: String::new(),
+            xlabel: String::new(),
+            ylabel: String::new(),
+            log_y: false,
+            width: 640.0,
+            height: 420.0,
+        }
+    }
+}
+
+const MARGIN_L: f64 = 58.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 34.0;
+const MARGIN_B: f64 = 46.0;
+
+struct Frame {
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+    xmin: f64,
+    xmax: f64,
+    ymin: f64,
+    ymax: f64,
+    log_y: bool,
+}
+
+impl Frame {
+    fn map(&self, x: f64, y: f64) -> (f64, f64) {
+        let tx = if self.xmax > self.xmin {
+            (x - self.xmin) / (self.xmax - self.xmin)
+        } else {
+            0.5
+        };
+        let yv = if self.log_y { y.max(1e-300).log10() } else { y };
+        let ty = if self.ymax > self.ymin {
+            (yv - self.ymin) / (self.ymax - self.ymin)
+        } else {
+            0.5
+        };
+        (
+            self.x0 + tx * (self.x1 - self.x0),
+            self.y1 - ty * (self.y1 - self.y0),
+        )
+    }
+}
+
+fn build_frame(series: &[Series], cfg: &PlotConfig) -> Frame {
+    let mut xmin = f64::INFINITY;
+    let mut xmax = f64::NEG_INFINITY;
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for s in series {
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            let yv = if cfg.log_y { y.max(1e-300).log10() } else { y };
+            if cfg.log_y && y <= 0.0 {
+                continue;
+            }
+            ymin = ymin.min(yv);
+            ymax = ymax.max(yv);
+        }
+    }
+    if !xmin.is_finite() {
+        xmin = 0.0;
+        xmax = 1.0;
+    }
+    if !ymin.is_finite() {
+        ymin = 0.0;
+        ymax = 1.0;
+    }
+    if xmax == xmin {
+        xmax = xmin + 1.0;
+    }
+    if ymax == ymin {
+        ymax = ymin + 1.0;
+    }
+    Frame {
+        x0: MARGIN_L,
+        x1: cfg.width - MARGIN_R,
+        y0: MARGIN_T,
+        y1: cfg.height - MARGIN_B,
+        xmin,
+        xmax,
+        ymin,
+        ymax,
+        log_y: cfg.log_y,
+    }
+}
+
+fn draw_axes(doc: &mut SvgDoc, f: &Frame, cfg: &PlotConfig) {
+    doc.line(f.x0, f.y1, f.x1, f.y1, "#333333", 1.0);
+    doc.line(f.x0, f.y0, f.x0, f.y1, "#333333", 1.0);
+    doc.text(cfg.width / 2.0, 18.0, 13.0, "middle", &cfg.title);
+    doc.text(
+        cfg.width / 2.0,
+        cfg.height - 8.0,
+        11.0,
+        "middle",
+        &cfg.xlabel,
+    );
+    doc.text(14.0, cfg.height / 2.0, 11.0, "middle", &cfg.ylabel);
+    // Ticks: 5 per axis.
+    for k in 0..=4 {
+        let t = k as f64 / 4.0;
+        let xv = f.xmin + t * (f.xmax - f.xmin);
+        let (px, _) = f.map(xv, f.ymin);
+        doc.line(px, f.y1, px, f.y1 + 4.0, "#333333", 1.0);
+        doc.text(px, f.y1 + 16.0, 9.0, "middle", &format_tick(xv));
+        let yv = f.ymin + t * (f.ymax - f.ymin);
+        let py = f.y1 - t * (f.y1 - f.y0);
+        doc.line(f.x0 - 4.0, py, f.x0, py, "#333333", 1.0);
+        let label = if f.log_y {
+            format!("1e{}", yv.round() as i64)
+        } else {
+            format_tick(yv)
+        };
+        doc.text(f.x0 - 7.0, py + 3.0, 9.0, "end", &label);
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(0.01..1000.0).contains(&a) {
+        format!("{v:.1e}")
+    } else if a >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn draw_legend(doc: &mut SvgDoc, series: &[Series], cfg: &PlotConfig) {
+    let mut y = MARGIN_T + 4.0;
+    for (k, s) in series.iter().enumerate() {
+        if s.label.is_empty() {
+            continue;
+        }
+        let c = SERIES_PALETTE[k % SERIES_PALETTE.len()];
+        doc.rect(cfg.width - MARGIN_R - 110.0, y - 7.0, 10.0, 10.0, c, None);
+        doc.text(cfg.width - MARGIN_R - 96.0, y + 1.0, 9.0, "start", &s.label);
+        y += 14.0;
+    }
+}
+
+/// Scatter plot (spectrum, embeddings).
+pub fn scatter_svg(series: &[Series], cfg: &PlotConfig) -> String {
+    let f = build_frame(series, cfg);
+    let mut doc = SvgDoc::new(cfg.width, cfg.height);
+    draw_axes(&mut doc, &f, cfg);
+    for (k, s) in series.iter().enumerate() {
+        let c = SERIES_PALETTE[k % SERIES_PALETTE.len()];
+        for &(x, y) in &s.points {
+            if cfg.log_y && y <= 0.0 {
+                continue;
+            }
+            let (px, py) = f.map(x, y);
+            doc.circle(px, py, 2.5, c);
+        }
+    }
+    draw_legend(&mut doc, series, cfg);
+    doc.finish()
+}
+
+/// Line plot (time series, timing curves).
+pub fn line_svg(series: &[Series], cfg: &PlotConfig) -> String {
+    let f = build_frame(series, cfg);
+    let mut doc = SvgDoc::new(cfg.width, cfg.height);
+    draw_axes(&mut doc, &f, cfg);
+    for (k, s) in series.iter().enumerate() {
+        let c = SERIES_PALETTE[k % SERIES_PALETTE.len()];
+        let pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .filter(|&&(_, y)| !(cfg.log_y && y <= 0.0))
+            .map(|&(x, y)| f.map(x, y))
+            .collect();
+        doc.polyline(&pts, c, 1.6);
+    }
+    draw_legend(&mut doc, series, cfg);
+    doc.finish()
+}
+
+/// One Fig.-8-style panel: label plus the two point groups (baseline,
+/// non-baseline).
+pub type EmbeddingPanel = (String, Vec<(f64, f64)>, Vec<(f64, f64)>);
+
+/// A panel grid of scatter plots (Fig. 8's method comparison): renders each
+/// named embedding side by side, two groups coloured per panel.
+pub fn embedding_panel_svg(panels: &[EmbeddingPanel], cols: usize, title: &str) -> String {
+    let cols = cols.max(1);
+    let rows = panels.len().div_ceil(cols);
+    let pw = 220.0;
+    let ph = 200.0;
+    let width = pw * cols as f64;
+    let height = ph * rows as f64 + 26.0;
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(width / 2.0, 16.0, 13.0, "middle", title);
+    for (k, (name, base, other)) in panels.iter().enumerate() {
+        let cx = (k % cols) as f64 * pw;
+        let cy = (k / cols) as f64 * ph + 26.0;
+        // Per-panel frame.
+        doc.rect(
+            cx + 8.0,
+            cy + 8.0,
+            pw - 16.0,
+            ph - 30.0,
+            "none",
+            Some(("#999999", 0.8)),
+        );
+        doc.text(cx + pw / 2.0, cy + ph - 8.0, 10.0, "middle", name);
+        // Scale both groups into the frame.
+        let all: Vec<(f64, f64)> = base.iter().chain(other).copied().collect();
+        let (mut xmin, mut xmax, mut ymin, mut ymax) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for &(x, y) in &all {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        if !xmin.is_finite() || xmax == xmin {
+            xmax = xmin + 1.0;
+        }
+        if !ymin.is_finite() || ymax == ymin {
+            ymax = ymin + 1.0;
+        }
+        let map = |x: f64, y: f64| {
+            (
+                cx + 12.0 + (x - xmin) / (xmax - xmin) * (pw - 24.0),
+                cy + ph - 30.0 - (y - ymin) / (ymax - ymin) * (ph - 42.0),
+            )
+        };
+        for &(x, y) in base {
+            let (px, py) = map(x, y);
+            doc.circle(px, py, 2.2, "#4477aa");
+        }
+        for &(x, y) in other {
+            let (px, py) = map(x, y);
+            doc.circle(px, py, 2.2, "#ee6677");
+        }
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Vec<Series> {
+        vec![
+            Series::new("a", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 4.0)]),
+            Series::new("b", vec![(0.0, 4.0), (1.0, 3.0), (2.0, 1.0)]),
+        ]
+    }
+
+    #[test]
+    fn scatter_renders_all_points() {
+        let svg = scatter_svg(&sample_series(), &PlotConfig::default());
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn line_plot_has_one_polyline_per_series() {
+        let svg = line_svg(&sample_series(), &PlotConfig::default());
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points() {
+        let s = vec![Series::new(
+            "a",
+            vec![(0.0, 0.0), (1.0, 10.0), (2.0, 100.0)],
+        )];
+        let cfg = PlotConfig {
+            log_y: true,
+            ..Default::default()
+        };
+        let svg = scatter_svg(&s, &cfg);
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn empty_series_render_cleanly() {
+        let svg = scatter_svg(&[], &PlotConfig::default());
+        assert!(svg.contains("</svg>"));
+        let svg = line_svg(&[Series::new("e", vec![])], &PlotConfig::default());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn legend_labels_present() {
+        let svg = scatter_svg(&sample_series(), &PlotConfig::default());
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn panel_grid_counts() {
+        let panels = vec![
+            ("PCA".to_string(), vec![(0.0, 0.0)], vec![(1.0, 1.0)]),
+            ("UMAP".to_string(), vec![(0.0, 1.0)], vec![(1.0, 0.0)]),
+        ];
+        let svg = embedding_panel_svg(&panels, 2, "comparison");
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains("PCA"));
+        assert!(svg.contains("UMAP"));
+    }
+
+    #[test]
+    fn nan_points_do_not_break_frame() {
+        let s = vec![Series::new("a", vec![(f64::NAN, 1.0), (1.0, 2.0)])];
+        let svg = scatter_svg(&s, &PlotConfig::default());
+        assert!(svg.contains("</svg>"));
+    }
+}

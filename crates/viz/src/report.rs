@@ -1,0 +1,126 @@
+//! Standalone HTML report assembly — the suite's analogue of the paper's
+//! Jupyter-notebook interface: rack views, spectra, and tables combined into
+//! one self-contained document (SVGs inlined, no external assets).
+
+use crate::svg::escape;
+use std::fmt::Write as _;
+
+/// A report under construction.
+#[derive(Clone, Debug)]
+pub struct HtmlReport {
+    title: String,
+    body: String,
+}
+
+impl HtmlReport {
+    /// Starts a report with the given title.
+    pub fn new(title: impl Into<String>) -> HtmlReport {
+        HtmlReport {
+            title: title.into(),
+            body: String::new(),
+        }
+    }
+
+    /// Adds a section heading.
+    pub fn heading(&mut self, text: &str) -> &mut Self {
+        let _ = writeln!(self.body, "<h2>{}</h2>", escape(text));
+        self
+    }
+
+    /// Adds a paragraph.
+    pub fn paragraph(&mut self, text: &str) -> &mut Self {
+        let _ = writeln!(self.body, "<p>{}</p>", escape(text));
+        self
+    }
+
+    /// Adds preformatted text (e.g. a harness table).
+    pub fn preformatted(&mut self, text: &str) -> &mut Self {
+        let _ = writeln!(self.body, "<pre>{}</pre>", escape(text));
+        self
+    }
+
+    /// Inlines an SVG figure with a caption.
+    ///
+    /// The SVG is embedded verbatim (it comes from [`crate::svg::SvgDoc`],
+    /// which escapes its own text content).
+    pub fn figure(&mut self, svg: &str, caption: &str) -> &mut Self {
+        let _ = writeln!(
+            self.body,
+            "<figure>{}<figcaption>{}</figcaption></figure>",
+            svg,
+            escape(caption)
+        );
+        self
+    }
+
+    /// Adds a two-column key/value table.
+    pub fn kv_table(&mut self, rows: &[(&str, String)]) -> &mut Self {
+        let _ = writeln!(self.body, "<table>");
+        for (k, v) in rows {
+            let _ = writeln!(
+                self.body,
+                "<tr><th>{}</th><td>{}</td></tr>",
+                escape(k),
+                escape(v)
+            );
+        }
+        let _ = writeln!(self.body, "</table>");
+        self
+    }
+
+    /// Finalises into a complete HTML document.
+    pub fn finish(&self) -> String {
+        format!(
+            "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>{}</title>\n<style>{}</style>\n</head><body>\n<h1>{}</h1>\n{}\n</body></html>\n",
+            escape(&self.title),
+            STYLE,
+            escape(&self.title),
+            self.body
+        )
+    }
+}
+
+const STYLE: &str =
+    "body{font-family:sans-serif;max-width:1100px;margin:2em auto;padding:0 1em;color:#222}\
+h1{border-bottom:2px solid #4477aa}h2{color:#4477aa;margin-top:2em}\
+figure{margin:1em 0;border:1px solid #ddd;padding:8px;overflow-x:auto}\
+figcaption{font-size:0.85em;color:#666;margin-top:4px}\
+pre{background:#f6f6f6;padding:8px;overflow-x:auto;font-size:0.85em}\
+table{border-collapse:collapse}th,td{border:1px solid #ccc;padding:4px 10px;text-align:left}\
+th{background:#f0f4f8}";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_is_well_formed() {
+        let mut r = HtmlReport::new("Shift report");
+        r.heading("Rack view")
+            .paragraph("All <nodes> nominal & cool.")
+            .figure("<svg xmlns=\"http://www.w3.org/2000/svg\"></svg>", "Fig 1")
+            .kv_table(&[("hot nodes", "3".into()), ("idle nodes", "1".into())])
+            .preformatted("a | b\n1 | 2");
+        let html = r.finish();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert!(html.contains("<h2>Rack view</h2>"));
+        // User text is escaped; inline SVG is not.
+        assert!(html.contains("All &lt;nodes&gt; nominal &amp; cool."));
+        assert!(html.contains("<svg xmlns"));
+        assert!(html.contains("<th>hot nodes</th><td>3</td>"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let r = HtmlReport::new("a < b");
+        assert!(r.finish().contains("<title>a &lt; b</title>"));
+    }
+
+    #[test]
+    fn empty_report_still_valid() {
+        let html = HtmlReport::new("empty").finish();
+        assert!(html.contains("<body>"));
+        assert!(html.contains("</body>"));
+    }
+}

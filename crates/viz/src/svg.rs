@@ -1,0 +1,192 @@
+//! A minimal SVG document builder — just the elements the rack and plot
+//! renderers need, with numeric formatting kept short to keep files small.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Clone, Debug)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Escapes text content for XML.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+impl SvgDoc {
+    /// Starts a document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> SvgDoc {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Filled (optionally stroked) rectangle.
+    pub fn rect(
+        &mut self,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        fill: &str,
+        stroke: Option<(&str, f64)>,
+    ) {
+        let _ = write!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}""#,
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(w),
+            fmt_num(h),
+            fill
+        );
+        if let Some((color, sw)) = stroke {
+            let _ = write!(
+                self.body,
+                r#" stroke="{}" stroke-width="{}""#,
+                color,
+                fmt_num(sw)
+            );
+        }
+        self.body.push_str("/>\n");
+    }
+
+    /// Filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{}" fill="{}"/>"#,
+            fmt_num(cx),
+            fmt_num(cy),
+            fmt_num(r),
+            fill
+        );
+    }
+
+    /// Straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}"/>"#,
+            fmt_num(x1),
+            fmt_num(y1),
+            fmt_num(x2),
+            fmt_num(y2),
+            stroke,
+            fmt_num(width)
+        );
+    }
+
+    /// Polyline through the given points.
+    pub fn polyline(&mut self, pts: &[(f64, f64)], stroke: &str, width: f64) {
+        if pts.is_empty() {
+            return;
+        }
+        let coords: Vec<String> = pts
+            .iter()
+            .map(|&(x, y)| format!("{},{}", fmt_num(x), fmt_num(y)))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{}"/>"#,
+            coords.join(" "),
+            stroke,
+            fmt_num(width)
+        );
+    }
+
+    /// Text anchored at `(x, y)`; `anchor` is `start`, `middle` or `end`.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{}" y="{}" font-size="{}" font-family="sans-serif" text-anchor="{}">{}</text>"#,
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(size),
+            anchor,
+            escape(content)
+        );
+    }
+
+    /// Finalises into a standalone SVG string.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            fmt_num(self.width),
+            fmt_num(self.height),
+            fmt_num(self.width),
+            fmt_num(self.height),
+            self.body
+        )
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut d = SvgDoc::new(100.0, 50.0);
+        d.rect(0.0, 0.0, 10.0, 10.0, "#ff0000", None);
+        d.circle(5.0, 5.0, 2.0, "#00ff00");
+        d.text(1.0, 1.0, 8.0, "start", "hi <there>");
+        let s = d.finish();
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert!(s.contains("<rect"));
+        assert!(s.contains("<circle"));
+        assert!(s.contains("hi &lt;there&gt;"));
+        assert!(s.contains(r#"width="100""#));
+    }
+
+    #[test]
+    fn stroke_only_when_requested() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.rect(0.0, 0.0, 1.0, 1.0, "#fff", Some(("#000", 0.5)));
+        d.rect(2.0, 0.0, 1.0, 1.0, "#fff", None);
+        let s = d.finish();
+        assert_eq!(s.matches("stroke=").count(), 1);
+    }
+
+    #[test]
+    fn polyline_formats_points() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.polyline(&[(0.0, 0.0), (1.5, 2.25)], "#000", 1.0);
+        let s = d.finish();
+        assert!(s.contains(r#"points="0,0 1.50,2.25""#), "{s}");
+    }
+
+    #[test]
+    fn empty_polyline_is_skipped() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.polyline(&[], "#000", 1.0);
+        assert!(!d.finish().contains("polyline"));
+    }
+}

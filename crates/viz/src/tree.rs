@@ -1,0 +1,123 @@
+//! The multiresolution tree diagram — the suite's analogue of the paper's
+//! Fig. 1(a): one row of window boxes per level, each box coloured by its
+//! node's total mode power, annotated with mode counts.
+
+use crate::color::value_color;
+use crate::svg::SvgDoc;
+
+/// What the renderer needs to know about one tree node. Decoupled from the
+/// analysis crate so `rackviz` stays dependency-light; build it from a
+/// `ModeSet` with field-by-field mapping.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeNode {
+    /// Tree level (1 = coarsest).
+    pub level: usize,
+    /// Absolute snapshot where the window starts.
+    pub start: usize,
+    /// Window length in snapshots.
+    pub window: usize,
+    /// Modes retained at this node.
+    pub n_modes: usize,
+    /// Total mode power at this node.
+    pub power: f64,
+}
+
+/// Renders the tree over a timeline of `n_steps` snapshots.
+pub fn tree_svg(nodes: &[TreeNode], n_steps: usize, title: &str) -> String {
+    let depth = nodes.iter().map(|n| n.level).max().unwrap_or(0);
+    let width = 760.0f64;
+    let row_h = 34.0;
+    let title_h = 26.0;
+    let height = title_h + depth as f64 * row_h + 10.0;
+    let mut doc = SvgDoc::new(width, height.max(60.0));
+    doc.text(width / 2.0, 16.0, 13.0, "middle", title);
+    if n_steps == 0 || depth == 0 {
+        return doc.finish();
+    }
+    // Log-power colour scale across all nodes.
+    let powers: Vec<f64> = nodes.iter().map(|n| n.power.max(1e-12).log10()).collect();
+    let lo = powers.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = powers.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let x_of = |t: usize| 40.0 + (t as f64 / n_steps as f64) * (width - 60.0);
+    for node in nodes {
+        let y = title_h + (node.level - 1) as f64 * row_h;
+        let x0 = x_of(node.start);
+        let x1 = x_of((node.start + node.window).min(n_steps));
+        let fill = value_color(node.power.max(1e-12).log10(), lo, hi).hex();
+        doc.rect(
+            x0,
+            y,
+            (x1 - x0).max(1.0),
+            row_h - 8.0,
+            &fill,
+            Some(("#444444", 0.7)),
+        );
+        if x1 - x0 > 26.0 {
+            doc.text(
+                (x0 + x1) / 2.0,
+                y + row_h / 2.0 - 1.0,
+                9.0,
+                "middle",
+                &node.n_modes.to_string(),
+            );
+        }
+    }
+    for lvl in 1..=depth {
+        let y = title_h + (lvl - 1) as f64 * row_h + row_h / 2.0;
+        doc.text(6.0, y, 9.0, "start", &format!("L{lvl}"));
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_nodes() -> Vec<TreeNode> {
+        vec![
+            TreeNode {
+                level: 1,
+                start: 0,
+                window: 100,
+                n_modes: 3,
+                power: 10.0,
+            },
+            TreeNode {
+                level: 2,
+                start: 0,
+                window: 50,
+                n_modes: 2,
+                power: 4.0,
+            },
+            TreeNode {
+                level: 2,
+                start: 50,
+                window: 50,
+                n_modes: 1,
+                power: 1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_one_box_per_node() {
+        let svg = tree_svg(&demo_nodes(), 100, "tree");
+        // Background + 3 node boxes.
+        assert_eq!(svg.matches("<rect").count(), 4);
+        assert!(svg.contains(">L1<"));
+        assert!(svg.contains(">L2<"));
+        assert!(svg.contains(">3</text>"));
+    }
+
+    #[test]
+    fn empty_tree_is_valid_svg() {
+        let svg = tree_svg(&[], 100, "empty");
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn zero_steps_does_not_divide_by_zero() {
+        let svg = tree_svg(&demo_nodes(), 0, "degenerate");
+        assert!(svg.contains("</svg>"));
+    }
+}

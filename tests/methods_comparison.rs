@@ -1,0 +1,153 @@
+//! Integration tests for the comparator suite on real(istic) telemetry —
+//! the Fig. 8 contract: every method embeds the same data, the embeddings
+//! are finite and deterministic, and the mrDMD-family embedding separates
+//! baseline from non-baseline readings.
+
+use mrdmd_suite::prelude::*;
+
+/// Two labelled populations of telemetry series: 12 idle + 12 job-heated.
+fn labelled_telemetry() -> (Mat, usize) {
+    let n_nodes = 24;
+    let total = 400;
+    let mut machine = theta().scaled(n_nodes);
+    machine.series_per_node = 1;
+    // One hot job covering the second half of the nodes for the whole run.
+    let jobs = JobLog::new(
+        vec![Job {
+            id: 0,
+            project: "hot".into(),
+            first_node: 12,
+            n_nodes: 12,
+            start_step: 20,
+            end_step: total,
+            intensity: 18.0,
+            period_s: 240.0,
+        }],
+        n_nodes,
+    );
+    let scenario = Scenario::new(machine, Profile::ScLog, 9, jobs, vec![]);
+    (scenario.generate(0, total), 12)
+}
+
+fn centroid_gap(e: &Mat, n_base: usize) -> f64 {
+    let c = |lo: usize, hi: usize| -> (f64, f64) {
+        let n = (hi - lo) as f64;
+        (
+            (lo..hi).map(|i| e[(i, 0)]).sum::<f64>() / n,
+            (lo..hi).map(|i| e[(i, 1)]).sum::<f64>() / n,
+        )
+    };
+    let a = c(0, n_base);
+    let b = c(n_base, e.rows());
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[test]
+fn all_methods_embed_telemetry_finitely() {
+    let (x, _) = labelled_telemetry();
+
+    let mut pca = Pca::new(2);
+    pca.fit(&x);
+    assert!(pca.embedding().as_slice().iter().all(|v| v.is_finite()));
+
+    let mut ipca = IncrementalPca::new(2);
+    ipca.fit(&x, 8);
+    assert!(ipca.transform(&x).as_slice().iter().all(|v| v.is_finite()));
+
+    let u = Umap::fit(
+        &x,
+        &UmapConfig {
+            n_neighbors: 6,
+            n_epochs: 40,
+            ..Default::default()
+        },
+    );
+    assert!(u.embedding().as_slice().iter().all(|v| v.is_finite()));
+
+    let t = Tsne::fit(
+        &x,
+        &TsneConfig {
+            perplexity: 6.0,
+            n_iter: 60,
+            ..Default::default()
+        },
+    );
+    assert!(t.embedding().as_slice().iter().all(|v| v.is_finite()));
+
+    let mut au = AlignedUmap::new(UmapConfig {
+        n_neighbors: 6,
+        n_epochs: 40,
+        ..Default::default()
+    });
+    au.fit(&x.cols_range(0, 200));
+    au.partial_fit(&x);
+    assert!(au
+        .embedding()
+        .unwrap()
+        .as_slice()
+        .iter()
+        .all(|v| v.is_finite()));
+}
+
+#[test]
+fn mrdmd_embedding_separates_populations() {
+    let (x, n_base) = labelled_telemetry();
+    let cfg = MrDmdConfig {
+        dt: 20.0,
+        max_levels: 4,
+        max_cycles: 2,
+        rank: RankSelection::Svht,
+        ..MrDmdConfig::default()
+    };
+    let m = MrDmd::fit(&x, &cfg);
+    let e = embedding_2d(&m.nodes, &BandFilter::all(), x.rows());
+    assert_eq!(e.shape(), (x.rows(), 2));
+    let gap = centroid_gap(&e, n_base);
+    assert!(gap > 0.0, "populations should not coincide (gap {gap})");
+    // The idle population clusters tightly: its within-spread is below the
+    // centroid gap.
+    let ca = (
+        (0..n_base).map(|i| e[(i, 0)]).sum::<f64>() / n_base as f64,
+        (0..n_base).map(|i| e[(i, 1)]).sum::<f64>() / n_base as f64,
+    );
+    let spread_a = (0..n_base)
+        .map(|i| ((e[(i, 0)] - ca.0).powi(2) + (e[(i, 1)] - ca.1).powi(2)).sqrt())
+        .sum::<f64>()
+        / n_base as f64;
+    assert!(gap > spread_a, "gap {gap} vs idle spread {spread_a}");
+}
+
+#[test]
+fn imrdmd_embedding_matches_batch_family() {
+    let (x, n_base) = labelled_telemetry();
+    let mr = MrDmdConfig {
+        dt: 20.0,
+        max_levels: 4,
+        max_cycles: 2,
+        rank: RankSelection::Svht,
+        ..MrDmdConfig::default()
+    };
+    let icfg = IMrDmdConfig {
+        mr,
+        ..IMrDmdConfig::default()
+    };
+    let mut inc = IMrDmd::fit(&x.cols_range(0, 200), &icfg);
+    inc.partial_fit(&x.cols_range(200, 400));
+    let e = embedding_2d(inc.nodes(), &BandFilter::all(), x.rows());
+    assert!(e.as_slice().iter().all(|v| v.is_finite()));
+    assert!(centroid_gap(&e, n_base) > 0.0);
+}
+
+#[test]
+fn pca_and_ipca_agree_on_telemetry() {
+    let (x, _) = labelled_telemetry();
+    let mut pca = Pca::new(2);
+    pca.fit(&x);
+    let mut ipca = IncrementalPca::new(2);
+    ipca.fit(&x, 10);
+    let cross = ipca.components().t_matmul(pca.components());
+    let s = mrdmd_suite::linalg::svd(&cross);
+    for &v in &s.s {
+        assert!(v > 0.9, "principal subspaces diverge: cosine {v}");
+    }
+}

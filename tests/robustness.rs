@@ -1,0 +1,171 @@
+//! Failure-injection and degenerate-input robustness: the pipeline must
+//! stay finite and well-behaved on the pathological data a production log
+//! stream will eventually deliver.
+
+use mrdmd_suite::prelude::*;
+
+fn cfg(dt: f64, levels: usize) -> IMrDmdConfig {
+    IMrDmdConfig {
+        mr: MrDmdConfig {
+            dt,
+            max_levels: levels,
+            max_cycles: 2,
+            rank: RankSelection::Svht,
+            ..MrDmdConfig::default()
+        },
+        ..IMrDmdConfig::default()
+    }
+}
+
+/// Baseline healthy signal used as the substrate for injections.
+fn healthy(p: usize, t: usize) -> Mat {
+    Mat::from_fn(p, t, |i, j| {
+        let x = i as f64 / p as f64;
+        let tt = j as f64;
+        45.0 + 3.0 * (0.01 * tt + 2.0 * x).sin() + 0.5 * (0.08 * tt + 5.0 * x).cos()
+    })
+}
+
+#[test]
+fn dead_sensor_constant_row() {
+    // A sensor that flatlines (dropout reporting a constant).
+    let mut data = healthy(16, 512);
+    for v in data.row_mut(5) {
+        *v = 0.0;
+    }
+    let model = IMrDmd::fit(&data, &cfg(1.0, 4));
+    let rec = model.reconstruct();
+    assert!(rec.as_slice().iter().all(|v| v.is_finite()));
+    // The dead row reconstructs near zero, not garbage.
+    let dead_norm: f64 = rec.row(5).iter().map(|v| v * v).sum::<f64>().sqrt();
+    assert!(dead_norm < 10.0, "dead row norm {dead_norm}");
+}
+
+#[test]
+fn all_sensors_identical() {
+    // Perfectly correlated sensors: spatial rank 1.
+    let data = Mat::from_fn(12, 400, |_, j| 40.0 + (0.02 * j as f64).sin());
+    let model = IMrDmd::fit(&data, &cfg(1.0, 4));
+    let rec = model.reconstruct();
+    assert!(rec.as_slice().iter().all(|v| v.is_finite()));
+    let rel = rec.fro_dist(&data) / data.fro_norm();
+    assert!(rel < 0.1, "rank-1 stream should reconstruct well: {rel}");
+}
+
+#[test]
+fn extreme_spike_does_not_poison_the_tree() {
+    let mut data = healthy(16, 512);
+    // A single-sample 10⁶ spike (cosmic-ray style sensor glitch).
+    data[(3, 200)] = 1e6;
+    let model = IMrDmd::fit(&data, &cfg(1.0, 4));
+    let rec = model.reconstruct();
+    assert!(rec.as_slice().iter().all(|v| v.is_finite()));
+    // Rows far from the glitch stay reasonable.
+    let clean = healthy(16, 512);
+    let err_far: f64 = rec
+        .row(10)
+        .iter()
+        .zip(clean.row(10))
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let base: f64 = clean.row(10).iter().map(|v| v * v).sum::<f64>().sqrt();
+    assert!(
+        err_far < base,
+        "glitch contaminated unrelated sensors: {err_far} vs {base}"
+    );
+}
+
+#[test]
+fn tiny_streams_and_windows() {
+    // The smallest stream the API accepts.
+    let data = healthy(3, 16);
+    let model = IMrDmd::fit(&data, &cfg(1.0, 2));
+    assert!(model.reconstruct().as_slice().iter().all(|v| v.is_finite()));
+    // Single-sensor stream.
+    let data = healthy(1, 256);
+    let model = IMrDmd::fit(&data, &cfg(1.0, 3));
+    assert_eq!(model.n_rows(), 1);
+    assert!(model.reconstruct().as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn stall_and_fan_degradation_anomalies_survive_pipeline() {
+    let mut machine = theta().scaled(24);
+    machine.series_per_node = 1;
+    let jobs = JobLog::synthesize(24, 600, 5, 3);
+    let anomalies = vec![
+        Anomaly::Stall {
+            node: 3,
+            start: 100,
+            end: 400,
+        },
+        Anomaly::FanDegradation {
+            node: 9,
+            start: 50,
+            slope: 0.02,
+        },
+        Anomaly::Overheat {
+            node: 15,
+            start: 200,
+            end: 600,
+            delta: 40.0,
+        },
+    ];
+    let scenario = Scenario::new(machine, Profile::ScLog, 4, jobs, anomalies);
+    let data = scenario.generate(0, 600);
+    let model = IMrDmd::fit(&data, &cfg(scenario.dt(), 4));
+    let mags = row_mode_magnitudes(model.nodes(), &BandFilter::all(), 24);
+    assert!(mags.iter().all(|m| m.is_finite()));
+    // The 40 °C overheat ranks among the top magnitudes (heavy jobs can
+    // legitimately compete, but not displace it from the top 3).
+    let mut ranked: Vec<usize> = (0..24).collect();
+    ranked.sort_by(|&a, &b| mags[b].partial_cmp(&mags[a]).unwrap());
+    assert!(
+        ranked[..3].contains(&15),
+        "overheat node must rank top-3; ranking {:?}",
+        &ranked[..5]
+    );
+}
+
+#[test]
+fn huge_scale_and_tiny_scale_data() {
+    // 1e9-scale readings.
+    let big = Mat::from_fn(8, 256, |i, j| 1e9 * (1.0 + 0.01 * ((i + j) as f64).sin()));
+    let model = IMrDmd::fit(&big, &cfg(1.0, 3));
+    assert!(model.reconstruct().as_slice().iter().all(|v| v.is_finite()));
+    // 1e-9-scale readings.
+    let small = Mat::from_fn(8, 256, |i, j| 1e-9 * ((0.05 * j as f64 + i as f64).sin()));
+    let model = IMrDmd::fit(&small, &cfg(1.0, 3));
+    assert!(model.reconstruct().as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn zero_stream_is_inert() {
+    let data = Mat::zeros(8, 256);
+    let model = IMrDmd::fit(&data, &cfg(1.0, 3));
+    assert_eq!(model.reconstruct().fro_norm(), 0.0);
+    let spectrum = mode_spectrum(model.nodes());
+    assert!(spectrum.iter().all(|p| p.power >= 0.0));
+}
+
+#[test]
+fn regime_change_mid_stream() {
+    // The facility jumps 30 °C at T/2 — the stream must absorb it without
+    // non-finite output, and drift must flag it.
+    let data = Mat::from_fn(12, 512, |i, j| {
+        let base = if j < 256 { 40.0 } else { 70.0 };
+        base + ((0.02 * j as f64) + i as f64 * 0.3).sin()
+    });
+    let mut c = cfg(1.0, 4);
+    c.drift_threshold = Some(1.0);
+    let mut model = IMrDmd::fit(&data.cols_range(0, 256), &c);
+    let report = model.partial_fit(&data.cols_range(256, 512));
+    assert!(
+        report.drift > 1.0,
+        "regime change must register as drift: {}",
+        report.drift
+    );
+    assert!(model.is_stale());
+    assert!(model.reconstruct().as_slice().iter().all(|v| v.is_finite()));
+}
