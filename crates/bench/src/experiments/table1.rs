@@ -114,6 +114,35 @@ pub fn run(opts: &Opts) -> std::io::Result<Vec<Row>> {
         "shape: GPU metrics vs SC log initial-fit ratio at 16k: {:.2}x (paper 6.0x)",
         gpu.last().unwrap().initial_fit / sc.last().unwrap().initial_fit.max(1e-9)
     ));
+
+    // Serial vs parallel initial fit — the worker-pool row. `--full` runs
+    // the 1,024 × 8,000 Theta-profile fit at 6 levels; the scaled default
+    // keeps the same shape at a size the CI container can afford.
+    let (np, tp) = if opts.full { (1024, 8000) } else { (128, 2000) };
+    let scenario = Workloads::sc_log(np, tp, opts.seed);
+    let par_data = scenario.generate(0, tp);
+    let mut mr = Workloads::imrdmd_config(&scenario, 6).mr;
+    mr.n_threads = 1;
+    let t_serial = timeit_mean(opts.reps, || {
+        std::hint::black_box(MrDmd::fit(&par_data, &mr));
+    });
+    mr.n_threads = 0;
+    let t_auto = timeit_mean(opts.reps, || {
+        std::hint::black_box(MrDmd::fit(&par_data, &mr));
+    });
+    let threads = hpc_linalg::max_threads();
+    let speedup = t_serial / t_auto.max(1e-12);
+    out.line(String::new());
+    out.line(format!(
+        "parallel tree: {np}×{tp} Theta-profile initial fit, 6 levels: \
+         serial {t_serial:.4}s vs auto ({threads} thread(s)) {t_auto:.4}s → {speedup:.2}x"
+    ));
+    let par_json = format!(
+        "{{\n  \"n\": {np},\n  \"t\": {tp},\n  \"levels\": 6,\n  \"threads\": {threads},\n  \
+         \"serial_s\": {t_serial},\n  \"auto_s\": {t_auto},\n  \"speedup\": {speedup}\n}}\n"
+    );
+    out.artefact("table1_parallel.json", &par_json)?;
+
     let json = serde_json::to_string_pretty(&rows).expect("rows serialise");
     out.artefact("table1.json", &json)?;
     out.finish("table1")?;

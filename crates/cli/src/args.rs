@@ -28,6 +28,8 @@ pub enum Command {
         levels: usize,
         /// Slow-mode cycles per window.
         max_cycles: usize,
+        /// Worker threads (0 = auto, 1 = serial).
+        threads: usize,
         /// Output model JSON path.
         model: PathBuf,
     },
@@ -39,6 +41,8 @@ pub enum Command {
         input: PathBuf,
         /// Where to write the updated model (defaults to `model`).
         model_out: Option<PathBuf>,
+        /// Override the model's worker-thread knob (0 = auto, 1 = serial).
+        threads: Option<usize>,
     },
     /// Spectrum + z-score analysis of a fitted model.
     Analyze {
@@ -72,8 +76,8 @@ pub enum Command {
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info> [--flag value]...
   synth   --nodes N --steps T [--seed S] --out FILE.csv
-  fit     --input FILE.csv --dt SECONDS [--levels L] [--max-cycles C] --model FILE.json
-  update  --model FILE.json --input FILE.csv [--model-out FILE.json]
+  fit     --input FILE.csv --dt SECONDS [--levels L] [--max-cycles C] [--threads N] --model FILE.json
+  update  --model FILE.json --input FILE.csv [--model-out FILE.json] [--threads N]
   analyze --model FILE.json --input FILE.csv [--band-lo X --band-hi Y]
   render  --model FILE.json --input FILE.csv --layout \"SPEC\" --out FILE.svg
   info    --model FILE.json";
@@ -146,12 +150,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .transpose()
                 .map_err(|_| CliError("--max-cycles must be an integer".into()))?
                 .unwrap_or(2),
+            threads: flags
+                .get("threads")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--threads must be an integer".into()))?
+                .unwrap_or(0),
             model: get("model")?.into(),
         }),
         "update" => Ok(Command::Update {
             model: get("model")?.into(),
             input: get("input")?.into(),
             model_out: flags.get("model-out").map(PathBuf::from),
+            threads: flags
+                .get("threads")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--threads must be an integer".into()))?,
         }),
         "analyze" => Ok(Command::Analyze {
             model: get("model")?.into(),
@@ -182,7 +197,10 @@ mod tests {
 
     #[test]
     fn parses_fit() {
-        let c = parse_args(&argv("fit --input a.csv --dt 20 --levels 5 --model m.json")).unwrap();
+        let c = parse_args(&argv(
+            "fit --input a.csv --dt 20 --levels 5 --threads 4 --model m.json",
+        ))
+        .unwrap();
         assert_eq!(
             c,
             Command::Fit {
@@ -190,6 +208,7 @@ mod tests {
                 dt: 20.0,
                 levels: 5,
                 max_cycles: 2,
+                threads: 4,
                 model: "m.json".into()
             }
         );
@@ -210,10 +229,14 @@ mod tests {
         let c = parse_args(&argv("fit --input a.csv --dt 1 --model m.json")).unwrap();
         match c {
             Command::Fit {
-                levels, max_cycles, ..
+                levels,
+                max_cycles,
+                threads,
+                ..
             } => {
                 assert_eq!(levels, 6);
                 assert_eq!(max_cycles, 2);
+                assert_eq!(threads, 0, "auto by default");
             }
             _ => panic!("wrong variant"),
         }
@@ -245,7 +268,8 @@ mod tests {
             Command::Update {
                 model: "m.json".into(),
                 input: "b.csv".into(),
-                model_out: None
+                model_out: None,
+                threads: None
             }
         );
         let c = parse_args(&argv(

@@ -27,13 +27,15 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             dt,
             levels,
             max_cycles,
+            threads,
             model,
-        } => fit(input, *dt, *levels, *max_cycles, model),
+        } => fit(input, *dt, *levels, *max_cycles, *threads, model),
         Command::Update {
             model,
             input,
             model_out,
-        } => update(model, input, model_out.as_deref()),
+            threads,
+        } => update(model, input, model_out.as_deref(), *threads),
         Command::Analyze {
             model,
             input,
@@ -93,6 +95,7 @@ fn fit(
     dt: f64,
     levels: usize,
     max_cycles: usize,
+    threads: usize,
     model_path: &Path,
 ) -> Result<String, CliError> {
     if dt <= 0.0 {
@@ -105,6 +108,7 @@ fn fit(
             max_levels: levels.max(1),
             max_cycles: max_cycles.max(1),
             rank: RankSelection::Svht,
+            n_threads: threads,
             ..MrDmdConfig::default()
         },
         ..IMrDmdConfig::default()
@@ -121,8 +125,16 @@ fn fit(
     ))
 }
 
-fn update(model_path: &Path, input: &Path, model_out: Option<&Path>) -> Result<String, CliError> {
+fn update(
+    model_path: &Path,
+    input: &Path,
+    model_out: Option<&Path>,
+    threads: Option<usize>,
+) -> Result<String, CliError> {
     let mut model = load_model(model_path)?;
+    if let Some(n) = threads {
+        model.set_n_threads(n);
+    }
     let batch = load_csv(input)?;
     if batch.rows() != model.n_rows() {
         return Err(CliError(format!(
@@ -415,6 +427,7 @@ mod tests {
             model: model.clone(),
             input: csv_bad.clone(),
             model_out: None,
+            threads: None,
         })
         .unwrap_err();
         assert!(err.0.contains("9 series"), "{err}");
@@ -432,6 +445,7 @@ mod tests {
             dt: 1.0,
             levels: 3,
             max_cycles: 2,
+            threads: 0,
             model: tmp("m.json"),
         })
         .unwrap_err();

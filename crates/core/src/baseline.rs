@@ -226,6 +226,7 @@ mod tests {
                 nyquist_factor: 4,
                 min_window: 16,
                 max_window_growth: 1e3,
+                n_threads: 0,
             },
         )
     }

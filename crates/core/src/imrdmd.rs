@@ -24,7 +24,8 @@
 //! "Partial Fit" column.
 
 use crate::dmd::{Dmd, DmdConfig};
-use crate::mrdmd::{fit_tree, ModeSet, MrDmd, MrDmdConfig};
+use crate::mrdmd::{fit_halves, fit_tree, reconstruct_nodes, ModeSet, MrDmd, MrDmdConfig};
+use hpc_linalg::pool::WorkerPool;
 use hpc_linalg::{IncrementalSvd, Mat};
 use serde::{Deserialize, Serialize};
 
@@ -141,31 +142,19 @@ impl IMrDmd {
         state
             .root
             .subtract_reconstruction(&mut residual, 0, cfg.mr.dt);
-        if cfg.mr.max_levels >= 2 && t / 2 >= cfg.mr.min_window {
-            let mid = t / 2;
-            fit_tree(
-                &mut residual,
-                0,
-                mid,
-                0,
-                0,
-                &cfg.mr,
-                2,
-                cfg.mr.max_levels,
-                &mut state.subnodes,
-            );
-            fit_tree(
-                &mut residual,
-                mid,
-                t,
-                0,
-                0,
-                &cfg.mr,
-                2,
-                cfg.mr.max_levels,
-                &mut state.subnodes,
-            );
-        }
+        let pool = WorkerPool::new(cfg.mr.n_threads);
+        fit_halves(
+            &mut residual,
+            0,
+            t,
+            0,
+            0,
+            &cfg.mr,
+            1,
+            cfg.mr.max_levels,
+            &pool,
+            &mut state.subnodes,
+        );
         state
     }
 
@@ -284,6 +273,7 @@ impl IMrDmd {
         let before = self.subnodes.len();
         let mut new_modes = 0usize;
         if self.cfg.mr.max_levels >= 2 && t1 >= self.cfg.mr.min_window {
+            let pool = WorkerPool::new(self.cfg.mr.n_threads);
             fit_tree(
                 &mut residual,
                 0,
@@ -293,6 +283,7 @@ impl IMrDmd {
                 &self.cfg.mr,
                 2,
                 self.cfg.mr.max_levels,
+                &pool,
                 &mut self.subnodes,
             );
             new_modes = self.subnodes[before..].iter().map(ModeSet::n_modes).sum();
@@ -381,6 +372,14 @@ impl IMrDmd {
         &self.cfg
     }
 
+    /// Overrides the worker-thread knob (0 = auto, 1 = serial) for all
+    /// subsequent fits and reconstructions — handy when a model serialized on
+    /// one machine is resumed on another. Results are bitwise-identical at
+    /// every setting.
+    pub fn set_n_threads(&mut self, n_threads: usize) {
+        self.cfg.mr.n_threads = n_threads;
+    }
+
     /// Rank of the streaming root SVD.
     pub fn root_rank(&self) -> usize {
         self.isvd.rank()
@@ -389,11 +388,15 @@ impl IMrDmd {
     /// Reconstructs the denoised signal over absolute snapshots `[t0, t1)`.
     pub fn reconstruct_range(&self, t0: usize, t1: usize) -> Mat {
         assert!(t0 <= t1 && t1 <= self.t_total);
-        let mut out = Mat::zeros(self.p, t1 - t0);
-        for node in self.nodes() {
-            node.add_reconstruction(&mut out, t0, self.cfg.mr.dt);
-        }
-        out
+        let pool = WorkerPool::new(self.cfg.mr.n_threads);
+        reconstruct_nodes(
+            &self.nodes().collect::<Vec<_>>(),
+            self.p,
+            t0,
+            t1,
+            self.cfg.mr.dt,
+            &pool,
+        )
     }
 
     /// Reconstructs the full absorbed timeline.
@@ -438,46 +441,23 @@ impl IMrDmd {
             .subtract_reconstruction(&mut residual, 0, self.cfg.mr.dt);
         let mr = self.cfg.mr;
         let mut fresh: Vec<ModeSet> = Vec::new();
-        if mr.max_levels >= 2 && t / 2 >= mr.min_window {
-            let mid = t / 2;
-            let (mut left_buf, mut right_buf) =
-                (residual.cols_range(0, mid), residual.cols_range(mid, t));
-            let (mut left_nodes, mut right_nodes) = (Vec::new(), Vec::new());
-            std::thread::scope(|scope| {
-                let l = scope.spawn(|| {
-                    let w = left_buf.cols();
-                    fit_tree(
-                        &mut left_buf,
-                        0,
-                        w,
-                        0,
-                        0,
-                        &mr,
-                        2,
-                        mr.max_levels,
-                        &mut left_nodes,
-                    );
-                });
-                let r = scope.spawn(|| {
-                    let w = right_buf.cols();
-                    fit_tree(
-                        &mut right_buf,
-                        0,
-                        w,
-                        mid,
-                        0,
-                        &mr,
-                        2,
-                        mr.max_levels,
-                        &mut right_nodes,
-                    );
-                });
-                l.join().expect("left subtree refit panicked");
-                r.join().expect("right subtree refit panicked");
-            });
-            fresh.append(&mut left_nodes);
-            fresh.append(&mut right_nodes);
-        }
+        // The halves are independent subtrees ("embarrassingly parallel",
+        // Sec. III-A.1); fit_halves fans them — and their own halves, down to
+        // the size cutoff — across the worker pool instead of the former
+        // hard-coded two-thread split.
+        let pool = WorkerPool::new(mr.n_threads);
+        fit_halves(
+            &mut residual,
+            0,
+            t,
+            0,
+            0,
+            &mr,
+            1,
+            mr.max_levels,
+            &pool,
+            &mut fresh,
+        );
         self.subnodes = fresh;
         self.stale = false;
     }
@@ -524,29 +504,19 @@ impl IMrDmd {
             };
             root_rows.subtract_reconstruction(&mut residual, 0, self.cfg.mr.dt);
         }
-        if self.cfg.mr.max_levels >= 2 && self.t_total / 2 >= self.cfg.mr.min_window {
+        {
             let t = self.t_total;
-            let mid = t / 2;
-            fit_tree(
+            let pool = WorkerPool::new(self.cfg.mr.n_threads);
+            fit_halves(
                 &mut residual,
                 0,
-                mid,
-                0,
-                p_old,
-                &self.cfg.mr,
-                2,
-                self.cfg.mr.max_levels,
-                &mut self.subnodes,
-            );
-            fit_tree(
-                &mut residual,
-                mid,
                 t,
                 0,
                 p_old,
                 &self.cfg.mr,
-                2,
+                1,
                 self.cfg.mr.max_levels,
+                &pool,
                 &mut self.subnodes,
             );
         }
@@ -675,6 +645,7 @@ mod tests {
                 nyquist_factor: 4,
                 min_window: 16,
                 max_window_growth: 1e3,
+                n_threads: 0,
             },
             isvd_max_rank: 24,
             drift_threshold: None,

@@ -10,8 +10,15 @@
 //! reproduces the signal minus the high-frequency noise floor (Eqs. 7–8).
 
 use crate::dmd::{Dmd, DmdConfig, RankSelection};
+use hpc_linalg::pool::WorkerPool;
 use hpc_linalg::{c64, CMat, Mat};
 use serde::{Deserialize, Serialize};
+
+/// Minimum residual-buffer size (`rows × cols` elements) of a subtree before
+/// the recursion forks it onto another worker. Mirrors the role of
+/// `PAR_FLOP_THRESHOLD` in the matmul kernel: below this the ~0.1 ms thread
+/// spawn would rival the subtree's own arithmetic.
+pub(crate) const PAR_TREE_MIN_ELEMS: usize = 32_768;
 
 /// Configuration of the multiresolution recursion.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -34,6 +41,12 @@ pub struct MrDmdConfig {
     /// levels are numerically tiny, and an unclamped spurious eigenvalue
     /// `|λ| ≫ 1` would overwhelm its near-zero amplitude exponentially.
     pub max_window_growth: f64,
+    /// Worker threads for the fit and reconstruction: `0` sizes to the
+    /// machine (`HPC_LINALG_THREADS` or `available_parallelism`), `1` runs
+    /// serially, `n ≥ 2` uses exactly `n` threads. Results are
+    /// bitwise-identical at every setting — the pool only moves independent
+    /// subtrees and row blocks between threads, never reorders arithmetic.
+    pub n_threads: usize,
 }
 
 impl Default for MrDmdConfig {
@@ -46,6 +59,7 @@ impl Default for MrDmdConfig {
             nyquist_factor: 4,
             min_window: 16,
             max_window_growth: 1e3,
+            n_threads: 0,
         }
     }
 }
@@ -140,20 +154,43 @@ impl ModeSet {
     }
 
     fn apply_reconstruction(&self, out: &mut Mat, out_start: usize, dt: f64, sign: f64) {
+        let (rows, cols) = (out.rows(), out.cols());
+        self.apply_reconstruction_rows(out.as_mut_slice(), 0, rows, cols, out_start, dt, sign);
+    }
+
+    /// Same as [`apply_reconstruction`](Self::apply_reconstruction) but
+    /// restricted to a row block: `block` holds global output rows
+    /// `[grow0, grow1)` in row-major order with `out_cols` columns. Disjoint
+    /// row blocks can be filled concurrently; every element receives exactly
+    /// the additions (in the same order) it would in a whole-matrix pass, so
+    /// any row chunking produces bitwise-identical output.
+    #[allow(clippy::too_many_arguments)] // a flat (range, geometry) tuple is clearest here
+    pub(crate) fn apply_reconstruction_rows(
+        &self,
+        block: &mut [f64],
+        grow0: usize,
+        grow1: usize,
+        out_cols: usize,
+        out_start: usize,
+        dt: f64,
+        sign: f64,
+    ) {
         if self.n_modes() == 0 {
             return;
         }
         let node_end = self.start + self.window;
-        let out_end = out_start + out.cols();
+        let out_end = out_start + out_cols;
         let lo = self.start.max(out_start);
         let hi = node_end.min(out_end);
         if lo >= hi {
             return;
         }
-        let p = self
-            .modes
-            .rows()
-            .min(out.rows().saturating_sub(self.row_offset));
+        // Node-local rows whose global row (`row_offset + i`) falls in the block.
+        let i0 = grow0.saturating_sub(self.row_offset);
+        let i1 = self.modes.rows().min(grow1.saturating_sub(self.row_offset));
+        if i0 >= i1 {
+            return;
+        }
         let mut weights = vec![c64::ZERO; self.n_modes()];
         for abs in lo..hi {
             let t_rel = (abs - self.start) as f64 * dt;
@@ -161,13 +198,13 @@ impl ModeSet {
                 *wgt = (w * t_rel).exp() * a;
             }
             let col = abs - out_start;
-            for i in 0..p {
+            for i in i0..i1 {
                 let row = self.modes.row(i);
                 let mut acc = c64::ZERO;
                 for (&phi, &w) in row.iter().zip(&weights) {
                     acc = acc.mul_add(phi, w);
                 }
-                out[(self.row_offset + i, col)] += sign * acc.re;
+                block[(self.row_offset + i - grow0) * out_cols + col] += sign * acc.re;
             }
         }
     }
@@ -251,6 +288,7 @@ impl MrDmd {
         let mut nodes = Vec::new();
         let mut work = data.clone();
         let t = work.cols();
+        let pool = WorkerPool::new(config.n_threads);
         fit_tree(
             &mut work,
             0,
@@ -260,6 +298,7 @@ impl MrDmd {
             config,
             1,
             config.max_levels,
+            &pool,
             &mut nodes,
         );
         MrDmd {
@@ -284,11 +323,15 @@ impl MrDmd {
     /// `[t0, t1)` by summing every node's contribution (Eq. 7).
     pub fn reconstruct_range(&self, t0: usize, t1: usize) -> Mat {
         assert!(t0 <= t1 && t1 <= self.n_steps);
-        let mut out = Mat::zeros(self.n_rows, t1 - t0);
-        for node in &self.nodes {
-            node.add_reconstruction(&mut out, t0, self.config.dt);
-        }
-        out
+        let pool = WorkerPool::new(self.config.n_threads);
+        reconstruct_nodes(
+            &self.nodes.iter().collect::<Vec<_>>(),
+            self.n_rows,
+            t0,
+            t1,
+            self.config.dt,
+            &pool,
+        )
     }
 
     /// Reconstructs the full fitted timeline.
@@ -336,10 +379,47 @@ impl MrDmd {
     }
 }
 
+/// Sums every node's contribution over absolute snapshots `[t0, t1)` into a
+/// fresh `n_rows × (t1 − t0)` matrix, fanning the output's row blocks across
+/// `pool`. Each block walks the nodes in the given order, so every element
+/// sees exactly the serial pass's additions in the serial order — the result
+/// is bitwise-identical at any thread count (the chunk size is fixed, not
+/// derived from the pool).
+pub(crate) fn reconstruct_nodes(
+    nodes: &[&ModeSet],
+    n_rows: usize,
+    t0: usize,
+    t1: usize,
+    dt: f64,
+    pool: &WorkerPool,
+) -> Mat {
+    let width = t1 - t0;
+    let mut out = Mat::zeros(n_rows, width);
+    if width == 0 || n_rows == 0 {
+        return out;
+    }
+    let chunk_rows = (PAR_TREE_MIN_ELEMS / width).clamp(1, n_rows);
+    let mut blocks: Vec<(usize, &mut [f64])> = out
+        .as_mut_slice()
+        .chunks_mut(chunk_rows * width)
+        .enumerate()
+        .map(|(ci, s)| (ci * chunk_rows, s))
+        .collect();
+    pool.for_each(&mut blocks, &|(grow0, block)| {
+        let rows_here = block.len() / width;
+        for node in nodes {
+            node.apply_reconstruction_rows(block, *grow0, *grow0 + rows_here, width, t0, dt, 1.0);
+        }
+    });
+    out
+}
+
 /// Fits the subtree over columns `[lo, hi)` of the shared residual buffer
 /// `work` (whose column 0 holds absolute snapshot `buf_abs0`), pushing nodes
 /// into `nodes`. Residual subtraction happens in place — the recursion never
-/// copies the window, which keeps the memory traffic at `O(P·T)` per level.
+/// copies the window on the serial path, which keeps the memory traffic at
+/// `O(P·T)` per level; a forked right half works on its own copy (see
+/// [`fit_halves`]).
 ///
 /// Shared by the batch fit (level 1 over the whole buffer) and the
 /// incremental update (level 2 over the new batch at offset `T`).
@@ -353,6 +433,7 @@ pub(crate) fn fit_tree(
     cfg: &MrDmdConfig,
     level: usize,
     max_levels: usize,
+    pool: &WorkerPool,
     nodes: &mut Vec<ModeSet>,
 ) {
     let w = hi.saturating_sub(lo);
@@ -399,31 +480,81 @@ pub(crate) fn fit_tree(
             nodes.push(node);
         }
     }
-    if level >= max_levels || w / 2 < cfg.min_window {
+    fit_halves(
+        work, lo, hi, buf_abs0, row_offset, cfg, level, max_levels, pool, nodes,
+    );
+}
+
+/// Recurses on the two halves of `[lo, hi)` at `parent_level + 1`, forking
+/// the right half onto another worker when the pool has a permit and the
+/// half is big enough to amortise the spawn.
+///
+/// The forked branch gets a *copy* of its columns (the only sound way to
+/// hand two threads disjoint halves of one allocation without `unsafe`
+/// views). This is safe because no caller ever reads the residual buffer
+/// after its subtree is fitted — the buffer exists only to carry residuals
+/// *down* the recursion. Left-half nodes land in `nodes` directly; the
+/// forked right half collects into a private vector appended afterwards, so
+/// the depth-first node order — and, since the copied columns hold the same
+/// values the in-place path would see, every fitted mode — is
+/// bitwise-identical to the serial recursion.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fit_halves(
+    work: &mut Mat,
+    lo: usize,
+    hi: usize,
+    buf_abs0: usize,
+    row_offset: usize,
+    cfg: &MrDmdConfig,
+    parent_level: usize,
+    max_levels: usize,
+    pool: &WorkerPool,
+    nodes: &mut Vec<ModeSet>,
+) {
+    let w = hi.saturating_sub(lo);
+    if parent_level >= max_levels || w / 2 < cfg.min_window {
         return;
     }
     let mid = lo + w / 2;
+    let level = parent_level + 1;
+    if work.rows() * (hi - mid) >= PAR_TREE_MIN_ELEMS {
+        if let Some(fork) = pool.try_fork() {
+            let mut right_buf = work.cols_range(mid, hi);
+            let right_w = hi - mid;
+            let mut right_nodes = Vec::new();
+            let left = &mut *work;
+            let left_nodes = &mut *nodes;
+            fork.join(
+                || {
+                    fit_tree(
+                        left, lo, mid, buf_abs0, row_offset, cfg, level, max_levels, pool,
+                        left_nodes,
+                    )
+                },
+                || {
+                    fit_tree(
+                        &mut right_buf,
+                        0,
+                        right_w,
+                        buf_abs0 + mid,
+                        row_offset,
+                        cfg,
+                        level,
+                        max_levels,
+                        pool,
+                        &mut right_nodes,
+                    )
+                },
+            );
+            nodes.append(&mut right_nodes);
+            return;
+        }
+    }
     fit_tree(
-        work,
-        lo,
-        mid,
-        buf_abs0,
-        row_offset,
-        cfg,
-        level + 1,
-        max_levels,
-        nodes,
+        work, lo, mid, buf_abs0, row_offset, cfg, level, max_levels, pool, nodes,
     );
     fit_tree(
-        work,
-        mid,
-        hi,
-        buf_abs0,
-        row_offset,
-        cfg,
-        level + 1,
-        max_levels,
-        nodes,
+        work, mid, hi, buf_abs0, row_offset, cfg, level, max_levels, pool, nodes,
     );
 }
 
@@ -463,6 +594,7 @@ mod tests {
             nyquist_factor: 4,
             min_window: 16,
             max_window_growth: 1e3,
+            n_threads: 0,
         }
     }
 

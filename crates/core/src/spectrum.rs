@@ -7,6 +7,7 @@
 //! modes fed to the z-score analysis.
 
 use crate::mrdmd::ModeSet;
+use hpc_linalg::pool::WorkerPool;
 use serde::{Deserialize, Serialize};
 
 /// One point of the mrDMD spectrum.
@@ -27,9 +28,15 @@ pub struct SpectrumPoint {
 }
 
 /// Collects the spectrum of every mode in the given nodes.
+///
+/// Per-node aggregation (mode norms) fans out across the worker pool; each
+/// node's points land in its own slot and are concatenated in node order, so
+/// the result is identical to a serial pass at any thread count.
 pub fn mode_spectrum<'a>(nodes: impl IntoIterator<Item = &'a ModeSet>) -> Vec<SpectrumPoint> {
-    let mut out = Vec::new();
-    for node in nodes {
+    let mut slots: Vec<(&ModeSet, Vec<SpectrumPoint>)> =
+        nodes.into_iter().map(|n| (n, Vec::new())).collect();
+    let pool = WorkerPool::new(0);
+    pool.for_each(&mut slots, &|(node, out)| {
         let freqs = node.frequencies();
         let powers = node.powers();
         for ((&w, f), p) in node.omegas.iter().zip(freqs).zip(powers) {
@@ -42,8 +49,8 @@ pub fn mode_spectrum<'a>(nodes: impl IntoIterator<Item = &'a ModeSet>) -> Vec<Sp
                 window_len: node.window,
             });
         }
-    }
-    out
+    });
+    slots.into_iter().flat_map(|(_, pts)| pts).collect()
 }
 
 /// Frequency-band and power filter over spectrum points / node modes.
@@ -154,6 +161,7 @@ mod tests {
                 nyquist_factor: 4,
                 min_window: 16,
                 max_window_growth: 1e3,
+                n_threads: 0,
             },
         )
     }

@@ -10,6 +10,7 @@
 //! proportional to the batch.
 
 use crate::mrdmd::{ModeSet, MrDmd, MrDmdConfig};
+use hpc_linalg::pool::WorkerPool;
 use hpc_linalg::Mat;
 use serde::{Deserialize, Serialize};
 
@@ -95,14 +96,32 @@ impl WindowedMrDmd {
                 .cols_range(cut.min(self.tail.cols()), self.tail.cols());
             self.tail_start = keep_from;
         }
-        let mut fitted = 0;
+        // Every completed window is an independent fit; collect the due
+        // starts, fan the fits across the pool, and push the results in
+        // window order so the stitched state matches a serial pass exactly.
+        let mut due: Vec<usize> = Vec::new();
         while self.next_start + self.cfg.window <= self.t_total {
-            let lo = self.next_start - self.tail_start;
-            let window_data = self.tail.cols_range(lo, lo + self.cfg.window);
-            let fit = MrDmd::fit(&window_data, &self.cfg.mr);
-            self.fits.push((self.next_start, fit));
+            due.push(self.next_start);
             self.next_start += self.cfg.hop();
-            fitted += 1;
+        }
+        let fitted = due.len();
+        if fitted > 0 {
+            let tail = &self.tail;
+            let tail_start = self.tail_start;
+            let cfg = self.cfg;
+            let pool = WorkerPool::new(cfg.mr.n_threads);
+            let mut slots: Vec<(usize, Option<MrDmd>)> =
+                due.into_iter().map(|s| (s, None)).collect();
+            pool.for_each(&mut slots, &|(start, slot)| {
+                let lo = *start - tail_start;
+                let window_data = tail.cols_range(lo, lo + cfg.window);
+                *slot = Some(MrDmd::fit(&window_data, &cfg.mr));
+            });
+            self.fits.extend(
+                slots
+                    .into_iter()
+                    .map(|(s, f)| (s, f.expect("window fitted"))),
+            );
         }
         fitted
     }

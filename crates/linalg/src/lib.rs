@@ -13,7 +13,9 @@
 //! - [`svht`]: the Gavish–Donoho optimal singular value hard threshold,
 //! - [`eig`]: complex Schur-based eigendecomposition for the projected
 //!   DMD operator,
-//! - [`isvd`]: the Brand/Kühl incremental SVD that makes mrDMD streamable.
+//! - [`isvd`]: the Brand/Kühl incremental SVD that makes mrDMD streamable,
+//! - [`mod@pool`]: a permit-based scoped fork-join worker pool with a
+//!   process-wide thread budget shared with the matmul kernel.
 //!
 //! Everything is `f64`; matrices are row-major with rows = sensors and
 //! columns = time points, matching the paper's `P × T` convention.
@@ -26,6 +28,7 @@ pub mod eig;
 pub mod fft;
 pub mod isvd;
 pub mod mat;
+pub mod pool;
 pub mod qr;
 pub mod svd;
 pub mod svht;
@@ -37,6 +40,7 @@ pub use eig::{eig_complex, eig_real, Eig};
 pub use fft::{dominant_frequency, fft, fft_in_place, ifft, periodogram};
 pub use isvd::IncrementalSvd;
 pub use mat::Mat;
+pub use pool::{max_threads, WorkerPool};
 pub use qr::{lstsq, orthonormal_complement, qr, solve_upper_triangular, Qr};
 pub use svd::{svd, svd_randomized, svd_truncated, Svd};
 pub use svht::{svht_rank, svht_rank_known_noise};

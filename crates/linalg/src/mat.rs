@@ -283,34 +283,42 @@ impl Mat {
         let (m, k, n) = (self.rows, self.cols, b.cols);
         let mut out = Mat::zeros(m, n);
         let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
-        let threads = if flops >= PAR_FLOP_THRESHOLD {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-                .min(m.max(1))
+        // Draw extra workers from the process-wide budget so matmuls nested
+        // under an already fanned-out tree fit stay serial (no
+        // oversubscription); the split only changes which thread fills which
+        // row block, never the per-element arithmetic, so the result is
+        // bitwise-identical at any thread count.
+        let tokens = if flops >= PAR_FLOP_THRESHOLD {
+            crate::pool::acquire_workers(m.max(1) - 1)
         } else {
-            1
+            crate::pool::WorkerTokens::none()
         };
+        let threads = 1 + tokens.count();
         if threads <= 1 {
             matmul_rows(self, b, &mut out.data, 0, m);
         } else {
             let chunk = m.div_ceil(threads);
-            let out_chunks: Vec<(usize, &mut [f64])> = out
+            let mut out_chunks: Vec<(usize, &mut [f64])> = out
                 .data
                 .chunks_mut(chunk * n)
                 .enumerate()
                 .map(|(ci, s)| (ci * chunk, s))
                 .collect();
             std::thread::scope(|scope| {
-                for (i0, dst) in out_chunks {
+                let (first, rest) = out_chunks.split_first_mut().expect("chunks nonempty");
+                for (i0, dst) in rest.iter_mut() {
                     let a = &*self;
+                    let i0 = *i0;
                     scope.spawn(move || {
                         let rows_here = dst.len() / n;
                         matmul_rows(a, b, dst, i0, i0 + rows_here);
                     });
                 }
+                let rows_here = first.1.len() / n;
+                matmul_rows(self, b, first.1, 0, rows_here);
             });
         }
+        drop(tokens);
         out
     }
 

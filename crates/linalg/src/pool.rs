@@ -1,0 +1,313 @@
+//! Scoped fork-join worker pool with a process-wide thread budget.
+//!
+//! The mrDMD recursion is a balanced binary tree of independent subtree
+//! fits — fork-join parallelism, not task queues. This module therefore
+//! implements a *permit-based* scheduler instead of a deque-based
+//! work-stealing runtime: a [`WorkerPool`] hands out spawn permits, and
+//! [`WorkerPool::join`] runs its second closure on a fresh scoped thread
+//! (`std::thread::scope`) when a permit is available, inline otherwise.
+//! Saturated forks degrade to serial execution on the calling thread, so no
+//! task ever waits in a queue and the schedule stays greedy, which is the
+//! useful half of work stealing for this workload.
+//!
+//! Two budgets compose:
+//!
+//! - A **process-wide budget** of `max_threads() − 1` spare workers, shared
+//!   by every pool *and* by the threaded matmul kernel in
+//!   [`Mat::matmul`](crate::Mat::matmul). This is the oversubscription guard:
+//!   a tree fit that has fanned out across the machine leaves no spare
+//!   permits, so the matmuls running inside each subtree stay serial (and
+//!   vice versa). `max_threads()` is `available_parallelism`, overridable
+//!   with the `HPC_LINALG_THREADS` environment variable.
+//! - A **per-pool budget** of `n_threads − 1` forks in flight, carrying the
+//!   caller's `n_threads` knob (0 = auto). An auto-sized pool also *requires*
+//!   a global permit for each fork; an explicitly sized pool treats the knob
+//!   as a contract and forks up to its own budget regardless (still
+//!   *registering* with the global budget best-effort, so concurrent
+//!   components back off).
+//!
+//! Determinism: the pool only decides *where* a closure runs, never what it
+//! computes or in what order results are combined — callers split work into
+//! fixed chunks and merge in a fixed order. Every algorithm in this workspace
+//! built on the pool is bitwise-identical at any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable overriding the process-wide thread budget.
+pub const THREADS_ENV: &str = "HPC_LINALG_THREADS";
+
+static MAX_THREADS: OnceLock<usize> = OnceLock::new();
+static SPARE_WORKERS: OnceLock<AtomicUsize> = OnceLock::new();
+
+/// The process-wide thread budget: [`THREADS_ENV`] if set to a positive
+/// integer, else `std::thread::available_parallelism()`. Cached on first use.
+pub fn max_threads() -> usize {
+    *MAX_THREADS.get_or_init(|| {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Spare global workers (the budget minus the thread that entered the
+/// library).
+fn spare() -> &'static AtomicUsize {
+    SPARE_WORKERS.get_or_init(|| AtomicUsize::new(max_threads().saturating_sub(1)))
+}
+
+/// RAII handle over acquired global worker permits; dropping returns them.
+pub struct WorkerTokens {
+    n: usize,
+}
+
+impl WorkerTokens {
+    /// A handle holding no permits.
+    pub fn none() -> WorkerTokens {
+        WorkerTokens { n: 0 }
+    }
+
+    /// Number of permits held.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+}
+
+impl Drop for WorkerTokens {
+    fn drop(&mut self) {
+        if self.n > 0 {
+            spare().fetch_add(self.n, Ordering::Release);
+        }
+    }
+}
+
+/// Takes up to `want` permits from the process-wide budget (possibly zero —
+/// the call never blocks). Used by the matmul kernel to size its row-block
+/// fan-out to whatever the machine has left.
+pub fn acquire_workers(want: usize) -> WorkerTokens {
+    if want == 0 {
+        return WorkerTokens::none();
+    }
+    let s = spare();
+    let mut cur = s.load(Ordering::Relaxed);
+    loop {
+        let take = want.min(cur);
+        if take == 0 {
+            return WorkerTokens::none();
+        }
+        match s.compare_exchange_weak(cur, cur - take, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return WorkerTokens { n: take },
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// A fork-join handle sized by an `n_threads` knob (0 = auto).
+///
+/// Cheap to create (one atomic); make one per logical operation and share it
+/// down the recursion by reference — it is `Sync`.
+pub struct WorkerPool {
+    /// Forks this pool may still have in flight.
+    spare_local: AtomicUsize,
+    /// Auto-sized pools additionally require a global permit per fork.
+    require_global: bool,
+}
+
+impl WorkerPool {
+    /// A pool honouring `n_threads`: `0` sizes to [`max_threads`] and
+    /// coordinates strictly with the global budget; `1` never forks; `n ≥ 2`
+    /// forks up to `n − 1` times concurrently.
+    pub fn new(n_threads: usize) -> WorkerPool {
+        let (n, auto) = if n_threads == 0 {
+            (max_threads(), true)
+        } else {
+            (n_threads, false)
+        };
+        WorkerPool {
+            spare_local: AtomicUsize::new(n.saturating_sub(1)),
+            require_global: auto,
+        }
+    }
+
+    /// A pool that never forks.
+    pub fn serial() -> WorkerPool {
+        WorkerPool::new(1)
+    }
+
+    /// Reserves a fork if budgets allow. The returned guard must be consumed
+    /// with [`ForkGuard::join`] (or dropped to release the reservation).
+    pub fn try_fork(&self) -> Option<ForkGuard<'_>> {
+        let mut cur = self.spare_local.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return None;
+            }
+            match self.spare_local.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        let tokens = acquire_workers(1);
+        if self.require_global && tokens.count() == 0 {
+            self.spare_local.fetch_add(1, Ordering::Release);
+            return None;
+        }
+        Some(ForkGuard {
+            pool: self,
+            _tokens: tokens,
+        })
+    }
+
+    /// Runs `f` and `g`, on two threads when a fork is available, serially
+    /// (`f` then `g`) otherwise. Results are always returned as `(f, g)`.
+    pub fn join<Ra: Send, Rb: Send>(
+        &self,
+        f: impl FnOnce() -> Ra + Send,
+        g: impl FnOnce() -> Rb + Send,
+    ) -> (Ra, Rb) {
+        match self.try_fork() {
+            Some(fork) => fork.join(f, g),
+            None => (f(), g()),
+        }
+    }
+
+    /// Applies `f` to every item, fanning out over the pool by recursive
+    /// halving. Items are processed exactly once; no ordering of *execution*
+    /// is guaranteed, but each item's result lands in its own slot, so
+    /// result order is the input order.
+    pub fn for_each<T: Send>(&self, items: &mut [T], f: &(impl Fn(&mut T) + Sync)) {
+        match items {
+            [] => {}
+            [one] => f(one),
+            _ => {
+                let mid = items.len() / 2;
+                let (a, b) = items.split_at_mut(mid);
+                self.join(|| self.for_each(a, f), || self.for_each(b, f));
+            }
+        }
+    }
+}
+
+/// A reserved fork: one spawn permit held from a [`WorkerPool`].
+pub struct ForkGuard<'p> {
+    pool: &'p WorkerPool,
+    _tokens: WorkerTokens,
+}
+
+impl ForkGuard<'_> {
+    /// Runs `f` on the calling thread and `g` on a scoped worker thread,
+    /// returning both results. Panics from `g` are propagated.
+    pub fn join<Ra: Send, Rb: Send>(
+        self,
+        f: impl FnOnce() -> Ra + Send,
+        g: impl FnOnce() -> Rb + Send,
+    ) -> (Ra, Rb) {
+        let (ra, rb) = std::thread::scope(|s| {
+            let hb = s.spawn(g);
+            let ra = f();
+            (ra, hb.join())
+        });
+        match rb {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for ForkGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.spare_local.fetch_add(1, Ordering::Release);
+        // _tokens drops afterwards, returning the global permit.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn serial_pool_never_forks() {
+        let pool = WorkerPool::serial();
+        assert!(pool.try_fork().is_none());
+        let main_id = std::thread::current().id();
+        let (a, b) = pool.join(
+            || std::thread::current().id(),
+            || std::thread::current().id(),
+        );
+        assert_eq!(a, main_id);
+        assert_eq!(b, main_id);
+    }
+
+    #[test]
+    fn explicit_pool_forks_and_releases() {
+        let pool = WorkerPool::new(2);
+        let forked = AtomicBool::new(false);
+        let (a, b) = pool.join(
+            || 1 + 1,
+            || {
+                forked.store(true, Ordering::SeqCst);
+                21 * 2
+            },
+        );
+        assert_eq!((a, b), (2, 42));
+        assert!(forked.load(Ordering::SeqCst));
+        // The permit came back: a second fork succeeds.
+        assert!(pool.try_fork().is_some());
+    }
+
+    #[test]
+    fn fork_budget_is_bounded() {
+        let pool = WorkerPool::new(3); // two forks in flight
+        let g1 = pool.try_fork().expect("first fork");
+        let g2 = pool.try_fork().expect("second fork");
+        assert!(pool.try_fork().is_none(), "budget exhausted");
+        drop(g1);
+        drop(g2);
+        assert!(pool.try_fork().is_some());
+    }
+
+    #[test]
+    fn for_each_touches_every_slot_in_order() {
+        let pool = WorkerPool::new(4);
+        let mut items: Vec<(usize, usize)> = (0..97).map(|k| (k, 0)).collect();
+        pool.for_each(&mut items, &|(k, out)| *out = *k * *k);
+        for (k, out) in items {
+            assert_eq!(out, k * k);
+        }
+    }
+
+    #[test]
+    fn join_propagates_values_under_contention() {
+        let pool = WorkerPool::new(8);
+        let mut results = vec![0u64; 64];
+        let slots: Vec<(usize, &mut u64)> = results.iter_mut().enumerate().collect();
+        let mut slots = slots;
+        pool.for_each(&mut slots, &|(k, slot)| **slot = (*k as u64 + 1) * 3);
+        drop(slots);
+        for (k, v) in results.iter().enumerate() {
+            assert_eq!(*v, (k as u64 + 1) * 3);
+        }
+    }
+
+    #[test]
+    fn global_tokens_round_trip() {
+        let before = spare().load(Ordering::SeqCst);
+        {
+            let t = acquire_workers(before + 1);
+            assert!(t.count() <= before);
+        }
+        assert_eq!(spare().load(Ordering::SeqCst), before);
+    }
+}

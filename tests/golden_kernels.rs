@@ -1,0 +1,171 @@
+//! Golden-value regression tests for the dense kernels (ISSUE PR 1,
+//! satellite 3): Householder QR, one-sided Jacobi SVD, Hessenberg-QR
+//! eigendecomposition, and the incremental SVD, each checked against
+//! hand-computed fixtures in `tests/fixtures/`.
+//!
+//! Fixture format: `#` starts a comment; otherwise the stream is
+//! whitespace-separated tokens of repeated `name rows cols v…` sections
+//! (row-major). Quantities that are only defined up to a sign convention
+//! (columns of Q / singular vectors) are stored as absolute values.
+
+use hpc_linalg::{c64, eig_real, qr, svd, IncrementalSvd, Mat};
+use std::collections::BTreeMap;
+
+const TOL: f64 = 1e-12;
+
+fn load_fixture(name: &str) -> BTreeMap<String, Mat> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {path}: {e}"));
+    let mut tokens = text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .flat_map(|l| l.split_whitespace().map(String::from))
+        .collect::<Vec<_>>()
+        .into_iter();
+    let mut sections = BTreeMap::new();
+    while let Some(name) = tokens.next() {
+        let rows: usize = tokens.next().expect("rows").parse().expect("rows");
+        let cols: usize = tokens.next().expect("cols").parse().expect("cols");
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| tokens.next().expect("value").parse().expect("value"))
+            .collect();
+        sections.insert(name, Mat::from_vec(rows, cols, data));
+    }
+    sections
+}
+
+/// Largest absolute entry-wise difference, after mapping both through `f`.
+fn max_abs_diff(a: &Mat, b: &Mat, f: impl Fn(f64) -> f64) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (f(*x) - f(*y)).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn qr_matches_householder_fixture() {
+    let fx = load_fixture("qr_householder.txt");
+    let a = &fx["a"];
+    let d = qr(a);
+    assert_eq!((d.q.rows(), d.q.cols()), (3, 2), "thin Q shape");
+    assert_eq!((d.r.rows(), d.r.cols()), (2, 2), "thin R shape");
+    assert!(
+        max_abs_diff(&d.r, &fx["r_abs"], f64::abs) < TOL,
+        "|R| golden"
+    );
+    assert!(
+        max_abs_diff(&d.q, &fx["q_abs"], f64::abs) < TOL,
+        "|Q| golden"
+    );
+    // Exactness invariants: Q·R reproduces A and Q has orthonormal columns.
+    assert!(
+        max_abs_diff(&d.q.matmul(&d.r), a, |x| x) < 1e-12 * 200.0,
+        "Q·R = A"
+    );
+    let qtq = d.q.t_matmul(&d.q);
+    for i in 0..2 {
+        for j in 0..2 {
+            let want = if i == j { 1.0 } else { 0.0 };
+            assert!((qtq[(i, j)] - want).abs() < TOL, "QᵀQ = I");
+        }
+    }
+}
+
+#[test]
+fn jacobi_svd_matches_fixtures() {
+    let fx = load_fixture("svd_jacobi.txt");
+    let d1 = svd(&fx["a1"]);
+    let s1 = fx["s1"].as_slice();
+    assert_eq!(d1.s.len(), 2);
+    for (got, want) in d1.s.iter().zip(s1) {
+        assert!((got - want).abs() < TOL, "σ(A1): got {got}, want {want}");
+    }
+    assert!(
+        max_abs_diff(&d1.v, &fx["v1_abs"], f64::abs) < 1e-10,
+        "|V(A1)| golden"
+    );
+    assert!(
+        max_abs_diff(&d1.reconstruct(), &fx["a1"], |x| x) < 1e-12,
+        "U·S·Vᵀ = A1"
+    );
+
+    let d2 = svd(&fx["a2"]);
+    let s2 = fx["s2"].as_slice();
+    assert_eq!(d2.s.len(), 2);
+    for (got, want) in d2.s.iter().zip(s2) {
+        assert!((got - want).abs() < TOL, "σ(A2): got {got}, want {want}");
+    }
+    assert!(
+        max_abs_diff(&d2.reconstruct(), &fx["a2"], |x| x) < 1e-12,
+        "U·S·Vᵀ = A2"
+    );
+}
+
+#[test]
+fn hessenberg_qr_eig_matches_fixtures() {
+    let fx = load_fixture("eig_hessenberg.txt");
+    for (mat, eigs) in [
+        ("rot", "rot_eigs"),
+        ("m22", "m22_eigs"),
+        ("companion", "companion_eigs"),
+    ] {
+        let a = &fx[mat];
+        let n = a.rows();
+        let d = eig_real(a);
+        assert_eq!(d.values.len(), n, "{mat}: eigenvalue count");
+        let mut got: Vec<c64> = d.values.clone();
+        got.sort_by(|x, y| (x.re, x.im).partial_cmp(&(y.re, y.im)).unwrap());
+        let want = &fx[eigs];
+        for (i, z) in got.iter().enumerate() {
+            let (re, im) = (want[(i, 0)], want[(i, 1)]);
+            assert!(
+                (z.re - re).abs() < 1e-10 && (z.im - im).abs() < 1e-10,
+                "{mat}: λ_{i} = {}+{}i, want {re}+{im}i",
+                z.re,
+                z.im
+            );
+        }
+        // Residual check on the unsorted pairs: ‖A·w − λ·w‖∞ small.
+        for (j, lambda) in d.values.iter().enumerate() {
+            for i in 0..n {
+                let mut aw = c64::new(0.0, 0.0);
+                for k in 0..n {
+                    aw += d.vectors[(k, j)] * a[(i, k)];
+                }
+                let resid = (aw - *lambda * d.vectors[(i, j)]).abs();
+                assert!(resid < 1e-9, "{mat}: eigenpair {j} residual {resid}");
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_svd_matches_fixtures() {
+    let fx = load_fixture("isvd_update.txt");
+    let mut isvd = IncrementalSvd::new(&fx["block1"], 3);
+    isvd.update(&fx["block2"]);
+    assert_eq!(isvd.cols_seen(), 3);
+    let want = fx["s"].as_slice();
+    let s = isvd.s();
+    assert!(s.len() >= want.len(), "rank at least {}", want.len());
+    for (i, w) in want.iter().enumerate() {
+        assert!((s[i] - w).abs() < 1e-10, "σ_{i}: got {}, want {w}", s[i]);
+    }
+    for extra in &s[want.len()..] {
+        assert!(extra.abs() < 1e-10, "trailing σ ≈ 0, got {extra}");
+    }
+    assert!(
+        max_abs_diff(&isvd.reconstruct(), &fx["full"], |x| x) < 1e-10,
+        "ISVD reconstruction reproduces the streamed matrix"
+    );
+
+    let mut diag = IncrementalSvd::new(&fx["d1"], 2);
+    diag.update(&fx["d2"]);
+    let want = fx["ds"].as_slice();
+    for (i, w) in want.iter().enumerate() {
+        assert!((diag.s()[i] - w).abs() < 1e-12, "diag σ_{i}");
+    }
+}

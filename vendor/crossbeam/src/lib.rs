@@ -1,0 +1,78 @@
+//! Offline stand-in for `crossbeam`, covering the `channel` module surface
+//! this workspace uses (`bounded`, `unbounded`, `Sender`, `Receiver`) by
+//! delegating to `std::sync::mpsc`.
+
+pub mod channel {
+    //! MPSC channels with crossbeam's naming.
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(Inner<T>);
+
+    enum Inner<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Inner::Bounded(s) => Inner::Bounded(s.clone()),
+                Inner::Unbounded(s) => Inner::Unbounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Inner::Bounded(s) => s.send(value),
+                Inner::Unbounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Returns immediately with a value if one is ready.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Inner::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Inner::Unbounded(tx)), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_roundtrip_across_threads() {
+        let (tx, rx) = channel::bounded(1);
+        assert!(rx.try_recv().is_err());
+        std::thread::spawn(move || tx.send(42u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+}

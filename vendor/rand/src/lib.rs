@@ -1,0 +1,244 @@
+//! Offline stand-in for the `rand` crate (0.9 method names).
+//!
+//! Deterministic xoshiro256** generator behind the `StdRng` name, with the
+//! subset of the `Rng` surface this workspace uses: `random::<T>()`,
+//! `random_range(..)` over integer and float ranges, and `random_bool(p)`.
+//! The stream differs from upstream `StdRng` (ChaCha12) but is deterministic
+//! per seed, which is all the synthetic-telemetry generators require.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    /// xoshiro256** generator (Blackman & Vigna), seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding entry points (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, per the xoshiro reference implementation.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Types producible by [`Rng::random`].
+pub trait StandardUniform: Sized {
+    /// Samples one value from the type's standard distribution.
+    fn sample_standard(rng: &mut StdRng) -> Self;
+}
+
+impl StandardUniform for f64 {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> f64 {
+        // 53 random bits → uniform [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl StandardUniform for u64 {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+impl StandardUniform for u32 {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+impl StandardUniform for bool {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable from a half-open or inclusive range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Samples uniformly from `[lo, hi)` (`hi` inclusive when `inclusive`).
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = if inclusive {
+                    (hi as u128) - (lo as u128) + 1
+                } else {
+                    assert!(hi > lo, "cannot sample from empty range");
+                    (hi as u128) - (lo as u128)
+                };
+                // Modulo reduction; bias is negligible for the span sizes the
+                // telemetry generators use (≪ 2^64).
+                let v = (rng.next_u64() as u128) % span;
+                lo + v as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(usize, u64, u32, u16, u8);
+
+macro_rules! sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = if inclusive {
+                    (hi as i128 - lo as i128 + 1) as u128
+                } else {
+                    assert!(hi > lo, "cannot sample from empty range");
+                    (hi as i128 - lo as i128) as u128
+                };
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_signed!(isize, i64, i32, i16, i8);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        let u = f64::sample_standard(rng);
+        lo + (hi - lo) * u
+    }
+}
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        let u = f64::sample_standard(rng) as f32;
+        lo + (hi - lo) * u
+    }
+}
+
+/// Range argument accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Decomposes into `(lo, hi, inclusive)`.
+    fn bounds(self) -> (T, T, bool);
+}
+impl<T> SampleRange<T> for Range<T> {
+    fn bounds(self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+impl<T> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (T, T, bool) {
+        let (lo, hi) = self.into_inner();
+        (lo, hi, true)
+    }
+}
+
+/// Sampling methods (mirrors `rand::Rng` with the 0.9 names).
+pub trait Rng {
+    /// Samples a value from the type's standard distribution.
+    fn random<T: StandardUniform>(&mut self) -> T;
+    /// Samples uniformly from a range.
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    #[inline]
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi, inclusive) = range.bounds();
+        T::sample_range(self, lo, hi, inclusive)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let w: usize = rng.random_range(5..=5);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_bool() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ones = 0usize;
+        for _ in 0..2000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            if rng.random_bool(0.25) {
+                ones += 1;
+            }
+        }
+        assert!(
+            (300..700).contains(&ones),
+            "p=0.25 of 2000 → ~500, got {ones}"
+        );
+    }
+}

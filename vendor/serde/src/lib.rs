@@ -1,0 +1,428 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of serde's API that the workspace actually uses, with the same
+//! names and shapes: the `Serialize` / `Deserialize` traits (and their derive
+//! macros), `Serializer` / `Deserializer`, `de::Error`, and
+//! `de::DeserializeOwned`.
+//!
+//! Instead of serde's visitor-based zero-copy data model, everything funnels
+//! through one self-describing [`Content`] tree. A `Serializer` consumes a
+//! `Content`; a `Deserializer` produces one. `serde_json` (the sibling shim)
+//! renders `Content` to JSON text and parses it back. This is slower than
+//! real serde but behaviourally equivalent for the model-persistence and
+//! artefact-writing paths in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value — the pivot type between the
+/// `Serialize` and `Deserialize` halves of the shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null`; also carries `None` and non-finite floats.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence (arrays, tuples, vectors).
+    Seq(Vec<Content>),
+    /// Ordered key-value map (structs, struct variants).
+    Map(Vec<(String, Content)>),
+}
+
+pub mod ser {
+    //! Serialization half: the `Serialize` / `Serializer` traits.
+    use super::Content;
+    use std::fmt::Display;
+
+    /// Error trait for serializers (mirrors `serde::ser::Error`).
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A type that can describe itself as a [`Content`] tree through any
+    /// [`Serializer`].
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A sink that consumes one [`Content`] tree.
+    pub trait Serializer: Sized {
+        /// Value returned on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Consumes the fully built content tree.
+        fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    //! Deserialization half: the `Deserialize` / `Deserializer` traits.
+    use super::Content;
+    use std::fmt::Display;
+
+    /// Error trait for deserializers (mirrors `serde::de::Error`).
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A type constructible from a [`Content`] tree.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes `Self` from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A source that yields one [`Content`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+        /// Produces the content tree to deserialize from.
+        fn take_content(self) -> Result<Content, Self::Error>;
+    }
+
+    /// Marker for types deserializable without borrowing from the input
+    /// (mirrors `serde::de::DeserializeOwned`).
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+// Re-export the traits under their canonical names. The derive macros of the
+// same name live in a different namespace, so both coexist exactly as in the
+// real serde crate.
+#[doc(inline)]
+pub use de::{Deserialize, Deserializer};
+#[doc(inline)]
+pub use ser::{Serialize, Serializer};
+
+/// Simple string error used by the built-in content serializer/deserializer.
+#[derive(Debug, Clone)]
+pub struct ContentError(pub String);
+
+impl fmt::Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for ContentError {}
+impl ser::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+impl de::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// Serializer that materialises the [`Content`] tree itself.
+pub struct ContentSerializer;
+
+impl ser::Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Deserializer reading from an in-memory [`Content`] tree.
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> de::Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+    fn take_content(self) -> Result<Content, ContentError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any value into a [`Content`] tree (infallible for the shim's
+/// built-in serializer).
+pub fn to_content<T: ser::Serialize + ?Sized>(value: &T) -> Content {
+    match value.serialize(ContentSerializer) {
+        Ok(c) => c,
+        Err(_) => Content::Null,
+    }
+}
+
+/// Deserializes any owned value from a [`Content`] tree, adapting the error
+/// into the caller's error type.
+pub fn from_content<T, E>(content: Content) -> Result<T, E>
+where
+    T: de::DeserializeOwned,
+    E: de::Error,
+{
+    T::deserialize(ContentDeserializer(content)).map_err(|e| E::custom(e))
+}
+
+#[doc(hidden)]
+pub mod __private {
+    //! Helpers the derive macros expand to. Not public API.
+    use super::{de, from_content, Content};
+
+    /// Removes `key` from a struct's field map and deserializes it; a missing
+    /// key deserializes from `Null` so `Option` fields default to `None`.
+    pub fn take_field<T, E>(map: &mut Vec<(String, Content)>, key: &str) -> Result<T, E>
+    where
+        T: de::DeserializeOwned,
+        E: de::Error,
+    {
+        let content = match map.iter().position(|(k, _)| k == key) {
+            Some(i) => map.swap_remove(i).1,
+            None => Content::Null,
+        };
+        from_content(content).map_err(|e: E| E::custom(format_args!("field `{key}`: {e}")))
+    }
+
+    /// Pulls the next element of a tuple-variant payload.
+    pub fn next_elem<T, E>(it: &mut std::vec::IntoIter<Content>, variant: &str) -> Result<T, E>
+    where
+        T: de::DeserializeOwned,
+        E: de::Error,
+    {
+        let content = it
+            .next()
+            .ok_or_else(|| E::custom(format_args!("variant `{variant}`: missing element")))?;
+        from_content(content)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize implementations for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl ser::Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                #[allow(unused_comparisons)]
+                if (*self as i128) < 0 {
+                    s.serialize_content(Content::I64(*self as i64))
+                } else {
+                    s.serialize_content(Content::U64(*self as u64))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ser::Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::F64(*self))
+    }
+}
+impl ser::Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::F64(*self as f64))
+    }
+}
+impl ser::Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Bool(*self))
+    }
+}
+impl ser::Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.to_string()))
+    }
+}
+impl ser::Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.clone()))
+    }
+}
+impl<T: ser::Serialize + ?Sized> ser::Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+impl<T: ser::Serialize> ser::Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+impl<T: ser::Serialize> ser::Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+impl<T: ser::Serialize, const N: usize> ser::Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+impl<T: ser::Serialize> ser::Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.serialize_content(Content::Null),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: ser::Serialize),+> ser::Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_content(Content::Seq(vec![$(to_content(&self.$n)),+]))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize implementations.
+// ---------------------------------------------------------------------------
+
+fn content_kind(c: &Content) -> &'static str {
+    match c {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::I64(_) => "integer",
+        Content::U64(_) => "integer",
+        Content::F64(_) => "float",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "sequence",
+        Content::Map(_) => "map",
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> de::Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.take_content()?;
+                let err = |c: &Content| {
+                    <D::Error as de::Error>::custom(format_args!(
+                        "expected {}, found {}", stringify!($t), content_kind(c)
+                    ))
+                };
+                match c {
+                    Content::U64(v) => <$t>::try_from(v).map_err(|_| err(&Content::U64(v))),
+                    Content::I64(v) => <$t>::try_from(v).map_err(|_| err(&Content::I64(v))),
+                    Content::F64(v) if v.fract() == 0.0 && v.is_finite() => {
+                        Ok(v as $t)
+                    }
+                    other => Err(err(&other)),
+                }
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> de::Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            // Non-finite floats serialize as null (JSON has no NaN literal).
+            Content::Null => Ok(f64::NAN),
+            other => Err(<D::Error as de::Error>::custom(format_args!(
+                "expected float, found {}",
+                content_kind(&other)
+            ))),
+        }
+    }
+}
+impl<'de> de::Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+impl<'de> de::Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(<D::Error as de::Error>::custom(format_args!(
+                "expected bool, found {}",
+                content_kind(&other)
+            ))),
+        }
+    }
+}
+impl<'de> de::Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(<D::Error as de::Error>::custom(format_args!(
+                "expected string, found {}",
+                content_kind(&other)
+            ))),
+        }
+    }
+}
+impl<'de, T: de::DeserializeOwned> de::Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => Err(<D::Error as de::Error>::custom(format_args!(
+                "expected sequence, found {}",
+                content_kind(&other)
+            ))),
+        }
+    }
+}
+impl<'de, T: de::DeserializeOwned> de::Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: de::DeserializeOwned),+> de::Deserialize<'de> for ($($t,)+) {
+            fn deserialize<Des: Deserializer<'de>>(d: Des) -> Result<Self, Des::Error> {
+                match d.take_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $n;
+                            from_content::<$t, Des::Error>(it.next().expect("length checked"))?
+                        },)+))
+                    }
+                    Content::Seq(items) => Err(<Des::Error as de::Error>::custom(format_args!(
+                        "expected tuple of {}, found sequence of {}", $len, items.len()
+                    ))),
+                    other => Err(<Des::Error as de::Error>::custom(format_args!(
+                        "expected tuple of {}, found {}", $len, content_kind(&other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+    (6; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}

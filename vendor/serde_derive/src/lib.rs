@@ -1,0 +1,404 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — named-field structs and enums whose variants
+//! are unit, tuple, or struct-like — without `syn`/`quote`: the input token
+//! stream is walked directly and the impl is emitted as source text.
+//!
+//! Unsupported shapes (generic types, tuple structs, `#[serde(...)]`
+//! attributes) produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a brace-group token list into named fields, skipping each field's
+/// type (commas nested in `()`/`[]` groups or `<...>` pairs don't split).
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found `{other}`"
+                ))
+            }
+        }
+        // Skip the type: everything until a comma at angle-depth 0.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the top-level elements of a tuple-variant payload.
+fn tuple_arity(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut arity = 1;
+    let mut trailing_comma = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => {
+            return Err(format!(
+                "the serde shim derive supports only brace-bodied `{keyword} {name}`"
+            ))
+        }
+    };
+    match keyword.as_str() {
+        "struct" => Ok(Input::Struct {
+            name,
+            fields: parse_named_fields(&body)?,
+        }),
+        "enum" => Ok(Input::Enum {
+            name,
+            variants: parse_variants(&body)?,
+        }),
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+/// Derives the shim's `Serialize` for named structs and simple enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match parsed {
+        Input::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!("__fields.push(({f:?}.to_string(), ::serde::to_content(&self.{f})));\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{
+                    fn serialize<S: ::serde::ser::Serializer>(&self, s: S) -> ::core::result::Result<S::Ok, S::Error> {{
+                        let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();
+                        {pushes}
+                        s.serialize_content(::serde::Content::Map(__fields))
+                    }}
+                }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str({vn:?}.to_string()),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::Map(vec![({vn:?}.to_string(), ::serde::to_content(__f0))]),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![({vn:?}.to_string(), ::serde::Content::Seq(vec![{}]))]),\n",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("({f:?}.to_string(), ::serde::to_content({f}))"))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![({vn:?}.to_string(), ::serde::Content::Map(vec![{}]))]),\n",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{
+                    fn serialize<S: ::serde::ser::Serializer>(&self, s: S) -> ::core::result::Result<S::Ok, S::Error> {{
+                        let __content = match self {{
+                            {arms}
+                        }};
+                        s.serialize_content(__content)
+                    }}
+                }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+/// Derives the shim's `Deserialize` for named structs and simple enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match parsed {
+        Input::Struct { name, fields } => {
+            let takes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::__private::take_field::<_, D::Error>(&mut __map, {f:?})?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{
+                    fn deserialize<D: ::serde::de::Deserializer<'de>>(d: D) -> ::core::result::Result<Self, D::Error> {{
+                        let mut __map = match d.take_content()? {{
+                            ::serde::Content::Map(m) => m,
+                            _ => return ::core::result::Result::Err(
+                                <D::Error as ::serde::de::Error>::custom(concat!(\"expected map for struct \", stringify!({name})))),
+                        }};
+                        ::core::result::Result::Ok({name} {{
+                            {takes}
+                        }})
+                    }}
+                }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::core::result::Result::Ok({name}::{}),\n",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}(::serde::from_content(__payload)?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|_| format!("::serde::__private::next_elem::<_, D::Error>(&mut __it, {vn:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match __payload {{
+                                    ::serde::Content::Seq(__items) => {{
+                                        let mut __it = __items.into_iter();
+                                        ::core::result::Result::Ok({name}::{vn}({}))
+                                    }}
+                                    _ => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(
+                                        concat!(\"expected sequence payload for variant \", {vn:?}))),
+                                }},\n",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let takes: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::__private::take_field::<_, D::Error>(&mut __vm, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match __payload {{
+                                    ::serde::Content::Map(mut __vm) => ::core::result::Result::Ok({name}::{vn} {{ {} }}),
+                                    _ => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(
+                                        concat!(\"expected map payload for variant \", {vn:?}))),
+                                }},\n",
+                                takes.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{
+                    fn deserialize<D: ::serde::de::Deserializer<'de>>(d: D) -> ::core::result::Result<Self, D::Error> {{
+                        match d.take_content()? {{
+                            ::serde::Content::Str(__s) => match __s.as_str() {{
+                                {unit_arms}
+                                __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(
+                                    format!(concat!(\"unknown variant `{{}}` of \", stringify!({name})), __other))),
+                            }},
+                            ::serde::Content::Map(mut __m) if __m.len() == 1 => {{
+                                let (__tag, __payload) = __m.pop().expect(\"length checked\");
+                                match __tag.as_str() {{
+                                    {payload_arms}
+                                    __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(
+                                        format!(concat!(\"unknown variant `{{}}` of \", stringify!({name})), __other))),
+                                }}
+                            }}
+                            _ => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(
+                                concat!(\"expected string or single-key map for enum \", stringify!({name})))),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
