@@ -9,7 +9,7 @@ pub fn pairwise_sq_dists(x: &Mat) -> Mat {
         .map(|i| x.row(i).iter().map(|&v| v * v).sum())
         .collect();
     // ‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b; the Gram matrix does the heavy lifting.
-    let gram = x.matmul(&x.transpose());
+    let gram = x.matmul_nt(x);
     let mut d = Mat::zeros(n, n);
     for i in 0..n {
         for j in 0..n {

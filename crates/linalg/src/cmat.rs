@@ -167,44 +167,21 @@ impl CMat {
         out
     }
 
-    /// Complex matrix product `self * b`.
+    /// Complex matrix product `self * b`, via the blocked, register-tiled
+    /// kernel layer in [`crate::gemm`].
     pub fn matmul(&self, b: &CMat) -> CMat {
         assert_eq!(self.cols, b.rows, "matmul inner dimensions must agree");
-        let n = b.cols;
-        let mut out = CMat::zeros(self.rows, n);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            // Split borrow: rows of `out` are disjoint from `self`/`b`.
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av != c64::ZERO {
-                    let brow = b.row(kk);
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o = o.mul_add(av, bv);
-                    }
-                }
-            }
-        }
+        let mut out = CMat::zeros(self.rows, b.cols);
+        crate::gemm::cgemm(self, b, &mut out);
         out
     }
 
-    /// Mixed product with a real right factor.
+    /// Mixed product with a real right factor (same kernel layer; B is
+    /// widened to complex during packing).
     pub fn matmul_real(&self, b: &Mat) -> CMat {
         assert_eq!(self.cols, b.rows());
-        let n = b.cols();
-        let mut out = CMat::zeros(self.rows, n);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av != c64::ZERO {
-                    let brow = b.row(kk);
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
+        let mut out = CMat::zeros(self.rows, b.cols());
+        crate::gemm::cgemm_real(self, b, &mut out);
         out
     }
 
@@ -300,6 +277,11 @@ impl CMat {
     /// The underlying row-major buffer.
     pub fn as_slice(&self) -> &[c64] {
         &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [c64] {
+        &mut self.data
     }
 }
 

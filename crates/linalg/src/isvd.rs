@@ -16,9 +16,11 @@
 //! updates, so a Gram test triggers re-orthonormalisation when drift exceeds
 //! a tolerance.
 
+use crate::gemm::{gemm, Trans};
 use crate::mat::Mat;
-use crate::qr::{orthonormal_complement, qr};
+use crate::qr::{orthonormal_complement, orthonormal_complement_rows, qr};
 use crate::svd::{scale_cols, svd, svd_truncated, Svd};
+use crate::workspace;
 use serde::{Deserialize, Serialize};
 
 /// Streaming truncated SVD of a column-growing matrix.
@@ -119,15 +121,19 @@ impl IncrementalSvd {
         let c = block.cols();
         let q = self.rank();
         // Projection onto the current basis and orthonormal residual basis.
-        let d = self.u.t_matmul(block); // q × c
-        let proj = self.u.matmul(&d); // m × c
-        let resid = block.sub(&proj);
+        // All intermediates come from the per-thread scratch pool, and the
+        // residual is fused into one gemm: resid = block − U·d (β = 1).
+        let mut d = workspace::pooled_zeros(q, c); // q × c = Uᵀ · block
+        gemm(1.0, &self.u, Trans::Yes, block, Trans::No, 0.0, &mut d);
+        let mut resid = workspace::pooled_copy(block);
+        gemm(-1.0, &self.u, Trans::No, &d, Trans::No, 1.0, &mut resid);
         let e = orthonormal_complement(&self.u, &resid, 1e-12); // m × j
         let j = e.cols();
-        let p = e.t_matmul(&resid); // j × c
+        let mut p = workspace::pooled_zeros(j, c); // j × c = Eᵀ · resid
+        gemm(1.0, &e, Trans::Yes, &resid, Trans::No, 0.0, &mut p);
 
         // K = [diag(s) d; 0 p]  ((q+j) × (q+c)).
-        let mut k = Mat::zeros(q + j, q + c);
+        let mut k = workspace::pooled_zeros(q + j, q + c);
         for i in 0..q {
             k[(i, i)] = self.s[i];
         }
@@ -146,16 +152,38 @@ impl IncrementalSvd {
         let fk = drop_negligible(fk.truncate(keep));
         let r = fk.rank();
 
-        // U' = [U E] · U_K.
-        let ue = self.u.hstack(&e);
-        self.u = ue.matmul(&fk.u);
+        // U' = [U E] · U_K, summed blockwise so the concatenation is never
+        // materialised: U' = U·U_K[..q,..] + E·U_K[q.., ..].
+        let mut u_new = Mat::zeros(self.u.rows(), r);
+        gemm(
+            1.0,
+            &self.u,
+            Trans::No,
+            &fk.u.rows_range(0, q),
+            Trans::No,
+            0.0,
+            &mut u_new,
+        );
+        if j > 0 {
+            gemm(
+                1.0,
+                &e,
+                Trans::No,
+                &fk.u.rows_range(q, q + j),
+                Trans::No,
+                1.0,
+                &mut u_new,
+            );
+        }
+        self.u = u_new;
 
         // V' = [V 0; 0 I] · V_K  ((t+c) × r).
         let t = self.v.rows();
         let mut v_new = Mat::zeros(t + c, r);
         // Top block: V · V_K[..q, ..].
         let vk_top = fk.v.rows_range(0, q);
-        let top = self.v.matmul(&vk_top);
+        let mut top = workspace::pooled_zeros(t, r);
+        gemm(1.0, &self.v, Trans::No, &vk_top, Trans::No, 0.0, &mut top);
         for i in 0..t {
             v_new.row_mut(i).copy_from_slice(top.row(i));
         }
@@ -191,16 +219,20 @@ impl IncrementalSvd {
         let q = self.rank();
         // Project the new rows onto the right basis and split off the
         // orthonormal remainder of their row space.
-        let d = rows.matmul(&self.v); // r × q
-        let proj = d.matmul(&self.v.transpose()); // r × t
-        let resid = rows.sub(&proj);
-        // Orthonormalise residᵀ columns against V.
-        let f = orthonormal_complement(&self.v, &resid.transpose(), 1e-12); // t × j
+        // Pooled scratch throughout; the projection residual is fused into a
+        // single gemm with a transposed right operand: resid = rows − d·Vᵀ.
+        let mut d = workspace::pooled_zeros(r, q); // r × q = rows · V
+        gemm(1.0, rows, Trans::No, &self.v, Trans::No, 0.0, &mut d);
+        let mut resid = workspace::pooled_copy(rows);
+        gemm(-1.0, &d, Trans::No, &self.v, Trans::Yes, 1.0, &mut resid);
+        // Orthonormalise the residual rows against V (no transpose copy).
+        let f = orthonormal_complement_rows(&self.v, &resid, 1e-12); // t × j
         let j = f.cols();
-        let p = rows.matmul(&f); // r × j
+        let mut p = workspace::pooled_zeros(r, j); // r × j = rows · F
+        gemm(1.0, rows, Trans::No, &f, Trans::No, 0.0, &mut p);
 
         // K = [diag(s) 0; d p]  ((q+r) × (q+j)).
-        let mut k = Mat::zeros(q + r, q + j);
+        let mut k = workspace::pooled_zeros(q + r, q + j);
         for i in 0..q {
             k[(i, i)] = self.s[i];
         }
@@ -220,7 +252,16 @@ impl IncrementalSvd {
         // U' = [U 0; 0 I] · U_K  ((m+r) × rank).
         let m = self.u.rows();
         let mut u_new = Mat::zeros(m + r, rank);
-        let top = self.u.matmul(&fk.u.rows_range(0, q));
+        let mut top = workspace::pooled_zeros(m, rank);
+        gemm(
+            1.0,
+            &self.u,
+            Trans::No,
+            &fk.u.rows_range(0, q),
+            Trans::No,
+            0.0,
+            &mut top,
+        );
         for i in 0..m {
             u_new.row_mut(i).copy_from_slice(top.row(i));
         }
@@ -228,9 +269,30 @@ impl IncrementalSvd {
             u_new.row_mut(m + i).copy_from_slice(fk.u.row(q + i));
         }
         self.u = u_new;
-        // V' = [V F] · V_K.
-        let vf = self.v.hstack(&f);
-        self.v = vf.matmul(&fk.v);
+        // V' = [V F] · V_K = V·V_K[..q,..] + F·V_K[q..,..], no concatenation.
+        let t = self.v.rows();
+        let mut v_new = Mat::zeros(t, rank);
+        gemm(
+            1.0,
+            &self.v,
+            Trans::No,
+            &fk.v.rows_range(0, q),
+            Trans::No,
+            0.0,
+            &mut v_new,
+        );
+        if j > 0 {
+            gemm(
+                1.0,
+                &f,
+                Trans::No,
+                &fk.v.rows_range(q, q + j),
+                Trans::No,
+                1.0,
+                &mut v_new,
+            );
+        }
+        self.v = v_new;
         self.s = fk.s;
         self.maybe_reorthonormalise();
     }
@@ -346,7 +408,7 @@ mod tests {
         // Rank-2 data: the incremental factorisation should be exact.
         let u = Mat::from_fn(20, 2, |i, j| ((i + 1) as f64 * (j + 1) as f64 * 0.17).sin());
         let v = Mat::from_fn(50, 2, |i, j| ((i as f64) * 0.09 + j as f64).cos());
-        let a = u.matmul(&v.transpose());
+        let a = u.matmul_nt(&v);
         let mut inc = IncrementalSvd::new(&a.cols_range(0, 5), 8);
         for s in (5..50).step_by(9) {
             inc.update(&a.cols_range(s, (s + 9).min(50)));

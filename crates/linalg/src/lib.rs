@@ -8,6 +8,11 @@
 //!
 //! - [`Mat`] / [`CMat`]: dense row-major real and complex matrices with
 //!   cache-friendly, thread-parallel products,
+//! - [`mod@gemm`]: the blocked, register-tiled GEMM kernel layer (operand
+//!   packing, `MR × NR` register tiles, transpose flags, gemv) every dense
+//!   product routes through,
+//! - [`mod@workspace`]: per-thread reusable scratch buffers so hot
+//!   incremental paths are allocation-free in steady state,
 //! - [`mod@qr`]: Householder QR, least squares, and Gram–Schmidt complements,
 //! - [`mod@svd`]: one-sided Jacobi SVD plus a randomized truncated variant,
 //! - [`svht`]: the Gavish–Donoho optimal singular value hard threshold,
@@ -26,21 +31,26 @@ pub mod complex;
 pub mod csolve;
 pub mod eig;
 pub mod fft;
+pub mod gemm;
 pub mod isvd;
 pub mod mat;
 pub mod pool;
 pub mod qr;
 pub mod svd;
 pub mod svht;
+pub mod workspace;
 
 pub use cmat::CMat;
 pub use complex::c64;
 pub use csolve::{lstsq_complex, solve_complex};
 pub use eig::{eig_complex, eig_real, Eig};
 pub use fft::{dominant_frequency, fft, fft_in_place, ifft, periodogram};
+pub use gemm::{gemm, gemm_threaded, gemv, Trans};
 pub use isvd::IncrementalSvd;
 pub use mat::Mat;
 pub use pool::{max_threads, WorkerPool};
-pub use qr::{lstsq, orthonormal_complement, qr, solve_upper_triangular, Qr};
+pub use qr::{
+    lstsq, orthonormal_complement, orthonormal_complement_rows, qr, solve_upper_triangular, Qr,
+};
 pub use svd::{svd, svd_randomized, svd_truncated, Svd};
 pub use svht::{svht_rank, svht_rank_known_noise};

@@ -2,21 +2,21 @@
 //!
 //! `Mat` is the workhorse container of the suite: snapshot matrices are stored
 //! with one *sensor* per row and one *time point* per column, matching the
-//! paper's `P × T` convention. Storage is row-major `Vec<f64>`, so row access
-//! is contiguous and the matmul kernel iterates in `i-k-j` order to stay
-//! cache-friendly. Large products are parallelised over row blocks with scoped
-//! threads (no dependency beyond `std`).
+//! paper's `P × T` convention. Storage is row-major `Vec<f64>`; every dense
+//! product (`matmul`, `t_matmul`, `matmul_nt`, `matvec`, `t_matvec`) routes
+//! through the blocked, register-tiled kernel layer in [`crate::gemm`], which
+//! packs operands, keeps an `MR × NR` accumulator tile in registers, and
+//! parallelises large products over row blocks (bitwise-deterministically)
+//! with scoped threads (no dependency beyond `std`).
 
+use crate::gemm::{gemm, gemv, Trans};
 use serde::de::Error as _;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-/// Minimum flop count (`2·m·k·n`) before the matmul kernel spawns threads.
-const PAR_FLOP_THRESHOLD: usize = 4_000_000;
-
 /// A dense row-major matrix of `f64`.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Mat {
     rows: usize,
     cols: usize,
@@ -260,6 +260,17 @@ impl Mat {
     /// Transposed copy.
     pub fn transpose(&self) -> Mat {
         let mut out = Mat::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose of `self` into `out` (which must be
+    /// `cols × rows`), without allocating.
+    ///
+    /// # Panics
+    /// Panics if `out` has the wrong shape.
+    pub fn transpose_into(&self, out: &mut Mat) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose shape");
         // Blocked transpose for cache friendliness on large matrices.
         const B: usize = 32;
         for ib in (0..self.rows).step_by(B) {
@@ -271,100 +282,79 @@ impl Mat {
                 }
             }
         }
-        out
+    }
+
+    /// Consumes the matrix, returning its backing row-major buffer (used by
+    /// the scratch-workspace pool to recycle storage).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
     }
 
     /// Matrix product `self * b`, threaded over row blocks when large.
+    ///
+    /// Routed through the blocked, register-tiled [`crate::gemm`] kernel;
+    /// bitwise-identical at any thread count.
     ///
     /// # Panics
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, b: &Mat) -> Mat {
         assert_eq!(self.cols, b.rows, "matmul inner dimensions must agree");
-        let (m, k, n) = (self.rows, self.cols, b.cols);
-        let mut out = Mat::zeros(m, n);
-        let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
-        // Draw extra workers from the process-wide budget so matmuls nested
-        // under an already fanned-out tree fit stay serial (no
-        // oversubscription); the split only changes which thread fills which
-        // row block, never the per-element arithmetic, so the result is
-        // bitwise-identical at any thread count.
-        let tokens = if flops >= PAR_FLOP_THRESHOLD {
-            crate::pool::acquire_workers(m.max(1) - 1)
-        } else {
-            crate::pool::WorkerTokens::none()
-        };
-        let threads = 1 + tokens.count();
-        if threads <= 1 {
-            matmul_rows(self, b, &mut out.data, 0, m);
-        } else {
-            let chunk = m.div_ceil(threads);
-            let mut out_chunks: Vec<(usize, &mut [f64])> = out
-                .data
-                .chunks_mut(chunk * n)
-                .enumerate()
-                .map(|(ci, s)| (ci * chunk, s))
-                .collect();
-            std::thread::scope(|scope| {
-                let (first, rest) = out_chunks.split_first_mut().expect("chunks nonempty");
-                for (i0, dst) in rest.iter_mut() {
-                    let a = &*self;
-                    let i0 = *i0;
-                    scope.spawn(move || {
-                        let rows_here = dst.len() / n;
-                        matmul_rows(a, b, dst, i0, i0 + rows_here);
-                    });
-                }
-                let rows_here = first.1.len() / n;
-                matmul_rows(self, b, first.1, 0, rows_here);
-            });
-        }
-        drop(tokens);
+        let mut out = Mat::zeros(self.rows, b.cols);
+        gemm(1.0, self, Trans::No, b, Trans::No, 0.0, &mut out);
         out
     }
 
-    /// `selfᵀ * b` without materialising the transpose.
+    /// `selfᵀ * b` without materialising the transpose (TN product).
+    ///
+    /// # Panics
+    /// Panics if row counts disagree.
     pub fn t_matmul(&self, b: &Mat) -> Mat {
         assert_eq!(self.rows, b.rows, "t_matmul requires equal row counts");
-        let (m, k, n) = (self.cols, self.rows, b.cols);
-        let mut out = Mat::zeros(m, n);
-        // outᵀ accumulation: iterate over the shared row index so both
-        // operands stream contiguously.
-        for r in 0..k {
-            let arow = self.row(r);
-            let brow = b.row(r);
-            for (i, &a) in arow.iter().enumerate() {
-                if a != 0.0 {
-                    let orow = &mut out.data[i * n..(i + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += a * bv;
-                    }
-                }
-            }
-        }
-        let _ = m;
+        let mut out = Mat::zeros(self.cols, b.cols);
+        gemm(1.0, self, Trans::Yes, b, Trans::No, 0.0, &mut out);
+        out
+    }
+
+    /// `self * bᵀ` without materialising the transpose (NT product).
+    ///
+    /// # Panics
+    /// Panics if column counts disagree.
+    pub fn matmul_nt(&self, b: &Mat) -> Mat {
+        assert_eq!(self.cols, b.cols, "matmul_nt requires equal column counts");
+        let mut out = Mat::zeros(self.rows, b.rows);
+        gemm(1.0, self, Trans::No, b, Trans::Yes, 0.0, &mut out);
         out
     }
 
     /// Matrix–vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(self.cols, v.len());
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
-            .collect()
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix–vector product `self * v` into a caller-provided buffer
+    /// (no allocation — the hot-loop variant).
+    ///
+    /// # Panics
+    /// Panics if `v` or `out` have the wrong length.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
+        gemv(1.0, self, Trans::No, v, 0.0, out);
     }
 
     /// `selfᵀ * v` without materialising the transpose.
     pub fn t_matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(self.rows, v.len());
         let mut out = vec![0.0; self.cols];
-        for (i, &vi) in v.iter().enumerate() {
-            if vi != 0.0 {
-                for (o, &a) in out.iter_mut().zip(self.row(i)) {
-                    *o += a * vi;
-                }
-            }
-        }
+        self.t_matvec_into(v, &mut out);
         out
+    }
+
+    /// `selfᵀ * v` into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `v` or `out` have the wrong length.
+    pub fn t_matvec_into(&self, v: &[f64], out: &mut [f64]) {
+        gemv(1.0, self, Trans::Yes, v, 0.0, out);
     }
 
     /// Scales every entry in place.
@@ -483,23 +473,6 @@ impl Mat {
     }
 }
 
-/// Computes rows `[i0, i1)` of `a * b` into `dst` (row-major, `b.cols` wide).
-fn matmul_rows(a: &Mat, b: &Mat, dst: &mut [f64], i0: usize, i1: usize) {
-    let n = b.cols;
-    for i in i0..i1 {
-        let arow = a.row(i);
-        let orow = &mut dst[(i - i0) * n..(i - i0 + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av != 0.0 {
-                let brow = b.row(kk);
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-    }
-}
-
 impl Serialize for Mat {
     fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
         (self.rows, self.cols, &self.data).serialize(s)
@@ -582,16 +555,32 @@ mod tests {
 
     #[test]
     fn parallel_matmul_matches_serial() {
-        // Big enough to cross PAR_FLOP_THRESHOLD.
+        // Big enough to cross the kernel's flop threshold; integer-valued
+        // entries keep every product exact, so the comparison is bitwise.
         let a = Mat::from_fn(150, 120, |i, j| ((i * 7 + j * 13) % 11) as f64 - 5.0);
         let b = Mat::from_fn(120, 140, |i, j| ((i * 5 + j * 3) % 9) as f64 - 4.0);
         let c = a.matmul(&b);
-        let serial = Mat::zeros(150, 140);
-        matmul_rows(&a, &b, &mut serial.data.clone(), 0, 150);
-        let mut buf = vec![0.0; 150 * 140];
-        matmul_rows(&a, &b, &mut buf, 0, 150);
-        assert_eq!(c.as_slice(), &buf[..]);
-        let _ = serial;
+        let mut serial = Mat::zeros(150, 140);
+        crate::gemm::gemm_threaded(
+            1,
+            1.0,
+            &a,
+            crate::gemm::Trans::No,
+            &b,
+            crate::gemm::Trans::No,
+            0.0,
+            &mut serial,
+        );
+        assert_eq!(c.as_slice(), serial.as_slice());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Mat::from_fn(7, 4, |i, j| (i as f64) - 2.0 * (j as f64));
+        let b = Mat::from_fn(5, 4, |i, j| (i * j) as f64 * 0.5 - 1.0);
+        let lhs = a.matmul_nt(&b);
+        let rhs = a.matmul(&b.transpose());
+        assert!(lhs.fro_dist(&rhs) < 1e-12);
     }
 
     #[test]

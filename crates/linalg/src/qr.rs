@@ -5,6 +5,7 @@
 //! residual orthogonalisation, and DMD amplitude fitting.
 
 use crate::mat::Mat;
+use crate::workspace;
 
 /// Result of a thin QR factorisation.
 pub struct Qr {
@@ -16,43 +17,56 @@ pub struct Qr {
 
 /// Computes the thin QR factorisation of `a` (`m ≥ n` not required: for wide
 /// matrices `q` is `m × m` and `r` is `m × n`).
+///
+/// Reflectors live in one flat recycled scratch buffer and are applied
+/// row-wise (`w = vᵀR`, then `R -= 2·v·wᵀ`), so both passes stream the
+/// row-major storage contiguously instead of walking columns.
 pub fn qr(a: &Mat) -> Qr {
     let m = a.rows();
     let n = a.cols();
     let k = m.min(n);
-    let mut r = a.clone();
-    // Householder vectors stored column by column; Q accumulated afterwards.
-    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut r = workspace::pooled_copy(a);
+    // Reflector j occupies vs[j*m .. j*m + (m - j)] (unit norm, or all-zero
+    // for a null column). One flat pooled buffer instead of k Vecs.
+    let mut vs = workspace::ScratchVec::zeros(k * m);
+    // Shared row-application scratch: w = vᵀ · R[j.., j..] (length ≤ n).
+    let mut w = workspace::ScratchVec::zeros(n.max(k));
     for j in 0..k {
-        // Build the Householder reflector for column j below the diagonal.
-        let mut v: Vec<f64> = (j..m).map(|i| r[(i, j)]).collect();
-        let alpha = norm2(&v);
+        let v = &mut vs[j * m..j * m + (m - j)];
+        for (ii, x) in v.iter_mut().enumerate() {
+            *x = r[(j + ii, j)];
+        }
+        let alpha = norm2(v);
         if alpha == 0.0 {
-            vs.push(vec![0.0; m - j]);
+            v.fill(0.0);
             continue;
         }
         let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
         v[0] += sign * alpha;
-        let vnorm = norm2(&v);
+        let vnorm = norm2(v);
         if vnorm == 0.0 {
-            vs.push(vec![0.0; m - j]);
+            v.fill(0.0);
             continue;
         }
-        for x in &mut v {
+        for x in v.iter_mut() {
             *x /= vnorm;
         }
-        // Apply (I - 2vvᵀ) to R[j.., j..].
-        for col in j..n {
-            let mut dot = 0.0;
-            for (ii, &vi) in v.iter().enumerate() {
-                dot += vi * r[(j + ii, col)];
-            }
-            dot *= 2.0;
-            for (ii, &vi) in v.iter().enumerate() {
-                r[(j + ii, col)] -= dot * vi;
+        // Apply (I − 2vvᵀ) to R[j.., j..]: w = vᵀR, then each row ii of R
+        // gets `row -= 2·v[ii]·w`. Both loops stream rows contiguously.
+        let v = &vs[j * m..j * m + (m - j)];
+        let wj = &mut w[..n - j];
+        wj.fill(0.0);
+        for (ii, &vi) in v.iter().enumerate() {
+            for (wc, &rv) in wj.iter_mut().zip(&r.row(j + ii)[j..]) {
+                *wc += vi * rv;
             }
         }
-        vs.push(v);
+        for (ii, &vi) in v.iter().enumerate() {
+            let t = 2.0 * vi;
+            for (rv, &wc) in r.row_mut(j + ii)[j..].iter_mut().zip(wj.iter()) {
+                *rv -= t * wc;
+            }
+        }
     }
     // Accumulate thin Q by applying the reflectors to the first k columns of I.
     let qcols = k;
@@ -60,19 +74,22 @@ pub fn qr(a: &Mat) -> Qr {
     for j in 0..qcols {
         q[(j, j)] = 1.0;
     }
-    for j in (0..vs.len()).rev() {
-        let v = &vs[j];
+    for j in (0..k).rev() {
+        let v = &vs[j * m..j * m + (m - j)];
         if v.iter().all(|&x| x == 0.0) {
             continue;
         }
-        for col in 0..qcols {
-            let mut dot = 0.0;
-            for (ii, &vi) in v.iter().enumerate() {
-                dot += vi * q[(j + ii, col)];
+        let wj = &mut w[..qcols];
+        wj.fill(0.0);
+        for (ii, &vi) in v.iter().enumerate() {
+            for (wc, &qv) in wj.iter_mut().zip(q.row(j + ii)) {
+                *wc += vi * qv;
             }
-            dot *= 2.0;
-            for (ii, &vi) in v.iter().enumerate() {
-                q[(j + ii, col)] -= dot * vi;
+        }
+        for (ii, &vi) in v.iter().enumerate() {
+            let t = 2.0 * vi;
+            for (qv, &wc) in q.row_mut(j + ii).iter_mut().zip(wj.iter()) {
+                *qv -= t * wc;
             }
         }
     }
@@ -133,18 +150,47 @@ pub fn solve_upper_triangular(r: &Mat, b: &Mat) -> Mat {
 /// orthonormal remainder.
 pub fn orthonormal_complement(basis: &Mat, a: &Mat, tol: f64) -> Mat {
     assert_eq!(basis.rows(), a.rows());
-    let m = a.rows();
-    let mut kept: Vec<Vec<f64>> = Vec::new();
-    for j in 0..a.cols() {
-        let mut v = a.col(j);
+    complement_core(basis, a.cols(), tol, |j, buf| {
+        for (i, x) in buf.iter_mut().enumerate() {
+            *x = a[(i, j)];
+        }
+    })
+}
+
+/// Row-oriented twin of [`orthonormal_complement`]: treats the **rows** of
+/// `a` as the candidate vectors (each of length `basis.rows()`), so callers
+/// holding row-major residual blocks never materialise a transpose. The
+/// returned matrix still stores the kept vectors as columns.
+pub fn orthonormal_complement_rows(basis: &Mat, a: &Mat, tol: f64) -> Mat {
+    assert_eq!(basis.rows(), a.cols());
+    complement_core(basis, a.rows(), tol, |j, buf| {
+        buf.copy_from_slice(a.row(j));
+    })
+}
+
+/// Shared modified-Gram–Schmidt core. Candidate `j` is loaded into a scratch
+/// slice by `load`; kept vectors accumulate in one flat pooled buffer.
+fn complement_core(
+    basis: &Mat,
+    n_candidates: usize,
+    tol: f64,
+    load: impl Fn(usize, &mut [f64]),
+) -> Mat {
+    let m = basis.rows();
+    let mut kept = workspace::ScratchVec::zeros(m * n_candidates);
+    let mut n_kept = 0usize;
+    let mut v = workspace::ScratchVec::zeros(m);
+    let mut coeffs = workspace::ScratchVec::zeros(basis.cols());
+    for j in 0..n_candidates {
+        load(j, &mut v);
         let orig_norm = norm2(&v);
         if orig_norm <= tol {
             continue;
         }
         // Two Gram-Schmidt passes ("twice is enough" — Kahan/Parlett).
         for _pass in 0..2 {
-            project_out(basis, &mut v);
-            for u in &kept {
+            project_out(basis, &mut v, &mut coeffs);
+            for u in kept[..n_kept * m].chunks_exact(m) {
                 let d = dot(u, &v);
                 for (vi, &ui) in v.iter_mut().zip(u) {
                     *vi -= d * ui;
@@ -153,30 +199,31 @@ pub fn orthonormal_complement(basis: &Mat, a: &Mat, tol: f64) -> Mat {
         }
         let nrm = norm2(&v);
         if nrm > tol * orig_norm.max(1.0) {
-            for x in &mut v {
-                *x /= nrm;
+            let dst = &mut kept[n_kept * m..(n_kept + 1) * m];
+            for (d, &x) in dst.iter_mut().zip(v.iter()) {
+                *d = x / nrm;
             }
-            kept.push(v);
+            n_kept += 1;
         }
     }
-    let mut out = Mat::zeros(m, kept.len());
-    for (j, v) in kept.iter().enumerate() {
-        out.set_col(j, v);
+    let mut out = Mat::zeros(m, n_kept);
+    for (j, u) in kept[..n_kept * m].chunks_exact(m).enumerate() {
+        out.set_col(j, u);
     }
     out
 }
 
-fn project_out(basis: &Mat, v: &mut [f64]) {
+fn project_out(basis: &Mat, v: &mut [f64], coeffs: &mut [f64]) {
     if basis.cols() == 0 {
         return;
     }
-    let coeffs = basis.t_matvec(v); // basisᵀ v
+    basis.t_matvec_into(v, coeffs); // basisᵀ v
                                     // v -= basis * coeffs
     #[allow(clippy::needless_range_loop)] // v and basis rows iterate in lockstep
     for i in 0..basis.rows() {
         let row = basis.row(i);
         let mut s = 0.0;
-        for (&b, &c) in row.iter().zip(&coeffs) {
+        for (&b, &c) in row.iter().zip(coeffs.iter()) {
             s += b * c;
         }
         v[i] -= s;
@@ -264,6 +311,16 @@ mod tests {
         let a = basis.matmul(&Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, -1.0]]));
         let c = orthonormal_complement(&basis, &a, 1e-10);
         assert_eq!(c.cols(), 0);
+    }
+
+    #[test]
+    fn complement_rows_matches_column_variant_on_transpose() {
+        let basis = qr(&Mat::from_fn(6, 2, |i, j| ((i + j) % 3) as f64 + 0.1)).q;
+        let a = Mat::from_fn(6, 3, |i, j| ((i * j + 1) % 7) as f64 - 3.0);
+        let by_cols = orthonormal_complement(&basis, &a, 1e-12);
+        let by_rows = orthonormal_complement_rows(&basis, &a.transpose(), 1e-12);
+        assert_eq!(by_cols.shape(), by_rows.shape());
+        assert!(by_cols.fro_dist(&by_rows) < 1e-14);
     }
 
     #[test]

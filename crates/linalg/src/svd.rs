@@ -38,10 +38,10 @@ impl Svd {
         }
     }
 
-    /// Reassembles `U·diag(s)·Vᵀ`.
+    /// Reassembles `U·diag(s)·Vᵀ` (NT kernel; no transpose is materialised).
     pub fn reconstruct(&self) -> Mat {
         let us = scale_cols(&self.u, &self.s);
-        us.matmul(&self.v.transpose())
+        us.matmul_nt(&self.v)
     }
 
     /// Moore–Penrose pseudoinverse `V·diag(1/s)·Uᵀ`, dropping singular values
@@ -60,7 +60,7 @@ impl Svd {
             })
             .collect();
         let vs = scale_cols(&self.v, &inv);
-        vs.matmul(&self.u.transpose())
+        vs.matmul_nt(&self.u)
     }
 
     /// Numerical rank at relative tolerance `tol` (fraction of s₀).
@@ -86,10 +86,16 @@ pub(crate) fn scale_cols(m: &Mat, d: &[f64]) -> Mat {
 /// sweep; intended for matrices up to a few thousand on a side.
 pub fn svd(a: &Mat) -> Svd {
     if a.rows() >= a.cols() {
-        jacobi_svd_tall(a)
+        // The Jacobi core wants Aᵀ (columns as contiguous rows): one pooled
+        // transposed copy, recycled on return.
+        let w = crate::workspace::pooled_transpose(a);
+        jacobi_core(w, a.rows(), a.cols())
     } else {
-        // Aᵀ = U'ΣV'ᵀ  ⇒  A = V'ΣU'ᵀ.
-        let t = jacobi_svd_tall(&a.transpose());
+        // Aᵀ = U'ΣV'ᵀ ⇒ A = V'ΣU'ᵀ; (Aᵀ)ᵀ = A is already the layout the
+        // core wants, so a pooled straight copy suffices — the seed code
+        // materialised the transpose twice here.
+        let w = crate::workspace::pooled_copy(a);
+        let t = jacobi_core(w, a.cols(), a.rows());
         Svd {
             u: t.v,
             s: t.s,
@@ -98,14 +104,17 @@ pub fn svd(a: &Mat) -> Svd {
     }
 }
 
-/// One-sided Jacobi on a tall (m ≥ n) matrix.
-fn jacobi_svd_tall(a: &Mat) -> Svd {
-    let m = a.rows();
-    let n = a.cols();
+/// One-sided Jacobi on `w = Aᵀ` (`n × m` with `m ≥ n`), consuming the pooled
+/// scratch. The per-sweep state (`w`, `vt`, norms) lives in recycled
+/// workspace buffers, so repeated small SVDs — the inner solves of the
+/// incremental update — stop hitting the allocator.
+fn jacobi_core(mut w: crate::workspace::PooledMat, m: usize, n: usize) -> Svd {
+    debug_assert_eq!(w.shape(), (n, m));
     assert!(m >= n);
-    // Work on Aᵀ so each A-column is a contiguous row.
-    let mut w = a.transpose(); // n × m
-    let mut vt = Mat::identity(n); // row j = column j of V
+    let mut vt = crate::workspace::pooled_zeros(n, n); // row j = column j of V
+    for i in 0..n {
+        vt[(i, i)] = 1.0;
+    }
     let tol = 1e-14;
     let max_sweeps = 60;
     for _sweep in 0..max_sweeps {
@@ -165,6 +174,22 @@ fn jacobi_svd_tall(a: &Mat) -> Svd {
         }
     }
     Svd { u, s, v }
+}
+
+#[cfg(test)]
+mod jacobi_wide_tests {
+    use super::*;
+
+    #[test]
+    fn wide_path_matches_tall_path_of_transpose() {
+        let a = Mat::from_fn(4, 9, |i, j| ((i * 7 + j * 5) % 11) as f64 - 5.0);
+        let wide = svd(&a);
+        let tall = svd(&a.transpose());
+        for (sw, st) in wide.s.iter().zip(&tall.s) {
+            assert!((sw - st).abs() < 1e-12);
+        }
+        assert!(wide.reconstruct().fro_dist(&a) < 1e-10);
+    }
 }
 
 /// Applies the Givens-like rotation to rows p and q:

@@ -1,0 +1,215 @@
+//! Integration tests of the blocked GEMM kernel layer against a naive
+//! triple-loop oracle, at sizes chosen to stress every packing edge case
+//! (unit dims, micro-kernel ± 1, cache-block boundaries ± 1), plus bitwise
+//! determinism of the threaded row split.
+
+use hpc_linalg::gemm::{KC, MC, MR, NC, NR};
+use hpc_linalg::{gemm, gemm_threaded, Mat, Trans};
+use proptest::prelude::*;
+
+/// Reference `C = β·C + α·op(A)·op(B)` as the plainest possible triple loop.
+fn naive_gemm(alpha: f64, a: &Mat, ta: Trans, b: &Mat, tb: Trans, beta: f64, c: &mut Mat) {
+    let at = |i: usize, k: usize| match ta {
+        Trans::No => a[(i, k)],
+        Trans::Yes => a[(k, i)],
+    };
+    let bt = |k: usize, j: usize| match tb {
+        Trans::No => b[(k, j)],
+        Trans::Yes => b[(j, k)],
+    };
+    let kdim = match ta {
+        Trans::No => a.cols(),
+        Trans::Yes => a.rows(),
+    };
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            let mut acc = 0.0;
+            for k in 0..kdim {
+                acc += at(i, k) * bt(k, j);
+            }
+            c[(i, j)] = beta * c[(i, j)] + alpha * acc;
+        }
+    }
+}
+
+fn fill(rows: usize, cols: usize, seed: u64) -> Mat {
+    Mat::from_fn(rows, cols, |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((j as u64).wrapping_mul(1442695040888963407))
+            .wrapping_add(seed.wrapping_mul(2654435761));
+        ((h >> 11) % 2000) as f64 / 100.0 - 10.0
+    })
+}
+
+fn rel_dist(x: &Mat, y: &Mat) -> f64 {
+    x.fro_dist(y) / x.fro_norm().max(1.0)
+}
+
+/// Sizes that straddle the micro-kernel tile and every cache-block edge.
+/// Each triple is (m, k, n); large dims are paired with small ones so the
+/// naive oracle stays cheap in debug builds.
+fn awkward_sizes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 1, 1),
+        (MR - 1, 3, NR - 1),
+        (MR, 1, NR),
+        (MR + 1, 2, NR + 1),
+        (2 * MR + 3, 7, 3 * NR + 5),
+        (5, KC - 1, 4),
+        (3, KC, 2),
+        (6, KC + 1, 3),
+        (MC - 1, 4, 9),
+        (MC, 3, 6),
+        (MC + 1, 5, 7),
+        (4, 6, NC - 1),
+        (2, 5, NC),
+        (3, 4, NC + 1),
+        (33, 129, 65),
+    ]
+}
+
+#[test]
+fn gemm_matches_naive_at_block_boundaries() {
+    for (m, k, n) in awkward_sizes() {
+        let a = fill(m, k, 1);
+        let b = fill(k, n, 2);
+        let c0 = fill(m, n, 3);
+        for (alpha, beta) in [(1.0, 0.0), (0.5, 2.0), (-1.0, 1.0)] {
+            let mut want = c0.clone();
+            naive_gemm(alpha, &a, Trans::No, &b, Trans::No, beta, &mut want);
+            let mut got = c0.clone();
+            gemm(alpha, &a, Trans::No, &b, Trans::No, beta, &mut got);
+            assert!(
+                rel_dist(&want, &got) <= 1e-12,
+                "({m},{k},{n}) α={alpha} β={beta}: rel err {}",
+                rel_dist(&want, &got)
+            );
+        }
+    }
+}
+
+#[test]
+fn transposed_operands_match_naive_at_block_boundaries() {
+    for (m, k, n) in awkward_sizes() {
+        let at = fill(k, m, 4); // stored transposed
+        let bt = fill(n, k, 5);
+        let mut want = Mat::zeros(m, n);
+        naive_gemm(1.0, &at, Trans::Yes, &bt, Trans::Yes, 0.0, &mut want);
+        let mut got = Mat::zeros(m, n);
+        gemm(1.0, &at, Trans::Yes, &bt, Trans::Yes, 0.0, &mut got);
+        assert!(
+            rel_dist(&want, &got) <= 1e-12,
+            "TT ({m},{k},{n}): rel err {}",
+            rel_dist(&want, &got)
+        );
+    }
+}
+
+#[test]
+fn matmul_nt_matches_naive() {
+    for (m, k, n) in awkward_sizes() {
+        let a = fill(m, k, 6);
+        let bt = fill(n, k, 7);
+        let mut want = Mat::zeros(m, n);
+        naive_gemm(1.0, &a, Trans::No, &bt, Trans::Yes, 0.0, &mut want);
+        let got = a.matmul_nt(&bt);
+        assert!(
+            rel_dist(&want, &got) <= 1e-12,
+            "NT ({m},{k},{n}): rel err {}",
+            rel_dist(&want, &got)
+        );
+    }
+}
+
+#[test]
+fn threaded_gemm_is_bitwise_stable_across_thread_counts() {
+    // Shapes echoing the paper's data: tall-skinny P×T panels and a square.
+    for (m, k, n) in [(150, 40, 37), (97, 33, 19), (64, 64, 64)] {
+        let a = fill(m, k, 8);
+        let b = fill(k, n, 9);
+        let c0 = fill(m, n, 10);
+        let mut reference = c0.clone();
+        gemm_threaded(1, 1.0, &a, Trans::No, &b, Trans::No, 0.5, &mut reference);
+        for threads in [2, 4, 8] {
+            let mut c = c0.clone();
+            gemm_threaded(threads, 1.0, &a, Trans::No, &b, Trans::No, 0.5, &mut c);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(
+                        reference[(i, j)].to_bits(),
+                        c[(i, j)].to_bits(),
+                        "({m},{k},{n}) threads={threads} entry ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_is_bitwise_identical_to_single_thread_kernel() {
+    // The public matmul entry point must agree bit-for-bit with the explicit
+    // single-thread kernel regardless of how the pool dispatches it.
+    let a = fill(130, 41, 11);
+    let b = fill(41, 73, 12);
+    let mut want = Mat::zeros(130, 73);
+    gemm_threaded(1, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut want);
+    let got = a.matmul(&b);
+    assert_eq!(want, got);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn gemm_matches_naive_on_random_shapes(
+        m in 1usize..=40,
+        k in 1usize..=40,
+        n in 1usize..=40,
+        seed in 0u64..1000,
+        combo in 0usize..4,
+        scales in (0usize..4, 0usize..3),
+    ) {
+        let (ta, tb) = [
+            (Trans::No, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::No),
+            (Trans::Yes, Trans::Yes),
+        ][combo];
+        let alpha = [1.0, -1.0, 0.5, 2.0][scales.0];
+        let beta = [0.0, 1.0, -0.5][scales.1];
+        let a = match ta {
+            Trans::No => fill(m, k, seed),
+            Trans::Yes => fill(k, m, seed),
+        };
+        let b = match tb {
+            Trans::No => fill(k, n, seed + 1),
+            Trans::Yes => fill(n, k, seed + 1),
+        };
+        let c0 = fill(m, n, seed + 2);
+        let mut want = c0.clone();
+        naive_gemm(alpha, &a, ta, &b, tb, beta, &mut want);
+        let mut got = c0.clone();
+        gemm(alpha, &a, ta, &b, tb, beta, &mut got);
+        prop_assert!(rel_dist(&want, &got) <= 1e-12);
+    }
+
+    #[test]
+    fn random_shapes_are_bitwise_stable_across_threads(
+        m in 1usize..=96,
+        k in 1usize..=48,
+        n in 1usize..=48,
+        seed in 0u64..1000,
+    ) {
+        let a = fill(m, k, seed);
+        let b = fill(k, n, seed + 1);
+        let mut reference = Mat::zeros(m, n);
+        gemm_threaded(1, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut reference);
+        for threads in [2, 4, 8] {
+            let mut c = Mat::zeros(m, n);
+            gemm_threaded(threads, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
+            prop_assert!(reference == c, "threads={threads} diverged");
+        }
+    }
+}
