@@ -71,16 +71,47 @@ pub enum Command {
         /// Model JSON.
         model: PathBuf,
     },
+    /// Stream a snapshot CSV through the guarded ingest path in chunks,
+    /// with periodic checkpointing and crash-resume.
+    Stream {
+        /// Input snapshot CSV (may contain NaN gaps as empty fields).
+        input: PathBuf,
+        /// Snapshot spacing in seconds.
+        dt: f64,
+        /// Snapshots per ingest batch.
+        chunk: usize,
+        /// Tree depth.
+        levels: usize,
+        /// Worker threads (0 = auto, 1 = serial).
+        threads: usize,
+        /// Gap repair policy (`reject`, `hold`, `interpolate`, `mask`).
+        gap_policy: String,
+        /// Directory for periodic checkpoints (enables checkpointing).
+        checkpoint_dir: Option<PathBuf>,
+        /// Checkpoint every N chunks (default 1).
+        checkpoint_every: usize,
+        /// Resume from the newest checkpoint in `checkpoint_dir` instead of
+        /// fitting from scratch.
+        resume: bool,
+        /// Output model JSON path.
+        model: PathBuf,
+    },
 }
 
 /// Usage text shown on parse errors.
-pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info> [--flag value]...
+pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info|stream> [--flag value]...
   synth   --nodes N --steps T [--seed S] --out FILE.csv
   fit     --input FILE.csv --dt SECONDS [--levels L] [--max-cycles C] [--threads N] --model FILE.json
   update  --model FILE.json --input FILE.csv [--model-out FILE.json] [--threads N]
   analyze --model FILE.json --input FILE.csv [--band-lo X --band-hi Y]
   render  --model FILE.json --input FILE.csv --layout \"SPEC\" --out FILE.svg
-  info    --model FILE.json";
+  info    --model FILE.json
+  stream  --input FILE.csv --dt SECONDS --model FILE.json [--chunk N] [--levels L] [--threads N]
+          [--gap-policy reject|hold|interpolate|mask]
+          [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]";
+
+/// Flags that take no value: their presence means `true`.
+const BOOL_FLAGS: &[&str] = &["resume"];
 
 /// Parses an argv slice (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -93,6 +124,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(CliError(format!("expected a --flag, got `{flag}`")));
         };
+        if BOOL_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(CliError(format!("flag --{name} needs a value")));
         };
@@ -181,6 +216,41 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             out: get("out")?.into(),
         }),
         "info" => Ok(Command::Info {
+            model: get("model")?.into(),
+        }),
+        "stream" => Ok(Command::Stream {
+            input: get("input")?.into(),
+            dt: num("dt")?,
+            chunk: flags
+                .get("chunk")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--chunk must be an integer".into()))?
+                .unwrap_or(64),
+            levels: flags
+                .get("levels")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--levels must be an integer".into()))?
+                .unwrap_or(6),
+            threads: flags
+                .get("threads")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--threads must be an integer".into()))?
+                .unwrap_or(0),
+            gap_policy: flags
+                .get("gap-policy")
+                .cloned()
+                .unwrap_or_else(|| "reject".to_string()),
+            checkpoint_dir: flags.get("checkpoint-dir").map(PathBuf::from),
+            checkpoint_every: flags
+                .get("checkpoint-every")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--checkpoint-every must be an integer".into()))?
+                .unwrap_or(1),
+            resume: flags.contains_key("resume"),
             model: get("model")?.into(),
         }),
         other => Err(CliError(format!("unknown subcommand `{other}`\n{USAGE}"))),
@@ -278,6 +348,62 @@ mod tests {
         .unwrap();
         match c {
             Command::Update { model_out, .. } => assert_eq!(model_out, Some("n.json".into())),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn parses_stream_with_defaults() {
+        let c = parse_args(&argv("stream --input a.csv --dt 20 --model m.json")).unwrap();
+        assert_eq!(
+            c,
+            Command::Stream {
+                input: "a.csv".into(),
+                dt: 20.0,
+                chunk: 64,
+                levels: 6,
+                threads: 0,
+                gap_policy: "reject".into(),
+                checkpoint_dir: None,
+                checkpoint_every: 1,
+                resume: false,
+                model: "m.json".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn stream_resume_is_a_bare_flag() {
+        let c = parse_args(&argv(
+            "stream --input a.csv --dt 20 --model m.json \
+             --gap-policy hold --checkpoint-dir ckpts --checkpoint-every 4 --resume",
+        ))
+        .unwrap();
+        match c {
+            Command::Stream {
+                gap_policy,
+                checkpoint_dir,
+                checkpoint_every,
+                resume,
+                ..
+            } => {
+                assert_eq!(gap_policy, "hold");
+                assert_eq!(checkpoint_dir, Some("ckpts".into()));
+                assert_eq!(checkpoint_every, 4);
+                assert!(resume);
+            }
+            _ => panic!("wrong variant"),
+        }
+        // --resume consumes no value: the next token is parsed as a flag.
+        let c = parse_args(&argv(
+            "stream --input a.csv --dt 20 --resume --model m.json",
+        ))
+        .unwrap();
+        match c {
+            Command::Stream { resume, model, .. } => {
+                assert!(resume);
+                assert_eq!(model, PathBuf::from("m.json"));
+            }
             _ => panic!("wrong variant"),
         }
     }

@@ -49,7 +49,45 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             out,
         } => render(model, input, layout, out),
         Command::Info { model } => info(model),
+        Command::Stream {
+            input,
+            dt,
+            chunk,
+            levels,
+            threads,
+            gap_policy,
+            checkpoint_dir,
+            checkpoint_every,
+            resume,
+            model,
+        } => stream(StreamOpts {
+            input,
+            dt: *dt,
+            chunk: *chunk,
+            levels: *levels,
+            threads: *threads,
+            gap_policy,
+            checkpoint_dir: checkpoint_dir.as_deref(),
+            checkpoint_every: *checkpoint_every,
+            resume: *resume,
+            model,
+        }),
     }
+}
+
+/// Borrowed view of [`Command::Stream`]'s flags, so the implementation
+/// doesn't take eleven positional arguments.
+struct StreamOpts<'a> {
+    input: &'a Path,
+    dt: f64,
+    chunk: usize,
+    levels: usize,
+    threads: usize,
+    gap_policy: &'a str,
+    checkpoint_dir: Option<&'a Path>,
+    checkpoint_every: usize,
+    resume: bool,
+    model: &'a Path,
 }
 
 fn load_model(path: &Path) -> Result<IMrDmd, CliError> {
@@ -267,6 +305,127 @@ fn render(model_path: &Path, input: &Path, layout: &str, out: &Path) -> Result<S
     Ok(format!("rack view written to {}", out.display()))
 }
 
+fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
+    if o.dt <= 0.0 {
+        return Err(CliError("--dt must be positive".into()));
+    }
+    if o.chunk < 2 {
+        return Err(CliError("--chunk must be at least 2".into()));
+    }
+    let policy = GapPolicy::parse(o.gap_policy)
+        .ok_or_else(|| CliError(format!("unknown --gap-policy `{}`", o.gap_policy)))?;
+    if o.resume && o.checkpoint_dir.is_none() {
+        return Err(CliError("--resume needs --checkpoint-dir".into()));
+    }
+    let data = load_csv(o.input)?;
+    let total = data.cols();
+
+    // Resume from the newest checkpoint if asked; otherwise cold-start from
+    // the first chunk. A resumed model already absorbed `n_steps()` columns
+    // (including any pending sub-window — it is checkpointed too), so the
+    // stream picks up exactly where the interrupted run stopped.
+    let mut resumed_from = None;
+    let mut guard = IngestGuard::new(policy, data.rows());
+    let (mut model, mut done) = match (o.resume, o.checkpoint_dir) {
+        (true, Some(dir)) => match latest_checkpoint(dir)? {
+            Some(path) => {
+                let model = load_checkpoint(&path)?;
+                if model.n_rows() != data.rows() {
+                    return Err(CliError(format!(
+                        "checkpoint tracks {} series but the input has {}",
+                        model.n_rows(),
+                        data.rows()
+                    )));
+                }
+                let done = model.n_steps();
+                resumed_from = Some((path, done));
+                (Some(model), done)
+            }
+            None => (None, 0),
+        },
+        _ => (None, 0),
+    };
+    if done > total {
+        return Err(CliError(format!(
+            "checkpoint spans {done} snapshots but the input has only {total}"
+        )));
+    }
+
+    let skipped = done;
+    let mut checkpointer = o
+        .checkpoint_dir
+        .map(|dir| Checkpointer::new(dir, o.checkpoint_every))
+        .transpose()?;
+    let mut repairs = RepairReport::default();
+    let mut chunks = 0usize;
+    let mut ckpts = 0usize;
+    while done < total {
+        let hi = (done + o.chunk).min(total);
+        let batch = data.cols_range(done, hi);
+        match &mut model {
+            None => {
+                // First chunk: repair it stand-alone, then cold-start.
+                let (clean, rep) = guard.repair(&batch)?;
+                repairs.merge(&rep);
+                let cfg = IMrDmdConfig {
+                    mr: MrDmdConfig {
+                        dt: o.dt,
+                        max_levels: o.levels.max(1),
+                        rank: RankSelection::Svht,
+                        n_threads: o.threads,
+                        ..MrDmdConfig::default()
+                    },
+                    ..IMrDmdConfig::default()
+                };
+                model = Some(IMrDmd::fit(clean.as_ref().unwrap_or(&batch), &cfg));
+            }
+            Some(m) => {
+                let report = m.try_partial_fit(&batch, &mut guard)?;
+                repairs.merge(&report.repairs);
+            }
+        }
+        done = hi;
+        chunks += 1;
+        if let (Some(ck), Some(m)) = (&mut checkpointer, &model) {
+            if ck.tick(m)?.is_some() {
+                ckpts += 1;
+            }
+        }
+    }
+
+    let model =
+        model.ok_or_else(|| CliError("nothing to stream: the input CSV has no columns".into()))?;
+    save_model(o.model, &model)?;
+    let mut out = String::new();
+    if let Some((path, at)) = resumed_from {
+        let _ = writeln!(out, "resumed from {} at snapshot {at}", path.display());
+    }
+    let _ = writeln!(
+        out,
+        "streamed {chunks} chunks ({} snapshots, policy {policy}): {} gaps, {} repaired{}",
+        total - skipped,
+        repairs.gaps,
+        repairs.repaired,
+        if repairs.masked_rows.is_empty() {
+            String::new()
+        } else {
+            format!(", {} rows masked", repairs.masked_rows.len())
+        }
+    );
+    if ckpts > 0 {
+        let _ = writeln!(out, "wrote {ckpts} checkpoints");
+    }
+    let _ = writeln!(
+        out,
+        "model now spans {} snapshots ({} modes, {} pending) → {}",
+        model.n_steps(),
+        model.n_modes(),
+        model.pending_len(),
+        o.model.display()
+    );
+    Ok(out)
+}
+
 fn info(model_path: &Path) -> Result<String, CliError> {
     let model = load_model(model_path)?;
     let rep = compression_report(model.nodes(), model.n_rows(), model.n_steps());
@@ -450,6 +609,104 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.0.contains("cannot open"));
+    }
+
+    #[test]
+    fn stream_with_gaps_checkpoints_and_resumes() {
+        let csv = tmp("stream.csv");
+        let model_a = tmp("stream_a.json");
+        let model_b = tmp("stream_b.json");
+        let ckpts = tmp("stream_ckpts");
+        let _ = fs::remove_dir_all(&ckpts);
+
+        run(&parse_args(&argv(&format!(
+            "synth --nodes 16 --steps 600 --seed 3 --out {}",
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+
+        // Punch NaN gaps into the CSV, then stream it with hold repair.
+        let mut data = load_csv(&csv).unwrap();
+        data[(2, 100)] = f64::NAN;
+        data[(2, 101)] = f64::NAN;
+        data[(7, 350)] = f64::NAN;
+        let mut f = fs::File::create(&csv).unwrap();
+        write_snapshots_csv(&mut f, &data, 0).unwrap();
+
+        let r = run(&parse_args(&argv(&format!(
+            "stream --input {} --dt 20 --chunk 100 --levels 4 --gap-policy hold \
+             --checkpoint-dir {} --checkpoint-every 2 --model {}",
+            csv.display(),
+            ckpts.display(),
+            model_a.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("streamed 6 chunks"), "{r}");
+        assert!(r.contains("3 gaps, 3 repaired"), "{r}");
+        assert!(r.contains("600 snapshots"), "{r}");
+        assert!(r.contains("wrote 3 checkpoints"), "{r}");
+
+        // Resume: the newest checkpoint spans all 600 snapshots, so a
+        // `--resume` rerun is a no-op that duplicates no work…
+        let r = run(&parse_args(&argv(&format!(
+            "stream --input {} --dt 20 --chunk 100 --gap-policy hold \
+             --checkpoint-dir {} --resume --model {}",
+            csv.display(),
+            ckpts.display(),
+            model_b.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("at snapshot 600"), "{r}");
+        assert!(r.contains("streamed 0 chunks (0 snapshots"), "{r}");
+
+        // …but with 200 fresh columns appended it picks up at 600 exactly.
+        let longer = data.hstack(&data.cols_range(0, 200));
+        let mut f = fs::File::create(&csv).unwrap();
+        write_snapshots_csv(&mut f, &longer, 0).unwrap();
+        let r = run(&parse_args(&argv(&format!(
+            "stream --input {} --dt 20 --chunk 100 --gap-policy hold \
+             --checkpoint-dir {} --resume --model {}",
+            csv.display(),
+            ckpts.display(),
+            model_b.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("at snapshot 600"), "{r}");
+        assert!(r.contains("streamed 2 chunks (200 snapshots"), "{r}");
+        assert!(r.contains("model now spans 800 snapshots"), "{r}");
+
+        // A reject-policy stream over gappy data is a clean error.
+        let err = run(&parse_args(&argv(&format!(
+            "stream --input {} --dt 20 --chunk 100 --model {}",
+            csv.display(),
+            model_a.display()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn stream_flag_validation() {
+        let err = run(&parse_args(&argv(
+            "stream --input a.csv --dt 20 --model m.json --gap-policy frob",
+        ))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("unknown --gap-policy"), "{err}");
+        let err = run(&parse_args(&argv(
+            "stream --input a.csv --dt 20 --model m.json --resume",
+        ))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("--resume needs --checkpoint-dir"), "{err}");
+        let err = run(&parse_args(&argv("stream --input a.csv --dt 0 --model m.json")).unwrap())
+            .unwrap_err();
+        assert!(err.0.contains("--dt must be positive"), "{err}");
     }
 
     #[test]

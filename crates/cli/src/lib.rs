@@ -10,6 +10,8 @@
 //! imrdmd-cli analyze --model model.json --input logs.csv
 //! imrdmd-cli render  --model model.json --input logs.csv --layout "xc40 …" --out rack.svg
 //! imrdmd-cli info    --model model.json
+//! imrdmd-cli stream  --input logs.csv --dt 20 --model model.json \
+//!                    --gap-policy hold --checkpoint-dir ckpts --resume
 //! ```
 //!
 //! Snapshot CSVs use the `hpc-telemetry` format (header `series,t0,t1,…`);
@@ -49,5 +51,17 @@ impl From<hpc_telemetry::IoError> for CliError {
 impl From<serde_json::Error> for CliError {
     fn from(e: serde_json::Error) -> Self {
         CliError(format!("model (de)serialisation: {e}"))
+    }
+}
+
+impl From<imrdmd::CoreError> for CliError {
+    fn from(e: imrdmd::CoreError) -> Self {
+        CliError(format!("ingest: {e}"))
+    }
+}
+
+impl From<imrdmd::CheckpointError> for CliError {
+    fn from(e: imrdmd::CheckpointError) -> Self {
+        CliError(format!("checkpoint: {e}"))
     }
 }

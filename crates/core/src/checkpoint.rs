@@ -1,0 +1,275 @@
+//! Checkpoint/restore of the streaming decomposition state.
+//!
+//! A long-running monitor must survive collector restarts and crashes
+//! without refitting from scratch. This module persists the full
+//! [`IMrDmd`] state (including the streaming SVD) as versioned,
+//! checksummed snapshots written atomically: the payload goes to a `.tmp`
+//! sibling first and is renamed into place, so a crash mid-write can never
+//! leave a torn file under the final name. Restore verifies the magic,
+//! format version, payload length, and CRC-32 before decoding, so
+//! truncated or bit-flipped files are rejected with a clean error instead
+//! of resuming from silently corrupt state.
+//!
+//! On-disk layout (one header line, then the payload):
+//!
+//! ```text
+//! IMRDMD-CKPT v1 <payload-bytes> <crc32-hex>\n
+//! { ...serde-JSON IMrDmd... }
+//! ```
+//!
+//! Floats serialise via Rust's shortest round-trip representation, so a
+//! restored model's [`IMrDmd::reconstruct`] is bitwise-identical to the
+//! checkpointed one.
+
+use crate::imrdmd::IMrDmd;
+use std::path::{Path, PathBuf};
+
+/// First token of every checkpoint file.
+pub const CHECKPOINT_MAGIC: &str = "IMRDMD-CKPT";
+/// Current on-disk format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Why a checkpoint could not be written or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`CHECKPOINT_MAGIC`] (or the header
+    /// line is malformed).
+    BadHeader(String),
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The payload is shorter or longer than the header promised (torn
+    /// write or truncation).
+    LengthMismatch {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The payload's CRC-32 does not match the header (bit rot or a torn
+    /// write that happened to preserve the length).
+    ChecksumMismatch {
+        /// Checksum the header promised.
+        expected: u32,
+        /// Checksum of the payload as read.
+        got: u32,
+    },
+    /// The payload passed integrity checks but failed to decode.
+    Codec(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "io error: {e}"),
+            CheckpointError::BadHeader(m) => write!(f, "bad checkpoint header: {m}"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "checkpoint format v{v} is newer than supported v{CHECKPOINT_VERSION}"
+                )
+            }
+            CheckpointError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "truncated checkpoint: header promised {expected} payload bytes, found {got}"
+                )
+            }
+            CheckpointError::ChecksumMismatch { expected, got } => {
+                write!(
+                    f,
+                    "checkpoint checksum mismatch: header {expected:08x}, payload {got:08x}"
+                )
+            }
+            CheckpointError::Codec(m) => write!(f, "checkpoint decode failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Serialises `model` into the checkpoint wire format (header + payload).
+fn encode(model: &IMrDmd) -> Result<String, CheckpointError> {
+    let payload =
+        serde_json::to_string(model).map_err(|e| CheckpointError::Codec(e.to_string()))?;
+    let crc = crc32(payload.as_bytes());
+    Ok(format!(
+        "{CHECKPOINT_MAGIC} v{CHECKPOINT_VERSION} {} {crc:08x}\n{payload}",
+        payload.len()
+    ))
+}
+
+/// Writes a checkpoint of `model` to `path` atomically (`.tmp` + rename).
+pub fn save_checkpoint(model: &IMrDmd, path: &Path) -> Result<(), CheckpointError> {
+    let bytes = encode(model)?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes.as_bytes())?;
+        // Flush to stable storage before the rename makes the file visible
+        // under its final name; a crash before this point leaves only the
+        // `.tmp`, which restore never looks at.
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Restores a model from a checkpoint written by [`save_checkpoint`],
+/// verifying magic, version, length, and checksum first.
+pub fn load_checkpoint(path: &Path) -> Result<IMrDmd, CheckpointError> {
+    let raw = std::fs::read(path)?;
+    let text = std::str::from_utf8(&raw)
+        .map_err(|_| CheckpointError::BadHeader("not valid UTF-8".into()))?;
+    let (header, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| CheckpointError::BadHeader("no header line".into()))?;
+    let mut parts = header.split(' ');
+    if parts.next() != Some(CHECKPOINT_MAGIC) {
+        return Err(CheckpointError::BadHeader(format!(
+            "missing `{CHECKPOINT_MAGIC}` magic"
+        )));
+    }
+    let version: u32 = parts
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::BadHeader("missing version token".into()))?;
+    if version > CHECKPOINT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let expected_len: usize = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::BadHeader("missing payload length".into()))?;
+    let expected_crc: u32 = parts
+        .next()
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or_else(|| CheckpointError::BadHeader("missing checksum".into()))?;
+    if payload.len() != expected_len {
+        return Err(CheckpointError::LengthMismatch {
+            expected: expected_len,
+            got: payload.len(),
+        });
+    }
+    let got_crc = crc32(payload.as_bytes());
+    if got_crc != expected_crc {
+        return Err(CheckpointError::ChecksumMismatch {
+            expected: expected_crc,
+            got: got_crc,
+        });
+    }
+    serde_json::from_str(payload).map_err(|e| CheckpointError::Codec(e.to_string()))
+}
+
+/// Newest checkpoint in `dir` (by absorbed-snapshot count encoded in the
+/// file name), if any. Ignores foreign and in-flight (`.tmp`) files.
+pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, CheckpointError> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+        else {
+            continue;
+        };
+        let Ok(steps) = stem.parse::<u64>() else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| steps > *b) {
+            best = Some((steps, path));
+        }
+    }
+    Ok(best.map(|(_, p)| p))
+}
+
+/// Periodic checkpoint driver: call [`Checkpointer::tick`] once per absorbed
+/// batch and it writes `ckpt-<steps>.ckpt` into the directory every
+/// `every` batches.
+#[derive(Debug)]
+pub struct Checkpointer {
+    dir: PathBuf,
+    every: usize,
+    since: usize,
+}
+
+impl Checkpointer {
+    /// A checkpointer writing into `dir` every `every` batches
+    /// (`every == 0` is treated as 1). Creates the directory.
+    pub fn new(dir: impl Into<PathBuf>, every: usize) -> Result<Checkpointer, CheckpointError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Checkpointer {
+            dir,
+            every: every.max(1),
+            since: 0,
+        })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Registers one absorbed batch; writes a checkpoint when due and
+    /// returns its path.
+    pub fn tick(&mut self, model: &IMrDmd) -> Result<Option<PathBuf>, CheckpointError> {
+        self.since += 1;
+        if self.since < self.every {
+            return Ok(None);
+        }
+        self.since = 0;
+        self.write(model).map(Some)
+    }
+
+    /// Writes a checkpoint unconditionally.
+    pub fn write(&self, model: &IMrDmd) -> Result<PathBuf, CheckpointError> {
+        let path = self.dir.join(format!("ckpt-{:012}.ckpt", model.n_steps()));
+        save_checkpoint(model, &path)?;
+        Ok(path)
+    }
+}

@@ -24,6 +24,8 @@
 //! "Partial Fit" column.
 
 use crate::dmd::{Dmd, DmdConfig};
+use crate::error::CoreError;
+use crate::ingest::{IngestGuard, RepairReport};
 use crate::mrdmd::{fit_halves, fit_tree, reconstruct_nodes, ModeSet, MrDmd, MrDmdConfig};
 use hpc_linalg::pool::WorkerPool;
 use hpc_linalg::{IncrementalSvd, Mat};
@@ -73,6 +75,17 @@ pub struct PartialFitReport {
     pub stale: bool,
     /// Modes extracted in the new window's subtree.
     pub new_subtree_modes: usize,
+    /// Snapshots still buffered below `min_window`, awaiting a subtree fit.
+    pub pending: usize,
+}
+
+/// Outcome of one guarded ingest ([`IMrDmd::try_partial_fit`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// What the decomposition update did.
+    pub fit: PartialFitReport,
+    /// What the ingest guard repaired before the update.
+    pub repairs: RepairReport,
 }
 
 /// Streaming multiresolution DMD state.
@@ -103,6 +116,10 @@ pub struct IMrDmd {
     drift_log: Vec<f64>,
     stale: bool,
     history: Option<Mat>,
+    /// Sub-`min_window` tail of the stream (`P × k`, `k < min_window`): raw
+    /// snapshots absorbed by the root but whose residual subtree fit is
+    /// deferred until enough accumulate. Always empty when `max_levels < 2`.
+    pending: Mat,
 }
 
 impl IMrDmd {
@@ -134,6 +151,7 @@ impl IMrDmd {
             drift_log: Vec::new(),
             stale: false,
             history: cfg.keep_history.then(|| data.clone()),
+            pending: Mat::zeros(p, 0),
         };
         state.root = state.solve_root(t);
         // Residual after the root's slow dynamics, then the usual recursion
@@ -211,6 +229,7 @@ impl IMrDmd {
                 drift: 0.0,
                 stale: self.stale,
                 new_subtree_modes: 0,
+                pending: self.pending.cols(),
             };
         }
         let t_old = self.t_total;
@@ -260,38 +279,26 @@ impl IMrDmd {
             }
         }
 
-        // (3) Previous nodes shift one level down (Fig. 1(c): the timeline is
-        // now split at T, so everything below the old root deepens by one).
-        for node in &mut self.subnodes {
-            node.level += 1;
-        }
-
-        // (4) Multiresolution recursion on the new window only.
-        let mut residual = batch.clone();
-        self.root
-            .subtract_reconstruction(&mut residual, t_old, self.cfg.mr.dt);
-        let before = self.subnodes.len();
-        let mut new_modes = 0usize;
-        if self.cfg.mr.max_levels >= 2 && t1 >= self.cfg.mr.min_window {
-            let pool = WorkerPool::new(self.cfg.mr.n_threads);
-            fit_tree(
-                &mut residual,
-                0,
-                t1,
-                t_old,
-                0,
-                &self.cfg.mr,
-                2,
-                self.cfg.mr.max_levels,
-                &pool,
-                &mut self.subnodes,
-            );
-            new_modes = self.subnodes[before..].iter().map(ModeSet::n_modes).sum();
-        }
-
+        // (3)+(4) Accumulate the batch into the pending window; once
+        // `min_window` snapshots are pending, shift the previous nodes one
+        // level down (Fig. 1(c): the timeline now splits at the pending
+        // window's start) and run the multiresolution recursion over the
+        // pending window only. Sub-`min_window` batches therefore accumulate
+        // instead of silently losing their residual.
         self.t_total = t_new;
         if let Some(h) = &mut self.history {
             *h = h.hstack(batch);
+        }
+        let mut new_modes = 0usize;
+        if self.cfg.mr.max_levels >= 2 {
+            self.pending = if self.pending.cols() == 0 {
+                batch.clone()
+            } else {
+                self.pending.hstack(batch)
+            };
+            if self.pending.cols() >= self.cfg.mr.min_window {
+                new_modes = self.flush_pending_window();
+            }
         }
         if self.stale && self.cfg.auto_refresh && self.history.is_some() {
             self.refresh_subtrees();
@@ -302,7 +309,74 @@ impl IMrDmd {
             drift,
             stale: self.stale,
             new_subtree_modes: new_modes,
+            pending: self.pending.cols(),
         }
+    }
+
+    /// Fits the deferred subtree over the pending window and clears it.
+    /// Returns the number of modes extracted.
+    fn flush_pending_window(&mut self) -> usize {
+        let w = self.pending.cols();
+        if w < 2 || self.cfg.mr.max_levels < 2 {
+            return 0;
+        }
+        let pend = std::mem::replace(&mut self.pending, Mat::zeros(self.p, 0));
+        let start = self.t_total - w;
+        // The previous nodes deepen by one: the timeline is now split at the
+        // pending window's start.
+        for node in &mut self.subnodes {
+            node.level += 1;
+        }
+        let mut residual = pend;
+        self.root
+            .subtract_reconstruction(&mut residual, start, self.cfg.mr.dt);
+        let before = self.subnodes.len();
+        let pool = WorkerPool::new(self.cfg.mr.n_threads);
+        fit_tree(
+            &mut residual,
+            0,
+            w,
+            start,
+            0,
+            &self.cfg.mr,
+            2,
+            self.cfg.mr.max_levels,
+            &pool,
+            &mut self.subnodes,
+        );
+        self.subnodes[before..].iter().map(ModeSet::n_modes).sum()
+    }
+
+    /// Snapshots buffered below `min_window`, awaiting their subtree fit.
+    pub fn pending_len(&self) -> usize {
+        self.pending.cols()
+    }
+
+    /// Forces the subtree fit over whatever is pending, even below
+    /// `min_window` (e.g. at end of stream). Returns the modes extracted.
+    pub fn flush_pending(&mut self) -> usize {
+        self.flush_pending_window()
+    }
+
+    /// Gap/NaN-tolerant [`partial_fit`](Self::partial_fit): the batch is
+    /// validated and repaired by `guard` first, and every failure mode
+    /// (shape mismatch, non-finite values under
+    /// [`GapPolicy::Reject`](crate::ingest::GapPolicy::Reject)) surfaces as
+    /// a [`CoreError`] instead of a panic or a silently poisoned SVD.
+    pub fn try_partial_fit(
+        &mut self,
+        batch: &Mat,
+        guard: &mut IngestGuard,
+    ) -> Result<IngestReport, CoreError> {
+        if batch.rows() != self.p {
+            return Err(CoreError::ShapeMismatch {
+                expected_rows: self.p,
+                got_rows: batch.rows(),
+            });
+        }
+        let (clean, repairs) = guard.repair(batch)?;
+        let fit = self.partial_fit(clean.as_ref().unwrap_or(batch));
+        Ok(IngestReport { fit, repairs })
     }
 
     /// Frobenius norm of the difference between the current and previous
@@ -459,6 +533,9 @@ impl IMrDmd {
             &mut fresh,
         );
         self.subnodes = fresh;
+        // The refreshed subtrees cover the whole timeline, pending window
+        // included — nothing is deferred any more.
+        self.pending = Mat::zeros(self.p, 0);
         self.stale = false;
     }
 
@@ -493,8 +570,12 @@ impl IMrDmd {
         self.p = p_old + r;
         // Root modes now cover all rows.
         self.root = self.solve_root(self.t_total);
-        // Dedicated subtree for the new sensors' residual dynamics.
-        let mut residual = new_rows.clone();
+        // Dedicated subtree for the new sensors' residual dynamics — over
+        // the already-fitted timeline only: the pending tail stays deferred
+        // (and now carries the new rows too), so the flush that eventually
+        // covers it never overlaps this subtree.
+        let t_cov = self.t_total - self.pending.cols();
+        let mut residual = new_rows.cols_range(0, t_cov);
         {
             // Subtract the root's contribution on the appended rows only.
             let root_rows = ModeSet {
@@ -505,12 +586,11 @@ impl IMrDmd {
             root_rows.subtract_reconstruction(&mut residual, 0, self.cfg.mr.dt);
         }
         {
-            let t = self.t_total;
             let pool = WorkerPool::new(self.cfg.mr.n_threads);
             fit_halves(
                 &mut residual,
                 0,
-                t,
+                t_cov,
                 0,
                 p_old,
                 &self.cfg.mr,
@@ -519,6 +599,11 @@ impl IMrDmd {
                 &pool,
                 &mut self.subnodes,
             );
+        }
+        if self.pending.cols() > 0 {
+            self.pending = self
+                .pending
+                .vstack(&new_rows.cols_range(t_cov, self.t_total));
         }
         if let Some(h) = &mut self.history {
             *h = h.vstack(new_rows);
@@ -589,13 +674,22 @@ impl AsyncRefit {
     }
 
     /// Returns the refit if it has finished, without blocking.
-    pub fn try_take(&self) -> Option<IMrDmd> {
-        self.rx.try_recv().ok()
+    ///
+    /// `Ok(None)` means the refit is still running; [`CoreError::RefitDead`]
+    /// means the worker thread died (panicked) without delivering — the two
+    /// used to be indistinguishable, so callers polled a dead refit forever.
+    pub fn try_take(&self) -> Result<Option<IMrDmd>, CoreError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(CoreError::RefitDead),
+        }
     }
 
-    /// Blocks until the refit finishes.
-    pub fn take(self) -> IMrDmd {
-        self.rx.recv().expect("refit thread panicked")
+    /// Blocks until the refit finishes; [`CoreError::RefitDead`] if the
+    /// worker thread died without delivering.
+    pub fn take(self) -> Result<IMrDmd, CoreError> {
+        self.rx.recv().map_err(|_| CoreError::RefitDead)
     }
 }
 
@@ -751,7 +845,9 @@ mod tests {
         let dt = 1.0;
         let data = stream_data(6, 512, dt);
         let c = cfg(dt);
-        let refit = AsyncRefit::spawn(data.clone(), c).take();
+        let refit = AsyncRefit::spawn(data.clone(), c)
+            .take()
+            .expect("refit thread lives");
         let direct = IMrDmd::fit(&data, &c);
         assert_eq!(refit.n_steps(), direct.n_steps());
         assert!(refit.reconstruct().fro_dist(&direct.reconstruct()) < 1e-6);

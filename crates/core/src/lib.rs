@@ -39,9 +39,12 @@
 
 #![warn(missing_docs)]
 pub mod baseline;
+pub mod checkpoint;
 pub mod compression;
 pub mod dmd;
+pub mod error;
 pub mod imrdmd;
+pub mod ingest;
 pub mod mrdmd;
 pub mod spectrum;
 pub mod windowed;
@@ -52,9 +55,14 @@ pub mod prelude {
         classify, embedding_2d, row_mode_magnitudes, select_baseline_rows, NodeState, ZScores,
         ZThresholds,
     };
+    pub use crate::checkpoint::{
+        latest_checkpoint, load_checkpoint, save_checkpoint, CheckpointError, Checkpointer,
+    };
     pub use crate::compression::{compression_report, CompressionReport};
     pub use crate::dmd::{sparse_amplitudes, Dmd, DmdConfig, RankSelection};
-    pub use crate::imrdmd::{AsyncRefit, IMrDmd, IMrDmdConfig, PartialFitReport};
+    pub use crate::error::CoreError;
+    pub use crate::imrdmd::{AsyncRefit, IMrDmd, IMrDmdConfig, IngestReport, PartialFitReport};
+    pub use crate::ingest::{GapPolicy, IngestGuard, RepairReport};
     pub use crate::mrdmd::{ModeSet, MrDmd, MrDmdConfig};
     pub use crate::spectrum::{
         mode_spectrum, power_by_level, power_histogram, BandFilter, SpectrumPoint,

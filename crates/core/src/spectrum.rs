@@ -86,9 +86,16 @@ impl BandFilter {
         }
     }
 
-    /// True if a (frequency, power) pair passes.
+    /// True if a (frequency, power) pair passes. Non-finite frequencies or
+    /// powers (a degenerate mode from a gap-poisoned window) never pass —
+    /// without this, a NaN frequency slips through every comparison chain
+    /// downstream.
     pub fn admits(&self, frequency_hz: f64, power: f64) -> bool {
-        frequency_hz >= self.f_lo && frequency_hz <= self.f_hi && power >= self.min_power
+        frequency_hz.is_finite()
+            && power.is_finite()
+            && frequency_hz >= self.f_lo
+            && frequency_hz <= self.f_hi
+            && power >= self.min_power
     }
 
     /// Filters a spectrum to the passing points.
@@ -118,6 +125,10 @@ impl BandFilter {
 pub fn power_by_level(points: &[SpectrumPoint]) -> Vec<(usize, f64)> {
     let mut acc: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
     for p in points {
+        // A single NaN power would wipe out its whole level's total.
+        if !p.frequency_hz.is_finite() || !p.power.is_finite() {
+            continue;
+        }
         *acc.entry(p.level).or_insert(0.0) += p.power;
     }
     acc.into_iter().collect()
@@ -129,6 +140,11 @@ pub fn power_histogram(points: &[SpectrumPoint], f_max: f64, bins: usize) -> Vec
     assert!(bins > 0 && f_max > 0.0);
     let mut h = vec![0.0; bins];
     for p in points {
+        // A NaN frequency saturating-casts to bin 0, silently corrupting
+        // the lowest band; a NaN power poisons whichever bin it lands in.
+        if !p.frequency_hz.is_finite() || !p.power.is_finite() {
+            continue;
+        }
         if p.frequency_hz <= f_max {
             let b = ((p.frequency_hz / f_max) * bins as f64).min(bins as f64 - 1.0) as usize;
             h[b] += p.power;
@@ -227,6 +243,47 @@ mod tests {
         let total: f64 = pts.iter().map(|p| p.power).sum();
         let sum: f64 = by_level.iter().map(|(_, p)| p).sum();
         assert!((total - sum).abs() < 1e-9 * total.max(1.0));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped_not_binned() {
+        let good = SpectrumPoint {
+            frequency_hz: 0.5,
+            power: 2.0,
+            growth: 0.0,
+            level: 1,
+            window_start: 0,
+            window_len: 10,
+        };
+        let nan_freq = SpectrumPoint {
+            frequency_hz: f64::NAN,
+            power: 7.0,
+            ..good
+        };
+        let nan_power = SpectrumPoint {
+            power: f64::NAN,
+            ..good
+        };
+        let inf_freq = SpectrumPoint {
+            frequency_hz: f64::INFINITY,
+            ..good
+        };
+        let pts = [good, nan_freq, nan_power, inf_freq];
+        // The NaN frequency used to saturating-cast into bin 0: the lowest
+        // band silently absorbed its power.
+        let h = power_histogram(&pts, 1.0, 4);
+        assert_eq!(h, vec![0.0, 0.0, 2.0, 0.0]);
+        assert!(h.iter().all(|v| v.is_finite()));
+        // Per-level totals stay finite too.
+        let by_level = power_by_level(&pts);
+        assert_eq!(by_level, vec![(1, 2.0)]);
+        // And the filter never admits a non-finite point.
+        let f = BandFilter::all();
+        assert!(f.admits(0.5, 2.0));
+        assert!(!f.admits(f64::NAN, 2.0));
+        assert!(!f.admits(0.5, f64::NAN));
+        assert!(!f.admits(f64::INFINITY, 2.0));
+        assert_eq!(f.apply(&pts).len(), 1);
     }
 
     #[test]

@@ -168,7 +168,7 @@ impl CMat {
     }
 
     /// Complex matrix product `self * b`, via the blocked, register-tiled
-    /// kernel layer in [`crate::gemm`].
+    /// kernel layer in [`mod@crate::gemm`].
     pub fn matmul(&self, b: &CMat) -> CMat {
         assert_eq!(self.cols, b.rows, "matmul inner dimensions must agree");
         let mut out = CMat::zeros(self.rows, b.cols);

@@ -209,7 +209,16 @@ fn gemm_split(threads: usize, alpha: f64, a: View<'_>, b: View<'_>, beta: f64, c
 /// the CPU supports once per call; every path performs identical
 /// arithmetic.
 #[allow(clippy::too_many_arguments)]
-fn gemm_serial(alpha: f64, a: View<'_>, b: View<'_>, beta: f64, cdst: &mut [f64], row0: usize, mrows: usize, n: usize) {
+fn gemm_serial(
+    alpha: f64,
+    a: View<'_>,
+    b: View<'_>,
+    beta: f64,
+    cdst: &mut [f64],
+    row0: usize,
+    mrows: usize,
+    n: usize,
+) {
     #[cfg(target_arch = "x86_64")]
     let avx2 = std::arch::is_x86_feature_detected!("avx2");
     #[cfg(not(target_arch = "x86_64"))]
@@ -233,8 +242,7 @@ fn gemm_serial(alpha: f64, a: View<'_>, b: View<'_>, beta: f64, cdst: &mut [f64]
                 let mcp = mc.next_multiple_of(MR);
                 pack_a(a, row0 + ic, mc, mcp, pc, kc, &mut apack);
                 macro_kernel(
-                    alpha, &apack, &bpack, beta_eff, cdst, ic, mc, mcp, jc, nc, ncp, n, kc,
-                    avx2,
+                    alpha, &apack, &bpack, beta_eff, cdst, ic, mc, mcp, jc, nc, ncp, n, kc, avx2,
                 );
             }
         }
@@ -533,7 +541,11 @@ pub const CNR: usize = 4;
 /// Panics if inner dimensions disagree or `c` has the wrong shape.
 pub fn cgemm(a: &CMat, b: &CMat, c: &mut CMat) {
     assert_eq!(a.cols(), b.rows(), "cgemm inner dimensions must agree");
-    assert_eq!(c.shape(), (a.rows(), b.cols()), "cgemm output shape mismatch");
+    assert_eq!(
+        c.shape(),
+        (a.rows(), b.cols()),
+        "cgemm output shape mismatch"
+    );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     if m == 0 || n == 0 {
         return;
@@ -610,7 +622,11 @@ pub fn cgemm(a: &CMat, b: &CMat, c: &mut CMat) {
 /// Panics if inner dimensions disagree or `c` has the wrong shape.
 pub fn cgemm_real(a: &CMat, b: &Mat, c: &mut CMat) {
     assert_eq!(a.cols(), b.rows(), "cgemm inner dimensions must agree");
-    assert_eq!(c.shape(), (a.rows(), b.cols()), "cgemm output shape mismatch");
+    assert_eq!(
+        c.shape(),
+        (a.rows(), b.cols()),
+        "cgemm output shape mismatch"
+    );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     if m == 0 || n == 0 {
         return;
@@ -701,7 +717,16 @@ fn cmacro_kernel(
             let apanel = &apack[ip * kc * CMR..][..kc * CMR];
             let mr = CMR.min(mc - i0);
             let coff = (ic + i0) * ldc + jc + j0;
-            cmicro_kernel(kc, apanel, bpanel, first_block, &mut cdst[coff..], ldc, mr, nr);
+            cmicro_kernel(
+                kc,
+                apanel,
+                bpanel,
+                first_block,
+                &mut cdst[coff..],
+                ldc,
+                mr,
+                nr,
+            );
         }
     }
 }

@@ -4,7 +4,7 @@
 //! with one *sensor* per row and one *time point* per column, matching the
 //! paper's `P × T` convention. Storage is row-major `Vec<f64>`; every dense
 //! product (`matmul`, `t_matmul`, `matmul_nt`, `matvec`, `t_matvec`) routes
-//! through the blocked, register-tiled kernel layer in [`crate::gemm`], which
+//! through the blocked, register-tiled kernel layer in [`mod@crate::gemm`], which
 //! packs operands, keeps an `MR × NR` accumulator tile in registers, and
 //! parallelises large products over row blocks (bitwise-deterministically)
 //! with scoped threads (no dependency beyond `std`).
@@ -292,7 +292,7 @@ impl Mat {
 
     /// Matrix product `self * b`, threaded over row blocks when large.
     ///
-    /// Routed through the blocked, register-tiled [`crate::gemm`] kernel;
+    /// Routed through the blocked, register-tiled [`mod@crate::gemm`] kernel;
     /// bitwise-identical at any thread count.
     ///
     /// # Panics

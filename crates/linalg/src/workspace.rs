@@ -2,7 +2,7 @@
 //!
 //! The hot incremental paths — [`crate::IncrementalSvd`] updates, Jacobi
 //! sweeps, Householder projections, and the packing buffers of the blocked
-//! GEMM in [`crate::gemm`] — all need short-lived `f64` (and [`c64`]) buffers
+//! GEMM in [`mod@crate::gemm`] — all need short-lived `f64` (and [`c64`]) buffers
 //! whose sizes repeat call after call. Allocating them fresh each time puts
 //! the allocator on the critical path; this module keeps a small per-thread
 //! free list instead, so steady-state kernel calls are allocation-free.

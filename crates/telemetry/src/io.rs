@@ -38,7 +38,8 @@ impl From<std::io::Error> for IoError {
 }
 
 /// Writes a snapshot matrix as CSV: header `series,t0,t1,…`, then one row
-/// per sensor: `s<i>,v,v,…`.
+/// per sensor: `s<i>,v,v,…`. NaN gaps (missing readings) are written as
+/// empty fields, the convention archived facility logs use.
 pub fn write_snapshots_csv(w: &mut impl Write, m: &Mat, first_step: usize) -> Result<(), IoError> {
     let mut line = String::with_capacity(m.cols() * 12);
     line.push_str("series");
@@ -51,7 +52,11 @@ pub fn write_snapshots_csv(w: &mut impl Write, m: &Mat, first_step: usize) -> Re
         line.clear();
         let _ = write!(line, "s{i}");
         for &v in m.row(i) {
-            let _ = write!(line, ",{v}");
+            if v.is_nan() {
+                line.push(',');
+            } else {
+                let _ = write!(line, ",{v}");
+            }
         }
         line.push('\n');
         w.write_all(line.as_bytes())?;
@@ -61,6 +66,11 @@ pub fn write_snapshots_csv(w: &mut impl Write, m: &Mat, first_step: usize) -> Re
 
 /// Reads a snapshot matrix written by [`write_snapshots_csv`]. Returns the
 /// matrix and the first step index.
+///
+/// Empty fields are accepted as NaN gaps (real archived logs have them —
+/// a dropped sample leaves a hole, not a number); the ingest guard
+/// downstream decides how to repair them. Anything else non-numeric is
+/// still a parse error.
 pub fn read_snapshots_csv(r: impl Read) -> Result<(Mat, usize), IoError> {
     let mut lines = BufReader::new(r).lines();
     let header = lines
@@ -85,7 +95,16 @@ pub fn read_snapshots_csv(r: impl Read) -> Result<(Mat, usize), IoError> {
         }
         let mut fields = line.split(',');
         let _label = fields.next();
-        let vals: Result<Vec<f64>, _> = fields.map(|f| f.trim().parse::<f64>()).collect();
+        let vals: Result<Vec<f64>, _> = fields
+            .map(|f| {
+                let f = f.trim();
+                if f.is_empty() {
+                    Ok(f64::NAN)
+                } else {
+                    f.parse::<f64>()
+                }
+            })
+            .collect();
         let vals = vals.map_err(|_| IoError::Parse(format!("bad value in row {}", rows.len())))?;
         if vals.len() != n_cols {
             return Err(IoError::Parse(format!(
@@ -220,6 +239,41 @@ mod tests {
         assert!(read_snapshots_csv(&b"series,0,1\ns0,1.0"[..]).is_err());
         assert!(read_snapshots_csv(&b"series,0,1\ns0,1.0,abc"[..]).is_err());
         assert!(read_snapshots_csv(&b"series,0,1\n"[..]).is_err());
+        // Empty fields are NOT malformed: they are NaN gaps (dropped
+        // samples in archived logs) — this used to be a hard error.
+        let (m, first) = read_snapshots_csv(&b"series,3,4,5\ns0,1.0,,2.0\ns1,,,\n"[..]).unwrap();
+        assert_eq!(first, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 0)], 1.0);
+        assert!(m[(0, 1)].is_nan());
+        assert_eq!(m[(0, 2)], 2.0);
+        assert!(m.row(1).iter().all(|v| v.is_nan()));
+        // A gappy row must still have the right number of fields.
+        assert!(read_snapshots_csv(&b"series,0,1,2\ns0,1.0,\n"[..]).is_err());
+    }
+
+    #[test]
+    fn nan_gaps_roundtrip_as_empty_fields() {
+        let mut m = Mat::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        m[(0, 2)] = f64::NAN;
+        m[(2, 0)] = f64::NAN;
+        m[(2, 4)] = f64::NAN;
+        let mut buf = Vec::new();
+        write_snapshots_csv(&mut buf, &m, 10).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(!text.contains("NaN"), "gaps serialise as empty fields");
+        let (back, first) = read_snapshots_csv(&buf[..]).unwrap();
+        assert_eq!(first, 10);
+        assert_eq!(back.shape(), m.shape());
+        for i in 0..3 {
+            for j in 0..5 {
+                let (a, b) = (m[(i, j)], back[(i, j)]);
+                assert!(
+                    (a.is_nan() && b.is_nan()) || a == b,
+                    "mismatch at ({i},{j}): {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,13 +12,16 @@
 //! - [`envlog`]: the deterministic multiscale signal generator
 //!   ([`envlog::Scenario`]) with injectable anomalies,
 //! - [`joblog`] / [`hwlog`]: correlated job and hardware-error logs,
-//! - [`stream`]: batch-wise streaming as in the paper's online setting.
+//! - [`stream`]: batch-wise streaming as in the paper's online setting,
+//! - [`faults`]: stream-hygiene fault injection (NaN runs, dropped
+//!   samples, sensor dropout, duplicated batches) with ground truth.
 //!
 //! Every reading is a pure function of `(seed, series, step)`, so chunked
 //! streaming and batch generation agree exactly.
 
 #![warn(missing_docs)]
 pub mod envlog;
+pub mod faults;
 pub mod hwlog;
 pub mod io;
 pub mod joblog;
@@ -28,6 +31,7 @@ pub mod stats;
 pub mod stream;
 
 pub use envlog::{Anomaly, Profile, Scenario, SensorKind};
+pub use faults::{FaultConfig, FaultEvent, FaultInjector};
 pub use hwlog::{HwEvent, HwEventKind, HwLog};
 pub use io::{
     read_hw_log, read_job_log, read_snapshots_csv, write_hw_log, write_job_log,

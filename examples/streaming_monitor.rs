@@ -1,19 +1,61 @@
-//! Streaming monitor: the paper's online setting end to end.
+//! Streaming monitor: the paper's online setting end to end, hardened.
 //!
-//! Telemetry arrives in fixed-size chunks; every chunk is folded into the
-//! I-mrDMD state with `partial_fit`, z-scores are refreshed against a
-//! baseline band, hot/idle nodes are reported, and when the root drift
-//! crosses the configured threshold a full refit is launched on a background
-//! thread (the paper's "embarrassingly parallel" levels-2..L refresh) and
-//! swapped in when ready — without stalling the stream.
+//! Telemetry arrives in fixed-size chunks through a fault injector (NaN
+//! runs, dropped samples, sensor dropout — the stream hygiene of real
+//! facility feeds); every chunk passes the gap-repairing ingest guard and is
+//! folded into the I-mrDMD state with `try_partial_fit`. Z-scores are
+//! refreshed against a baseline band, hot/idle nodes are reported, and when
+//! the root drift crosses the configured threshold a full refit is launched
+//! on a background thread (the paper's "embarrassingly parallel" levels-2..L
+//! refresh) and swapped in when ready — without stalling the stream.
+//!
+//! With `--checkpoint-dir` the model is snapshotted atomically every
+//! `--checkpoint-every` chunks; `--resume` restarts from the newest
+//! checkpoint instead of refitting from scratch (kill it mid-run and rerun
+//! with `--resume` to see crash recovery).
 //!
 //! ```sh
-//! cargo run --release --example streaming_monitor
+//! cargo run --release --example streaming_monitor -- \
+//!     --checkpoint-dir /tmp/monitor-ckpts --checkpoint-every 2
+//! # … kill it, then:
+//! cargo run --release --example streaming_monitor -- \
+//!     --checkpoint-dir /tmp/monitor-ckpts --resume
 //! ```
 
 use mrdmd_suite::prelude::*;
+use std::path::PathBuf;
+
+struct Opts {
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        checkpoint_dir: None,
+        checkpoint_every: 1,
+        resume: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--checkpoint-dir" => o.checkpoint_dir = it.next().map(PathBuf::from),
+            "--checkpoint-every" => {
+                o.checkpoint_every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--checkpoint-every needs an integer")
+            }
+            "--resume" => o.resume = true,
+            other => panic!("unknown flag `{other}` (try --checkpoint-dir DIR [--checkpoint-every K] [--resume])"),
+        }
+    }
+    o
+}
 
 fn main() {
+    let opts = parse_opts();
     let n_nodes = 128;
     let total = 3000;
     let chunk = 250;
@@ -39,20 +81,82 @@ fn main() {
         ..IMrDmdConfig::default()
     };
 
-    // Prime with the first chunk, then stream.
-    let mut stream = ChunkStream::new(&scenario, 0, total, chunk);
-    let first = stream.next().expect("at least one chunk");
-    let mut model = IMrDmd::fit(&first, &cfg);
-    let mut seen = first.clone();
+    // Resume from the newest checkpoint, or prime with the first chunk.
+    let mut model: Option<IMrDmd> = None;
+    if opts.resume {
+        let dir = opts
+            .checkpoint_dir
+            .as_deref()
+            .expect("--resume needs --checkpoint-dir");
+        if let Some(path) = latest_checkpoint(dir).expect("scan checkpoint dir") {
+            let m = load_checkpoint(&path).expect("checkpoint loads");
+            println!(
+                "resumed from {} at snapshot {} ({} modes)",
+                path.display(),
+                m.n_steps(),
+                m.n_modes()
+            );
+            model = Some(m);
+        } else {
+            println!("no checkpoint found — cold start");
+        }
+    }
+    let start = model.as_ref().map_or(0, IMrDmd::n_steps);
+
+    // Corrupt the stream the way real facility feeds are corrupted, and
+    // keep the clean stream around to regenerate already-seen history.
+    let faults = FaultConfig {
+        seed: 977,
+        drop_prob: 0.001,
+        nan_run_prob: 0.3,
+        nan_run_max_len: 10,
+        sensor_dropout_prob: 0.05,
+        duplicate_prob: 0.0,
+    };
+    let stream = FaultInjector::with_start(
+        ChunkStream::new(&scenario, start, total, chunk),
+        faults,
+        start,
+    );
+    let mut guard = IngestGuard::new(GapPolicy::Interpolate, scenario.n_series());
+    let mut checkpointer = opts
+        .checkpoint_dir
+        .as_deref()
+        .map(|dir| Checkpointer::new(dir, opts.checkpoint_every).expect("checkpoint dir"));
+
     let th = ZThresholds::default();
     let mut refit: Option<AsyncRefit> = None;
+    let mut seen = scenario.generate(0, start);
+    let mut total_gaps = 0usize;
 
     for (round, batch) in stream.enumerate() {
-        let report = model.partial_fit(&batch);
-        seen = seen.hstack(&batch);
+        let (report, repairs) = match &mut model {
+            None => {
+                // Prime: repair stand-alone, then cold-start the model.
+                let (clean, repairs) = guard.repair(&batch).expect("first chunk repairable");
+                model = Some(IMrDmd::fit(clean.as_ref().unwrap_or(&batch), &cfg));
+                (None, repairs)
+            }
+            Some(m) => {
+                let r = m
+                    .try_partial_fit(&batch, &mut guard)
+                    .expect("guarded ingest");
+                (Some(r.fit), r.repairs)
+            }
+        };
+        let m = model.as_mut().expect("model primed above");
+        total_gaps += repairs.gaps;
+        // The guard repaired `batch`'s gaps before the fit; replaying the
+        // clean generator keeps `seen` an honest record for refits.
+        let clean_batch = scenario.generate(m.n_steps() - batch.cols(), m.n_steps());
+        seen = if seen.cols() == 0 {
+            clean_batch
+        } else {
+            seen.hstack(&clean_batch)
+        };
 
         // Refresh z-scores against a mid-band baseline of the data so far.
-        let mags = row_mode_magnitudes(model.nodes(), &BandFilter::all(), seen.rows());
+        let mags = row_mode_magnitudes(m.nodes(), &BandFilter::all(), seen.rows());
         let baseline = select_baseline_rows(&seen, 40.0, 50.0);
         let status = if baseline.is_empty() {
             "no baseline band".to_string()
@@ -76,35 +180,56 @@ fn main() {
             )
         };
         println!(
-            "round {:>2}: T = {:>5}, drift {:>9.2e}{} | {}",
+            "round {:>2}: T = {:>5}, drift {:>9.2e}{}, {:>3} gaps repaired | {}",
             round + 1,
-            model.n_steps(),
-            report.drift,
-            if report.stale { " [STALE]" } else { "" },
+            m.n_steps(),
+            report.as_ref().map_or(0.0, |r| r.drift),
+            if report.as_ref().is_some_and(|r| r.stale) {
+                " [STALE]"
+            } else {
+                ""
+            },
+            repairs.repaired,
             status
         );
 
+        // Periodic atomic checkpoint: kill the process at any point and
+        // `--resume` picks up from the last one.
+        if let Some(ck) = &mut checkpointer {
+            if let Some(path) = ck.tick(m).expect("checkpoint write") {
+                println!("          checkpoint → {}", path.display());
+            }
+        }
+
         // Drift exceeded: launch (or harvest) the asynchronous refit.
-        if model.is_stale() && refit.is_none() {
+        if m.is_stale() && refit.is_none() {
             println!("          drift threshold exceeded — spawning background refit");
             refit = Some(AsyncRefit::spawn(seen.clone(), cfg));
         }
         if let Some(r) = &refit {
-            if let Some(fresh) = r.try_take() {
-                // The refit covers data up to its spawn point; replay any
-                // chunks that arrived since.
-                let mut fresh = fresh;
-                if fresh.n_steps() < model.n_steps() {
-                    let missing = seen.cols_range(fresh.n_steps(), model.n_steps());
-                    fresh.partial_fit(&missing);
+            match r.try_take() {
+                Ok(Some(mut fresh)) => {
+                    // The refit covers data up to its spawn point; replay any
+                    // chunks that arrived since.
+                    if fresh.n_steps() < m.n_steps() {
+                        let missing = seen.cols_range(fresh.n_steps(), m.n_steps());
+                        fresh.partial_fit(&missing);
+                    }
+                    println!(
+                        "          background refit absorbed ({} modes → {} modes)",
+                        m.n_modes(),
+                        fresh.n_modes()
+                    );
+                    *m = fresh;
+                    refit = None;
                 }
-                println!(
-                    "          background refit absorbed ({} modes → {} modes)",
-                    model.n_modes(),
-                    fresh.n_modes()
-                );
-                model = fresh;
-                refit = None;
+                Ok(None) => {} // still running
+                Err(e) => {
+                    // A dead worker is a fact to report, not a hang to
+                    // mistake for "still running".
+                    println!("          background refit died ({e}) — keeping streamed model");
+                    refit = None;
+                }
             }
         }
     }
@@ -112,15 +237,17 @@ fn main() {
         // Drain any in-flight refit so the thread finishes cleanly.
         let _ = r.take();
     }
+    let model = model.expect("stream produced at least one chunk");
 
     // Final verdict against the injected ground truth.
+    println!("\n{total_gaps} corrupted readings repaired in-stream");
     let mags = row_mode_magnitudes(model.nodes(), &BandFilter::all(), seen.rows());
     let baseline = select_baseline_rows(&seen, 40.0, 50.0);
     if !baseline.is_empty() {
         let z = ZScores::from_baseline(&mags, &baseline);
         let mut ranked: Vec<usize> = (0..z.z.len()).collect();
         ranked.sort_by(|&a, &b| z.z[b].partial_cmp(&z.z[a]).unwrap());
-        println!("\ntop-5 z-scores: {:?}", &ranked[..5]);
+        println!("top-5 z-scores: {:?}", &ranked[..5]);
         for a in scenario.anomalies() {
             if let Anomaly::Overheat {
                 node,

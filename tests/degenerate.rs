@@ -97,10 +97,10 @@ fn async_refit_try_take_before_completion_is_none() {
     // A 48 × 2048, 4-level fit takes milliseconds at best; the worker
     // cannot have finished by the very next instruction.
     assert!(
-        refit.try_take().is_none(),
+        matches!(refit.try_take(), Ok(None)),
         "try_take returned a model before the refit could have finished"
     );
-    let model = refit.take();
+    let model = refit.take().expect("refit worker lives");
     assert_eq!(model.n_steps(), total);
     let direct = IMrDmd::fit(&data, &cfg(&sc, 4));
     assert_eq!(

@@ -142,7 +142,9 @@ fn async_refit_equals_sync_refit() {
     let data = signal(16, 400, dt);
     let c = cfg(dt, 3);
     let sync = IMrDmd::fit(&data, &c);
-    let async_fit = AsyncRefit::spawn(data.clone(), c).take();
+    let async_fit = AsyncRefit::spawn(data.clone(), c)
+        .take()
+        .expect("refit worker lives");
     assert_eq!(sync.n_modes(), async_fit.n_modes());
     assert!(sync.reconstruct().fro_dist(&async_fit.reconstruct()) < 1e-9);
 }

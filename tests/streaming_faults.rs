@@ -1,0 +1,357 @@
+//! Hardened-ingest integration tests: corrupted telemetry streams survive
+//! end to end, checkpoints restore bitwise, and every failure mode the PR
+//! fixed has a regression test that fails on the pre-PR code.
+
+use mrdmd_suite::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+const TAU: f64 = std::f64::consts::TAU;
+
+/// Deterministic multiscale telemetry-like signal.
+fn signal(p: usize, t: usize, dt: f64) -> Mat {
+    Mat::from_fn(p, t, |i, j| {
+        let x = i as f64 / p as f64;
+        let tt = j as f64 * dt;
+        50.0 + 4.0 * (TAU * tt / 9000.0 + 2.0 * x).sin()
+            + 1.5 * (TAU * tt / 900.0 + 5.0 * x).cos()
+            + 0.4 * (TAU * tt / 90.0 + 9.0 * x).sin()
+    })
+}
+
+fn cfg(dt: f64, levels: usize) -> IMrDmdConfig {
+    IMrDmdConfig {
+        mr: MrDmdConfig {
+            dt,
+            max_levels: levels,
+            max_cycles: 2,
+            rank: RankSelection::Svht,
+            ..MrDmdConfig::default()
+        },
+        keep_history: true,
+        ..IMrDmdConfig::default()
+    }
+}
+
+fn bits(m: &Mat) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("imrdmd-streaming-faults");
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// The acceptance e2e: a scenario stream corrupted by the fault injector
+/// (NaN runs, dropped samples, whole-sensor dropout) flows through the
+/// guarded ingest to completion — no panic, and the reconstruction holds no
+/// NaN because the guard repaired every hole before it reached the model.
+#[test]
+fn faulty_stream_survives_guarded_ingest_end_to_end() {
+    let n_nodes = 24;
+    let total = 1200;
+    let chunk = 150;
+    let mut machine = theta().scaled(n_nodes);
+    machine.series_per_node = 1;
+    let scenario = Scenario::sc_log(machine, total, 11);
+    let c = cfg(scenario.dt(), 4);
+
+    let faults = FaultConfig {
+        seed: 4242,
+        drop_prob: 0.003,
+        nan_run_prob: 0.8,
+        nan_run_max_len: 20,
+        sensor_dropout_prob: 0.3,
+        duplicate_prob: 0.0,
+    };
+    let mut stream = FaultInjector::new(ChunkStream::new(&scenario, 0, total, chunk), faults);
+
+    let first = stream.next().unwrap();
+    let mut guard = IngestGuard::new(GapPolicy::Interpolate, n_nodes);
+    let (clean, first_repairs) = guard.repair(&first).unwrap();
+    let mut model = IMrDmd::fit(clean.as_ref().unwrap_or(&first), &c);
+
+    let mut total_gaps = first_repairs.gaps;
+    let mut total_repaired = first_repairs.repaired;
+    for batch in stream.by_ref() {
+        let report = model.try_partial_fit(&batch, &mut guard).unwrap();
+        total_gaps += report.repairs.gaps;
+        total_repaired += report.repairs.repaired;
+    }
+    assert_eq!(model.n_steps(), total);
+    assert!(
+        total_gaps > 0,
+        "test premise: the injector actually corrupted the stream"
+    );
+    assert_eq!(total_gaps, total_repaired, "every gap was repaired");
+    // The injector's own ledger agrees something was injected.
+    assert!(!stream.events().is_empty());
+
+    let rec = model.reconstruct();
+    assert!(
+        rec.as_slice().iter().all(|v| v.is_finite()),
+        "no NaN leaked into the model"
+    );
+    // The repaired fit still tracks the clean ground truth to a sane error.
+    let truth = scenario.generate(0, total);
+    let rel = rec.fro_dist(&truth) / truth.fro_norm();
+    assert!(rel < 0.5, "relative error {rel} despite stream faults");
+}
+
+/// Reject policy: the first corrupted batch is a typed error naming the
+/// offending cell, and the model state is untouched (the batch never
+/// reached `partial_fit`).
+#[test]
+fn reject_policy_fails_fast_and_keeps_model_intact() {
+    let dt = 20.0;
+    let data = signal(8, 256, dt);
+    let mut model = IMrDmd::fit(&data.cols_range(0, 128), &cfg(dt, 3));
+    let before = bits(&model.reconstruct());
+
+    let mut guard = IngestGuard::new(GapPolicy::Reject, 8);
+    let mut bad = data.cols_range(128, 192);
+    bad[(3, 7)] = f64::NAN;
+    let err = model.try_partial_fit(&bad, &mut guard).unwrap_err();
+    match err {
+        CoreError::NonFinite { row, col } => {
+            assert_eq!((row, col), (3, 7));
+        }
+        other => panic!("expected NonFinite, got {other}"),
+    }
+    assert_eq!(model.n_steps(), 128, "rejected batch was not absorbed");
+    assert_eq!(before, bits(&model.reconstruct()), "state untouched");
+
+    // Shape mismatches are typed errors too, not panics.
+    let wrong = Mat::zeros(9, 64);
+    assert!(matches!(
+        model.try_partial_fit(&wrong, &mut guard),
+        Err(CoreError::ShapeMismatch {
+            expected_rows: 8,
+            got_rows: 9
+        })
+    ));
+}
+
+/// The acceptance crash-recovery test: kill a streaming run at an arbitrary
+/// chunk boundary, resume from the checkpoint, and the final model
+/// reconstructs **bitwise identically** to the uninterrupted run.
+#[test]
+fn kill_and_resume_from_checkpoint_is_bitwise_identical() {
+    let dt = 20.0;
+    let total = 512;
+    let chunk = 64;
+    let data = signal(12, total, dt);
+    let c = cfg(dt, 4);
+
+    // Uninterrupted reference run.
+    let mut reference = IMrDmd::fit(&data.cols_range(0, 128), &c);
+    let mut lo = 128;
+    while lo < total {
+        reference.partial_fit(&data.cols_range(lo, lo + chunk));
+        lo += chunk;
+    }
+
+    // Interrupted run: stream to snapshot 384, checkpoint, "crash" (drop
+    // the model), restore, and stream the rest.
+    let dir = tmp("kill-and-resume");
+    let _ = fs::remove_dir_all(&dir);
+    let mut ck = Checkpointer::new(&dir, 1).unwrap();
+    let mut m = IMrDmd::fit(&data.cols_range(0, 128), &c);
+    let mut lo = 128;
+    while lo < 384 {
+        m.partial_fit(&data.cols_range(lo, lo + chunk));
+        ck.tick(&m).unwrap();
+        lo += chunk;
+    }
+    drop(m); // the crash
+
+    let newest = latest_checkpoint(&dir).unwrap().expect("checkpoints exist");
+    let mut resumed = load_checkpoint(&newest).unwrap();
+    assert_eq!(resumed.n_steps(), 384, "newest checkpoint is the latest");
+    let mut lo = resumed.n_steps();
+    while lo < total {
+        resumed.partial_fit(&data.cols_range(lo, lo + chunk));
+        lo += chunk;
+    }
+
+    assert_eq!(resumed.n_steps(), reference.n_steps());
+    assert_eq!(resumed.n_modes(), reference.n_modes());
+    assert_eq!(
+        bits(&resumed.reconstruct()),
+        bits(&reference.reconstruct()),
+        "resumed run reconstructs bitwise identically"
+    );
+}
+
+/// A checkpoint with a pending sub-window in flight restores that pending
+/// buffer too: resuming mid-accumulation loses nothing.
+#[test]
+fn pending_buffer_survives_checkpoint_roundtrip() {
+    let dt = 20.0;
+    let data = signal(8, 300, dt);
+    let c = cfg(dt, 4);
+    let mut m = IMrDmd::fit(&data.cols_range(0, 256), &c);
+    m.partial_fit(&data.cols_range(256, 263)); // 7 < min_window: stays pending
+    assert_eq!(
+        m.pending_len(),
+        7,
+        "test premise: a pending window in flight"
+    );
+
+    let path = tmp("pending.ckpt");
+    save_checkpoint(&m, &path).unwrap();
+    let restored = load_checkpoint(&path).unwrap();
+    assert_eq!(restored.pending_len(), 7);
+    assert_eq!(restored.n_steps(), m.n_steps());
+    assert_eq!(bits(&restored.reconstruct()), bits(&m.reconstruct()));
+}
+
+/// Torn and corrupted checkpoint files are clean typed errors, never a
+/// garbage model: truncation (a crash mid-write that somehow skipped the
+/// atomic rename), bit flips (disk rot), and header vandalism all reject.
+#[test]
+fn torn_and_corrupt_checkpoints_are_rejected() {
+    let dt = 20.0;
+    let data = signal(8, 128, dt);
+    let m = IMrDmd::fit(&data, &cfg(dt, 3));
+    let path = tmp("corrupt.ckpt");
+    save_checkpoint(&m, &path).unwrap();
+    let good = fs::read(&path).unwrap();
+    assert!(load_checkpoint(&path).is_ok(), "pristine file loads");
+
+    // Truncated at 60%: length check trips before the codec ever runs.
+    fs::write(&path, &good[..good.len() * 6 / 10]).unwrap();
+    assert!(matches!(
+        load_checkpoint(&path),
+        Err(CheckpointError::LengthMismatch { .. })
+    ));
+
+    // A single flipped bit deep in the payload: checksum catches it.
+    let mut flipped = good.clone();
+    let at = flipped.len() * 7 / 10;
+    flipped[at] ^= 0x10;
+    fs::write(&path, &flipped).unwrap();
+    assert!(matches!(
+        load_checkpoint(&path),
+        Err(CheckpointError::ChecksumMismatch { .. })
+    ));
+
+    // Wrong magic.
+    let mut vandalised = good.clone();
+    vandalised[0] = b'X';
+    fs::write(&path, &vandalised).unwrap();
+    assert!(matches!(
+        load_checkpoint(&path),
+        Err(CheckpointError::BadHeader(_))
+    ));
+
+    // A version from the future is refused, not misparsed.
+    let future = String::from_utf8(good.clone())
+        .unwrap()
+        .replacen(" v1 ", " v9 ", 1);
+    fs::write(&path, future).unwrap();
+    assert!(matches!(
+        load_checkpoint(&path),
+        Err(CheckpointError::UnsupportedVersion(9))
+    ));
+
+    // And the pristine bytes still load after all that.
+    fs::write(&path, &good).unwrap();
+    let restored = load_checkpoint(&path).unwrap();
+    assert_eq!(bits(&restored.reconstruct()), bits(&m.reconstruct()));
+}
+
+/// Regression (pre-PR bug): a chunk size smaller than `min_window` silently
+/// dropped every batch's subtree residual — the model degraded to its root
+/// ISVD alone. The pending buffer now accumulates small chunks into proper
+/// subtree windows.
+#[test]
+fn tiny_chunks_no_longer_lose_subtree_detail() {
+    let dt = 20.0;
+    let total = 512;
+    let data = signal(12, total, dt);
+    let c = cfg(dt, 4);
+
+    let mut tiny = IMrDmd::fit(&data.cols_range(0, 128), &c);
+    let mut big = IMrDmd::fit(&data.cols_range(0, 128), &c);
+    for lo in (128..total).step_by(8) {
+        tiny.partial_fit(&data.cols_range(lo, lo + 8));
+    }
+    for lo in (128..total).step_by(64) {
+        big.partial_fit(&data.cols_range(lo, lo + 64));
+    }
+    assert_eq!(tiny.n_steps(), total);
+
+    // Pre-PR, the tiny-chunk run had zero post-fit subtree nodes: every
+    // 8-column batch fell below min_window (16) and its residual vanished.
+    let initial_nodes = IMrDmd::fit(&data.cols_range(0, 128), &c).nodes().count();
+    assert!(
+        tiny.nodes().count() > initial_nodes,
+        "tiny chunks grew subtrees ({} nodes vs {initial_nodes} at fit)",
+        tiny.nodes().count()
+    );
+
+    // And its accuracy is in the same regime as the big-chunk stream.
+    let e_tiny = tiny.reconstruct().fro_dist(&data) / data.fro_norm();
+    let e_big = big.reconstruct().fro_dist(&data) / data.fro_norm();
+    assert!(
+        e_tiny < (3.0 * e_big).max(0.25),
+        "tiny-chunk error {e_tiny} vs big-chunk {e_big}"
+    );
+}
+
+/// Regression (pre-PR bug): a panicked background refit looked exactly like
+/// one that was still running — `try_take` returned `None` forever and the
+/// monitor waited on a corpse. It is now a typed `RefitDead` error.
+#[test]
+fn dead_refit_worker_is_an_error_not_a_silent_hang() {
+    // One column trips `fit`'s `cols >= 2` assert: the worker panics.
+    let refit = AsyncRefit::spawn(Mat::zeros(4, 1), IMrDmdConfig::default());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match refit.try_take() {
+            Err(CoreError::RefitDead) => break, // the fix: death is visible
+            Ok(Some(_)) => panic!("a panicked fit cannot produce a model"),
+            Ok(None) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "pre-PR behaviour: dead worker indistinguishable from a slow one"
+                );
+                std::thread::yield_now();
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    // The consuming take reports the same fact.
+    let refit = AsyncRefit::spawn(Mat::zeros(4, 1), IMrDmdConfig::default());
+    assert!(matches!(refit.take(), Err(CoreError::RefitDead)));
+}
+
+/// Hold-last repair carries the last finite reading across batch
+/// boundaries — the cross-batch state the guard exists for.
+#[test]
+fn hold_policy_carries_state_across_batches() {
+    let dt = 20.0;
+    let data = signal(6, 192, dt);
+    let c = cfg(dt, 3);
+    let mut model = IMrDmd::fit(&data.cols_range(0, 128), &c);
+    let mut guard = IngestGuard::new(GapPolicy::HoldLast, 6);
+
+    // Prime the guard's carry with a clean batch…
+    let r = model
+        .try_partial_fit(&data.cols_range(128, 160), &mut guard)
+        .unwrap();
+    assert!(r.repairs.is_clean());
+    // …then a batch whose row 2 is entirely gaps: held from column 159.
+    let mut bad = data.cols_range(160, 192);
+    for j in 0..32 {
+        bad[(2, j)] = f64::NAN;
+    }
+    let r = model.try_partial_fit(&bad, &mut guard).unwrap();
+    assert_eq!(r.repairs.gaps, 32);
+    assert_eq!(r.repairs.repaired, 32);
+    assert!(r.repairs.unseeded_rows.is_empty(), "carry was available");
+    let rec = model.reconstruct();
+    assert!(rec.as_slice().iter().all(|v| v.is_finite()));
+}
