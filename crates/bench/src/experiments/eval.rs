@@ -43,7 +43,7 @@ fn run_one(
     t0: usize,
     added: usize,
     levels: usize,
-) -> EvalResult {
+) -> (EvalResult, HealthSnapshot) {
     let n = scenario.n_series();
     let cfg = Workloads::imrdmd_config(scenario, levels);
     out.line(format!(
@@ -65,16 +65,44 @@ fn run_one(
         refit.n_modes(),
         report.drift
     ));
-    EvalResult {
-        dataset: dataset.into(),
-        n,
-        t0,
-        added,
-        levels,
-        recompute,
-        incremental,
-        modes: model.n_modes(),
+    let health = model.health();
+    out.line(format!("  health: {}", health.summary()));
+    (
+        EvalResult {
+            dataset: dataset.into(),
+            n,
+            t0,
+            added,
+            levels,
+            recompute,
+            incremental,
+            modes: model.n_modes(),
+        },
+        health,
+    )
+}
+
+/// Renders a health snapshot as `label: value` lines — the `health.txt`
+/// artefact the dashboard turns into a status strip.
+fn health_artefact(dataset: &str, h: &HealthSnapshot) -> String {
+    let mut s = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(s, "dataset: {dataset}");
+    let _ = writeln!(s, "root: {}", h.root.label());
+    let _ = writeln!(
+        s,
+        "nodes: {}/{} healthy",
+        h.healthy_nodes,
+        h.healthy_nodes + h.degraded_nodes
+    );
+    let _ = writeln!(s, "coverage: {:.1}%", h.coverage * 100.0);
+    let _ = writeln!(s, "isvd drift: {:.2e}", h.solver.isvd_drift);
+    let _ = writeln!(s, "drift breaches: {}", h.solver.isvd_drift_breaches);
+    let _ = writeln!(s, "eig iterations: {}", h.solver.last_eig_iterations);
+    if let Some(e) = &h.last_error {
+        let _ = writeln!(s, "last error: {e}");
     }
+    s
 }
 
 /// Environment-log evaluation (paper: 80.58 s → 14.73 s).
@@ -86,7 +114,7 @@ pub fn run_env(opts: &Opts) -> std::io::Result<EvalResult> {
         (1024, 12_000, 1_200)
     };
     let scenario = Workloads::sc_log(n, t0 + added, opts.seed);
-    let r = run_one(
+    let (r, health) = run_one(
         &mut out,
         "Environment logs (Theta profile)",
         &scenario,
@@ -96,6 +124,10 @@ pub fn run_env(opts: &Opts) -> std::io::Result<EvalResult> {
     );
     out.line("paper reference: recompute 80.580 s, incremental 14.728 s (5.5x)");
     out.artefact("eval_env.json", &serde_json::to_string_pretty(&r).unwrap())?;
+    out.artefact(
+        "health.txt",
+        &health_artefact("Environment logs (Theta profile)", &health),
+    )?;
     out.finish("eval_env")?;
     Ok(r)
 }
@@ -109,7 +141,7 @@ pub fn run_gpu(opts: &Opts) -> std::io::Result<EvalResult> {
         (1024, 8_000, 2_000)
     };
     let scenario = Workloads::gpu_metrics(n, t0 + added, opts.seed);
-    let r = run_one(
+    let (r, _health) = run_one(
         &mut out,
         "GPU metrics (Polaris profile)",
         &scenario,

@@ -71,6 +71,12 @@ pub enum Command {
         /// Model JSON.
         model: PathBuf,
     },
+    /// Print a model's numerical health: per-level node counts, coverage,
+    /// solver statistics, and the last recorded solver error.
+    Health {
+        /// Model JSON.
+        model: PathBuf,
+    },
     /// Stream a snapshot CSV through the guarded ingest path in chunks,
     /// with periodic checkpointing and crash-resume.
     Stream {
@@ -99,13 +105,14 @@ pub enum Command {
 }
 
 /// Usage text shown on parse errors.
-pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info|stream> [--flag value]...
+pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info|health|stream> [--flag value]...
   synth   --nodes N --steps T [--seed S] --out FILE.csv
   fit     --input FILE.csv --dt SECONDS [--levels L] [--max-cycles C] [--threads N] --model FILE.json
   update  --model FILE.json --input FILE.csv [--model-out FILE.json] [--threads N]
   analyze --model FILE.json --input FILE.csv [--band-lo X --band-hi Y]
   render  --model FILE.json --input FILE.csv --layout \"SPEC\" --out FILE.svg
   info    --model FILE.json
+  health  --model FILE.json
   stream  --input FILE.csv --dt SECONDS --model FILE.json [--chunk N] [--levels L] [--threads N]
           [--gap-policy reject|hold|interpolate|mask]
           [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]";
@@ -218,6 +225,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "info" => Ok(Command::Info {
             model: get("model")?.into(),
         }),
+        "health" => Ok(Command::Health {
+            model: get("model")?.into(),
+        }),
         "stream" => Ok(Command::Stream {
             input: get("input")?.into(),
             dt: num("dt")?,
@@ -310,6 +320,18 @@ mod tests {
             }
             _ => panic!("wrong variant"),
         }
+    }
+
+    #[test]
+    fn parses_health() {
+        let c = parse_args(&argv("health --model m.json")).unwrap();
+        assert_eq!(
+            c,
+            Command::Health {
+                model: "m.json".into()
+            }
+        );
+        assert!(parse_args(&argv("health")).is_err());
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             out,
         } => render(model, input, layout, out),
         Command::Info { model } => info(model),
+        Command::Health { model } => health(model),
         Command::Stream {
             input,
             dt,
@@ -415,6 +416,7 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
     if ckpts > 0 {
         let _ = writeln!(out, "wrote {ckpts} checkpoints");
     }
+    let _ = writeln!(out, "health: {}", model.health().summary());
     let _ = writeln!(
         out,
         "model now spans {} snapshots ({} modes, {} pending) → {}",
@@ -447,6 +449,49 @@ fn info(model_path: &Path) -> Result<String, CliError> {
         rep.model_bytes as f64 / 1e6,
         rep.ratio
     );
+    Ok(out)
+}
+
+fn health(model_path: &Path) -> Result<String, CliError> {
+    let model = load_model(model_path)?;
+    let h = model.health();
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", h.summary());
+    let _ = writeln!(
+        out,
+        "root: {}{}",
+        h.root.label(),
+        h.root
+            .cause()
+            .map(|c| format!(" — {c}"))
+            .unwrap_or_default()
+    );
+    for l in &h.levels {
+        let _ = writeln!(
+            out,
+            "  level {}: {} healthy, {} degraded",
+            l.level, l.healthy, l.degraded
+        );
+    }
+    let _ = writeln!(
+        out,
+        "coverage: {:.1}% ({} of {} windows served by a live fit)",
+        h.coverage * 100.0,
+        h.healthy_nodes,
+        h.healthy_nodes + h.degraded_nodes
+    );
+    let _ = writeln!(
+        out,
+        "solver: eig {} iterations / {} restarts, inner svd {} sweeps, isvd drift {:.3e} ({} breaches)",
+        h.solver.last_eig_iterations,
+        h.solver.last_eig_restarts,
+        h.solver.last_inner_svd_sweeps,
+        h.solver.isvd_drift,
+        h.solver.isvd_drift_breaches
+    );
+    if let Some(e) = &h.last_error {
+        let _ = writeln!(out, "last error: {e}");
+    }
     Ok(out)
 }
 
@@ -526,6 +571,15 @@ mod tests {
             run(&parse_args(&argv(&format!("info --model {}", model.display()))).unwrap()).unwrap();
         assert!(r.contains("24 series × 700 snapshots"), "{r}");
         assert!(r.contains("storage:"), "{r}");
+
+        // health — a clean fit reports every window healthy.
+        let r = run(&parse_args(&argv(&format!("health --model {}", model.display()))).unwrap())
+            .unwrap();
+        assert!(r.contains("root healthy"), "{r}");
+        assert!(r.contains("coverage: 100.0%"), "{r}");
+        assert!(r.contains("level 1: 1 healthy, 0 degraded"), "{r}");
+        assert!(r.contains("solver: eig"), "{r}");
+        assert!(!r.contains("last error"), "{r}");
     }
 
     #[test]
@@ -647,6 +701,7 @@ mod tests {
         assert!(r.contains("3 gaps, 3 repaired"), "{r}");
         assert!(r.contains("600 snapshots"), "{r}");
         assert!(r.contains("wrote 3 checkpoints"), "{r}");
+        assert!(r.contains("health: root healthy"), "{r}");
 
         // Resume: the newest checkpoint spans all 600 snapshots, so a
         // `--resume` rerun is a no-op that duplicates no work…

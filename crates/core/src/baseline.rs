@@ -181,7 +181,7 @@ pub fn embedding_2d<'a>(
             ranked.push((node, j, powers[j]));
         }
     }
-    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    ranked.sort_by(|a, b| b.2.total_cmp(&a.2));
     let mut out = Mat::zeros(n_rows, 2);
     for (dim, &(node, j, _)) in ranked.iter().take(2).enumerate() {
         let a = node.amplitudes[j].abs();

@@ -7,11 +7,15 @@
 //! SVD-project to rank `r`, eigendecompose the small `Ã = UᵀYVΣ⁻¹`, and lift
 //! the eigenvectors back as exact DMD modes `Φ = YVΣ⁻¹W`.
 
-use hpc_linalg::{c64, eig_real, lstsq_complex, svd_truncated, svht_rank, CMat, Mat, Svd};
+use crate::error::CoreError;
+use hpc_linalg::{
+    c64, lstsq_complex, svd_truncated, svht_rank, try_eig_real, try_lstsq_complex, CMat, EigStats,
+    Mat, Svd,
+};
 use serde::{Deserialize, Serialize};
 
 /// How to pick the SVD truncation rank of the snapshot matrix.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub enum RankSelection {
     /// Gavish–Donoho optimal singular value hard threshold (the paper's
     /// `do_svht=True` setting).
@@ -24,17 +28,35 @@ pub enum RankSelection {
 }
 
 impl RankSelection {
+    /// Checks the selection's parameter domain: an [`Energy`] fraction must
+    /// lie in `(0, 1]` (NaN is rejected).
+    ///
+    /// [`Energy`]: RankSelection::Energy
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if let RankSelection::Energy(frac) = *self {
+            let in_domain = frac > 0.0 && frac <= 1.0;
+            if !in_domain {
+                return Err(CoreError::InvalidConfig {
+                    what: format!("energy fraction must be in (0, 1], got {frac}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Resolves the retained rank for singular values `s` of a `rows × cols`
-    /// matrix.
+    /// matrix. Total on all inputs: an out-of-domain
+    /// [`Energy`](RankSelection::Energy) fraction
+    /// (rejected by [`validate`](Self::validate) on every fallible
+    /// construction path) falls back to keeping the full spectrum rather
+    /// than panicking mid-stream.
     pub fn resolve(&self, s: &[f64], rows: usize, cols: usize) -> usize {
         match *self {
             RankSelection::Svht => svht_rank(s, rows, cols),
             RankSelection::Fixed(r) => r.min(s.len()),
             RankSelection::Energy(frac) => {
-                assert!(
-                    frac > 0.0 && frac <= 1.0,
-                    "energy fraction must be in (0, 1]"
-                );
+                let in_domain = frac > 0.0 && frac <= 1.0;
+                let frac = if in_domain { frac } else { 1.0 };
                 let total: f64 = s.iter().map(|&x| x * x).sum();
                 if total == 0.0 {
                     return 0;
@@ -49,6 +71,43 @@ impl RankSelection {
                 s.len()
             }
         }
+    }
+}
+
+// Manual impl (the derive cannot attach validation): mirrors the derive's
+// wire format — unit variant as its name string, payload variants as a
+// single-key map — and rejects out-of-domain `Energy` fractions at the
+// boundary, so a checkpoint edited by hand cannot smuggle a panic into
+// `resolve`.
+impl<'de> serde::de::Deserialize<'de> for RankSelection {
+    fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let sel = match deserializer.take_content()? {
+            serde::Content::Str(s) if s == "Svht" => RankSelection::Svht,
+            serde::Content::Map(mut m) if m.len() == 1 => {
+                let (key, payload) = m.remove(0);
+                match key.as_str() {
+                    "Fixed" => {
+                        RankSelection::Fixed(serde::from_content::<usize, D::Error>(payload)?)
+                    }
+                    "Energy" => {
+                        RankSelection::Energy(serde::from_content::<f64, D::Error>(payload)?)
+                    }
+                    other => {
+                        return Err(D::Error::custom(format!(
+                            "unknown variant `{other}` of RankSelection"
+                        )))
+                    }
+                }
+            }
+            other => {
+                return Err(D::Error::custom(format!(
+                    "expected a RankSelection variant, found {other:?}"
+                )))
+            }
+        };
+        sel.validate().map_err(D::Error::custom)?;
+        Ok(sel)
     }
 }
 
@@ -70,6 +129,24 @@ impl Default for DmdConfig {
     }
 }
 
+impl DmdConfig {
+    /// Checks every field's domain: `dt` must be positive and finite, and
+    /// the rank selection must pass [`RankSelection::validate`]. Called by
+    /// [`Dmd::try_fit`] / [`Dmd::try_from_svd`] before any numerics run.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let dt_ok = self.dt > 0.0 && self.dt.is_finite();
+        if !dt_ok {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "snapshot spacing dt must be positive and finite, got {}",
+                    self.dt
+                ),
+            });
+        }
+        self.rank.validate()
+    }
+}
+
 /// An exact DMD of a snapshot sequence.
 #[derive(Clone, Debug)]
 pub struct Dmd {
@@ -83,6 +160,9 @@ pub struct Dmd {
     pub amplitudes: Vec<c64>,
     /// Snapshot spacing used for the fit.
     pub dt: f64,
+    /// QR-iteration statistics of the reduced-operator eigendecomposition
+    /// (zero for rank-0 fits) — surfaced through the health snapshot.
+    pub eig_stats: EigStats,
 }
 
 impl Dmd {
@@ -102,6 +182,20 @@ impl Dmd {
     /// assert!((f[0] - 2.0).abs() < 0.05);
     /// ```
     pub fn fit(data: &Mat, cfg: &DmdConfig) -> Dmd {
+        match Self::try_fit(data, cfg) {
+            Ok(d) => d,
+            // Preserved legacy contract: the infallible entry point aborts on
+            // solver failure, as the eig/lstsq kernels themselves used to.
+            #[allow(clippy::panic)]
+            Err(e) => panic!("DMD fit failed: {e}"),
+        }
+    }
+
+    /// Fallible twin of [`fit`](Self::fit): configuration problems surface as
+    /// [`CoreError::InvalidConfig`] and solver failures (eigensolver
+    /// non-convergence after its escalation ladder, rank-deficient amplitude
+    /// fits) as [`CoreError::Numerical`].
+    pub fn try_fit(data: &Mat, cfg: &DmdConfig) -> Result<Dmd, CoreError> {
         assert!(data.cols() >= 2, "DMD needs at least two snapshots");
         let t = data.cols();
         let x = data.cols_range(0, t - 1);
@@ -112,7 +206,7 @@ impl Dmd {
             _ => x.rows().min(x.cols()),
         };
         let svd_x = svd_truncated(&x, probe.max(1));
-        Self::from_svd(&svd_x, &y, data, cfg)
+        Self::try_from_svd(&svd_x, &y, data, cfg)
     }
 
     /// Fits a DMD reusing a precomputed (possibly incrementally maintained)
@@ -122,19 +216,37 @@ impl Dmd {
     /// This is the entry point of the incremental path: the expensive SVD is
     /// inherited, and everything below is `O(P·r² + r³)`.
     pub fn from_svd(svd_x: &Svd, y: &Mat, data: &Mat, cfg: &DmdConfig) -> Dmd {
+        match Self::try_from_svd(svd_x, y, data, cfg) {
+            Ok(d) => d,
+            // Preserved legacy contract, mirroring `fit`.
+            #[allow(clippy::panic)]
+            Err(e) => panic!("DMD fit failed: {e}"),
+        }
+    }
+
+    /// Fallible twin of [`from_svd`](Self::from_svd); see
+    /// [`try_fit`](Self::try_fit) for the error contract.
+    pub fn try_from_svd(
+        svd_x: &Svd,
+        y: &Mat,
+        data: &Mat,
+        cfg: &DmdConfig,
+    ) -> Result<Dmd, CoreError> {
+        cfg.validate()?;
         let p = y.rows();
         let r = cfg.rank.resolve(&svd_x.s, p, svd_x.v.rows());
         // Never exceed the numerical rank of X: directions with negligible
         // singular values carry no dynamics, only amplified noise.
         let r = r.min(svd_x.numerical_rank(1e-10));
         if r == 0 {
-            return Dmd {
+            return Ok(Dmd {
                 modes: CMat::zeros(p, 0),
                 lambdas: vec![],
                 omegas: vec![],
                 amplitudes: vec![],
                 dt: cfg.dt,
-            };
+                eig_stats: EigStats::default(),
+            });
         }
         let u = svd_x.u.cols_range(0, r);
         let v = svd_x.v.cols_range(0, r);
@@ -146,7 +258,10 @@ impl Dmd {
         let vs = scale_cols_real(&v, &sinv);
         let b = y.matmul(&vs);
         let a_tilde = u.t_matmul(&b); // r × r
-        let eig = eig_real(&a_tilde);
+        let eig = try_eig_real(&a_tilde).map_err(|e| CoreError::Numerical {
+            context: format!("eigendecomposition of the {r}×{r} reduced operator"),
+            source: e,
+        })?;
         // Exact modes Φ = B·W.
         let modes = CMat::from_real(&b).matmul(&eig.vectors);
         let lambdas = eig.values;
@@ -165,17 +280,21 @@ impl Dmd {
         // Amplitudes from the first snapshot: min ‖Φ·a − x₀‖.
         let x0: Vec<c64> = data.col(0).into_iter().map(c64::from_real).collect();
         let amplitudes = if modes.cols() > 0 {
-            lstsq_complex(&modes, &x0)
+            try_lstsq_complex(&modes, &x0).map_err(|e| CoreError::Numerical {
+                context: "mode-amplitude least squares against the first snapshot".to_string(),
+                source: e,
+            })?
         } else {
             vec![]
         };
-        Dmd {
+        Ok(Dmd {
             modes,
             lambdas,
             omegas,
             amplitudes,
             dt: cfg.dt,
-        }
+            eig_stats: eig.stats,
+        })
     }
 
     /// Number of retained modes.
@@ -422,6 +541,50 @@ mod tests {
         assert_eq!(r, 2);
         assert_eq!(RankSelection::Energy(1.0).resolve(&s, 100, 4), 4);
         assert_eq!(RankSelection::Fixed(3).resolve(&s, 100, 4), 3);
+    }
+
+    #[test]
+    fn energy_validation_rejects_out_of_domain_fractions() {
+        assert!(RankSelection::Energy(0.5).validate().is_ok());
+        for bad in [0.0, -0.1, 1.5, f64::NAN] {
+            assert!(RankSelection::Energy(bad).validate().is_err(), "{bad}");
+            // `resolve` must stay total even on invalid fractions: it falls
+            // back to keeping the full spectrum instead of panicking.
+            assert_eq!(RankSelection::Energy(bad).resolve(&[3.0, 1.0], 10, 2), 2);
+        }
+        assert!(DmdConfig {
+            dt: 0.0,
+            rank: RankSelection::Svht
+        }
+        .validate()
+        .is_err());
+        // The wire boundary rejects invalid fractions too.
+        assert!(serde_json::from_str::<RankSelection>("{\"Energy\": 2.0}").is_err());
+        let ok: RankSelection = serde_json::from_str("{\"Energy\": 0.75}").unwrap();
+        assert_eq!(ok, RankSelection::Energy(0.75));
+        let unit: RankSelection = serde_json::from_str("\"Svht\"").unwrap();
+        assert_eq!(unit, RankSelection::Svht);
+        let fixed: RankSelection = serde_json::from_str("{\"Fixed\": 3}").unwrap();
+        assert_eq!(fixed, RankSelection::Fixed(3));
+    }
+
+    #[test]
+    fn try_fit_reports_invalid_config_as_error() {
+        let data = Mat::from_fn(4, 16, |i, j| ((i + j) as f64 * 0.3).sin());
+        let bad = DmdConfig {
+            dt: 1.0,
+            rank: RankSelection::Energy(7.0),
+        };
+        match Dmd::try_fit(&data, &bad) {
+            Err(CoreError::InvalidConfig { what }) => assert!(what.contains("energy fraction")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let good = DmdConfig {
+            dt: 1.0,
+            rank: RankSelection::Fixed(2),
+        };
+        let d = Dmd::try_fit(&data, &good).expect("healthy fit");
+        assert!(d.rank() <= 2);
     }
 
     #[test]

@@ -7,10 +7,25 @@
 //! reports these conditions as values instead of panicking mid-stream.
 
 use crate::checkpoint::CheckpointError;
+use hpc_linalg::LinAlgError;
 
 /// Error surfaced by the fallible streaming API.
 #[derive(Debug)]
 pub enum CoreError {
+    /// A configuration value is out of its documented domain (e.g. an
+    /// [`Energy`](crate::dmd::RankSelection::Energy) fraction outside `(0, 1]`).
+    InvalidConfig {
+        /// What was wrong, in human terms.
+        what: String,
+    },
+    /// A numerical kernel reported failure (non-convergence, singularity,
+    /// orthogonality drift) that the solver ladder could not repair.
+    Numerical {
+        /// Where in the pipeline the kernel was invoked.
+        context: String,
+        /// The typed kernel error.
+        source: LinAlgError,
+    },
     /// A batch value was NaN or ±Inf and the active [`crate::ingest::GapPolicy`]
     /// is [`Reject`](crate::ingest::GapPolicy::Reject).
     NonFinite {
@@ -35,6 +50,10 @@ pub enum CoreError {
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            CoreError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            CoreError::Numerical { context, source } => {
+                write!(f, "numerical failure in {context}: {source}")
+            }
             CoreError::NonFinite { row, col } => {
                 write!(f, "non-finite value at sensor {row}, batch column {col}")
             }
@@ -55,6 +74,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Checkpoint(e) => Some(e),
+            CoreError::Numerical { source, .. } => Some(source),
             _ => None,
         }
     }

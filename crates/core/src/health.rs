@@ -1,0 +1,213 @@
+//! Health surface of the streaming decomposition.
+//!
+//! The numerical core is fallible ([`hpc_linalg::LinAlgError`]): an
+//! eigensolver can exhaust its escalation ladder, an incremental SVD can
+//! breach its orthogonality budget, an amplitude fit can hit rank
+//! deficiency. Instead of dying mid-stream, [`crate::imrdmd::IMrDmd`]
+//! *degrades*: the failed node keeps its previous modes (or is skipped), the
+//! failure is recorded, and ingest continues. This module holds the types
+//! that make that degradation observable — per-subtree health states, a
+//! per-node fault log, and an aggregated [`HealthSnapshot`] that the CLI
+//! (`imrdmd health`), the streaming monitor and the visual report render.
+//!
+//! All of these types serialize with the model, so a checkpoint written
+//! mid-degradation restores with the identical health state.
+
+use serde::{Deserialize, Serialize};
+
+/// Health of one maintained subtree (the root, or the deeper levels as a
+/// group).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SubtreeHealth {
+    /// The most recent solve succeeded.
+    Healthy,
+    /// The most recent solve failed; the previous modes are still being
+    /// served for this subtree.
+    Degraded {
+        /// Stream step (absorbed snapshots) at which degradation began.
+        since: usize,
+        /// Human-readable cause (the solver error's display form).
+        cause: String,
+    },
+    /// Several consecutive solves failed; the served modes are old enough
+    /// that their statistics should no longer be trusted.
+    Stale {
+        /// Stream step at which degradation began.
+        since: usize,
+        /// Cause of the most recent failure.
+        cause: String,
+    },
+}
+
+impl SubtreeHealth {
+    /// Whether the subtree's latest solve succeeded.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, SubtreeHealth::Healthy)
+    }
+
+    /// Short lowercase label: `healthy`, `degraded` or `stale`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SubtreeHealth::Healthy => "healthy",
+            SubtreeHealth::Degraded { .. } => "degraded",
+            SubtreeHealth::Stale { .. } => "stale",
+        }
+    }
+
+    /// The recorded cause, if the subtree is not healthy.
+    pub fn cause(&self) -> Option<&str> {
+        match self {
+            SubtreeHealth::Healthy => None,
+            SubtreeHealth::Degraded { cause, .. } | SubtreeHealth::Stale { cause, .. } => {
+                Some(cause)
+            }
+        }
+    }
+}
+
+/// Record of one failed node fit in the multiresolution recursion: the node
+/// was skipped (its window's residual stays unexplained at that level) and
+/// the stream kept going.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FitFault {
+    /// Tree level of the failed node (1 = root).
+    pub level: usize,
+    /// Absolute snapshot where the failed node's window starts.
+    pub start: usize,
+    /// Window length in snapshots.
+    pub window: usize,
+    /// First global sensor row the node would have covered.
+    pub row_offset: usize,
+    /// Stream step (total absorbed snapshots) when the failure happened.
+    pub at_step: usize,
+    /// Human-readable cause (the solver error's display form).
+    pub cause: String,
+}
+
+/// Solver statistics of the most recent fits, for trend-watching.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// QR iterations of the last successful root eigendecomposition.
+    pub last_eig_iterations: usize,
+    /// Balanced-restart count of that eigendecomposition (0 = first-ladder
+    /// convergence).
+    pub last_eig_restarts: usize,
+    /// Jacobi sweeps of the most recent inner SVD of the streaming update.
+    pub last_inner_svd_sweeps: usize,
+    /// Current orthogonality drift `‖UᵀU − I‖_F` of the streaming SVD basis.
+    pub isvd_drift: f64,
+    /// Times the streaming SVD reported a drift breach its re-orthogonal-
+    /// isation pass could not repair.
+    pub isvd_drift_breaches: usize,
+}
+
+/// Node counts of one tree level.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LevelHealth {
+    /// Tree level (1 = root).
+    pub level: usize,
+    /// Nodes serving up-to-date modes at this level.
+    pub healthy: usize,
+    /// Windows at this level whose fit failed (old modes retained or window
+    /// skipped).
+    pub degraded: usize,
+}
+
+/// Aggregated health of a streaming decomposition, derived on demand by
+/// [`crate::imrdmd::IMrDmd::health`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Health of the level-1 (root) subtree.
+    pub root: SubtreeHealth,
+    /// Per-level node counts, ascending by level.
+    pub levels: Vec<LevelHealth>,
+    /// Nodes currently serving up-to-date modes.
+    pub healthy_nodes: usize,
+    /// Windows whose most recent fit failed.
+    pub degraded_nodes: usize,
+    /// Fraction of nodes that are healthy (`1.0` when nothing has failed):
+    /// reconstruction, spectrum and z-scores consume exactly the healthy
+    /// nodes, so this is their coverage of the intended tree.
+    pub coverage: f64,
+    /// Display form of the most recent solver error, if any occurred.
+    pub last_error: Option<String>,
+    /// Solver statistics of the most recent fits.
+    pub solver: SolverStats,
+}
+
+impl HealthSnapshot {
+    /// Whether every maintained subtree is healthy and no faults are active.
+    pub fn all_healthy(&self) -> bool {
+        self.root.is_healthy() && self.degraded_nodes == 0
+    }
+
+    /// One-line summary for stream logs:
+    /// `root healthy | nodes 14/14 | drift 1.2e-15 | breaches 0`.
+    pub fn summary(&self) -> String {
+        let total = self.healthy_nodes + self.degraded_nodes;
+        format!(
+            "root {} | nodes {}/{} | drift {:.1e} | breaches {}",
+            self.root.label(),
+            self.healthy_nodes,
+            total,
+            self.solver.isvd_drift,
+            self.solver.isvd_drift_breaches,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_summary_read_well() {
+        let h = HealthSnapshot {
+            root: SubtreeHealth::Degraded {
+                since: 512,
+                cause: "QR iteration failed".to_string(),
+            },
+            levels: vec![LevelHealth {
+                level: 1,
+                healthy: 0,
+                degraded: 1,
+            }],
+            healthy_nodes: 3,
+            degraded_nodes: 1,
+            coverage: 0.75,
+            last_error: Some("QR iteration failed".to_string()),
+            solver: SolverStats::default(),
+        };
+        assert!(!h.all_healthy());
+        assert_eq!(h.root.label(), "degraded");
+        assert_eq!(h.root.cause(), Some("QR iteration failed"));
+        let s = h.summary();
+        assert!(s.contains("root degraded"), "{s}");
+        assert!(s.contains("nodes 3/4"), "{s}");
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip_is_exact() {
+        let h = HealthSnapshot {
+            root: SubtreeHealth::Stale {
+                since: 9,
+                cause: "x".to_string(),
+            },
+            levels: vec![],
+            healthy_nodes: 0,
+            degraded_nodes: 2,
+            coverage: 0.0,
+            last_error: None,
+            solver: SolverStats {
+                last_eig_iterations: 40,
+                last_eig_restarts: 1,
+                last_inner_svd_sweeps: 7,
+                isvd_drift: 1e-14,
+                isvd_drift_breaches: 3,
+            },
+        };
+        let json = serde_json::to_string(&h).expect("serialize");
+        let back: HealthSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, h);
+    }
+}

@@ -25,11 +25,16 @@
 
 use crate::dmd::{Dmd, DmdConfig};
 use crate::error::CoreError;
+use crate::health::{FitFault, HealthSnapshot, LevelHealth, SolverStats, SubtreeHealth};
 use crate::ingest::{IngestGuard, RepairReport};
 use crate::mrdmd::{fit_halves, fit_tree, reconstruct_nodes, ModeSet, MrDmd, MrDmdConfig};
 use hpc_linalg::pool::WorkerPool;
-use hpc_linalg::{IncrementalSvd, Mat};
+use hpc_linalg::{EigStats, IncrementalSvd, Mat};
 use serde::{Deserialize, Serialize};
+
+/// Consecutive failed root solves after which the retained root modes are
+/// reported [`SubtreeHealth::Stale`] instead of merely degraded.
+pub const ROOT_STALE_AFTER: usize = 3;
 
 /// Configuration of the incremental decomposition.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -77,6 +82,9 @@ pub struct PartialFitReport {
     pub new_subtree_modes: usize,
     /// Snapshots still buffered below `min_window`, awaiting a subtree fit.
     pub pending: usize,
+    /// Node fits that failed numerically during this update (root or
+    /// subtree); the stream kept going with the failing windows degraded.
+    pub new_faults: usize,
 }
 
 /// Outcome of one guarded ingest ([`IMrDmd::try_partial_fit`]).
@@ -120,6 +128,22 @@ pub struct IMrDmd {
     /// snapshots absorbed by the root but whose residual subtree fit is
     /// deferred until enough accumulate. Always empty when `max_levels < 2`.
     pending: Mat,
+    /// Health of the root subtree: degraded roots keep serving the previous
+    /// modes (window-extended) until a solve succeeds again.
+    root_health: SubtreeHealth,
+    /// Consecutive failed root solves; `>= ROOT_STALE_AFTER` flips
+    /// `root_health` from `Degraded` to `Stale`.
+    root_fail_streak: usize,
+    /// Failed node fits across the tree, in occurrence order.
+    faults: Vec<FitFault>,
+    /// Display form of the most recent solver error anywhere in the pipeline.
+    last_error: Option<String>,
+    /// Streaming-SVD drift breaches that re-orthogonalisation couldn't repair.
+    isvd_drift_breaches: usize,
+    /// QR iterations of the last successful root eigendecomposition.
+    last_eig_iterations: usize,
+    /// Balanced restarts of that eigendecomposition.
+    last_eig_restarts: usize,
 }
 
 impl IMrDmd {
@@ -152,8 +176,29 @@ impl IMrDmd {
             stale: false,
             history: cfg.keep_history.then(|| data.clone()),
             pending: Mat::zeros(p, 0),
+            root_health: SubtreeHealth::Healthy,
+            root_fail_streak: 0,
+            faults: Vec::new(),
+            last_error: None,
+            isvd_drift_breaches: 0,
+            last_eig_iterations: 0,
+            last_eig_restarts: 0,
         };
-        state.root = state.solve_root(t);
+        match state.try_solve_root(t) {
+            Ok((root, stats)) => {
+                state.root = root;
+                state.last_eig_iterations = stats.iterations;
+                state.last_eig_restarts = stats.restarts;
+            }
+            Err(e) => {
+                // No previous modes to fall back on at the initial fit: the
+                // root stays empty and is reported degraded from step 0.
+                let cause = e.to_string();
+                state.last_error = Some(cause.clone());
+                state.root_fail_streak = 1;
+                state.root_health = SubtreeHealth::Degraded { since: 0, cause };
+            }
+        }
         // Residual after the root's slow dynamics, then the usual recursion
         // over the two halves at level 2 — all in place on one buffer.
         let mut residual = data.clone();
@@ -172,20 +217,32 @@ impl IMrDmd {
             cfg.mr.max_levels,
             &pool,
             &mut state.subnodes,
+            &mut state.faults,
         );
+        for f in &mut state.faults {
+            f.at_step = t;
+        }
+        if state.last_error.is_none() {
+            if let Some(f) = state.faults.last() {
+                state.last_error = Some(f.cause.clone());
+            }
+        }
         state
     }
 
     /// Solves the root DMD from the current streaming SVD and returns the
-    /// slow-mode set spanning a window of `window` snapshots.
-    fn solve_root(&self, window: usize) -> ModeSet {
+    /// slow-mode set spanning a window of `window` snapshots, plus the
+    /// eigensolver's iteration statistics. A solver failure (after the
+    /// kernel's own escalation ladder) is returned, not panicked — the
+    /// caller degrades the root instead.
+    fn try_solve_root(&self, window: usize) -> Result<(ModeSet, EigStats), CoreError> {
         let n_sub = self.sub_data.cols();
         let y = self.sub_data.cols_range(1, n_sub);
         let dmd_cfg = DmdConfig {
             dt: self.cfg.mr.dt * self.root_step as f64,
             rank: self.cfg.mr.rank,
         };
-        let dmd = Dmd::from_svd(&self.isvd.to_svd(), &y, &self.sub_data, &dmd_cfg);
+        let dmd = Dmd::try_from_svd(&self.isvd.to_svd(), &y, &self.sub_data, &dmd_cfg)?;
         let cutoff = self.cfg.mr.slow_cutoff_hz(window);
         let slow: Vec<usize> = dmd
             .frequencies()
@@ -200,17 +257,20 @@ impl IMrDmd {
             window as f64 * self.cfg.mr.dt,
             self.cfg.mr.max_window_growth,
         );
-        ModeSet {
-            level: 1,
-            start: 0,
-            window,
-            step: self.root_step,
-            row_offset: 0,
-            modes: dmd.modes.select_cols(&slow),
-            lambdas: slow.iter().map(|&i| dmd.lambdas[i]).collect(),
-            omegas,
-            amplitudes: slow.iter().map(|&i| dmd.amplitudes[i]).collect(),
-        }
+        Ok((
+            ModeSet {
+                level: 1,
+                start: 0,
+                window,
+                step: self.root_step,
+                row_offset: 0,
+                modes: dmd.modes.select_cols(&slow),
+                lambdas: slow.iter().map(|&i| dmd.lambdas[i]).collect(),
+                omegas,
+                amplitudes: slow.iter().map(|&i| dmd.amplitudes[i]).collect(),
+            },
+            dmd.eig_stats,
+        ))
     }
 
     /// Absorbs a batch of `T₁` new snapshots (columns) and updates the tree
@@ -230,8 +290,11 @@ impl IMrDmd {
                 stale: self.stale,
                 new_subtree_modes: 0,
                 pending: self.pending.cols(),
+                new_faults: 0,
             };
         }
+        let faults_before = self.faults.len();
+        let mut root_failed = false;
         let t_old = self.t_total;
         let t_new = t_old + t1;
 
@@ -257,14 +320,48 @@ impl IMrDmd {
             for k in 0..n_new - 1 {
                 x_block.set_col(k + 1, &block.col(k));
             }
-            self.isvd.update(&x_block);
+            // A drift breach is recorded, not fatal: the update is already
+            // applied and the repair pass has done what it could.
+            if let Err(e) = self.isvd.try_update(&x_block) {
+                self.isvd_drift_breaches += 1;
+                self.last_error = Some(e.to_string());
+            }
             self.sub_data = self.sub_data.hstack(&block);
         }
 
-        // (2) Updated level-1 modes over [0, T+T₁).
+        // (2) Updated level-1 modes over [0, T+T₁). A failed solve keeps the
+        // previous root (window-extended) and marks it degraded — the stream
+        // keeps absorbing batches on the old modes.
         let old_root = std::mem::replace(&mut self.root, empty_root(self.p, t_new, self.root_step));
         self.root = if n_new > 0 {
-            self.solve_root(t_new)
+            match self.try_solve_root(t_new) {
+                Ok((root, stats)) => {
+                    self.last_eig_iterations = stats.iterations;
+                    self.last_eig_restarts = stats.restarts;
+                    self.root_fail_streak = 0;
+                    self.root_health = SubtreeHealth::Healthy;
+                    root
+                }
+                Err(e) => {
+                    root_failed = true;
+                    self.root_fail_streak += 1;
+                    let cause = e.to_string();
+                    self.last_error = Some(cause.clone());
+                    // Degradation onset is the step of the *first* failure of
+                    // the current streak.
+                    let since = match &self.root_health {
+                        SubtreeHealth::Degraded { since, .. }
+                        | SubtreeHealth::Stale { since, .. } => *since,
+                        SubtreeHealth::Healthy => t_new,
+                    };
+                    self.root_health = if self.root_fail_streak >= ROOT_STALE_AFTER {
+                        SubtreeHealth::Stale { since, cause }
+                    } else {
+                        SubtreeHealth::Degraded { since, cause }
+                    };
+                    extend_window(old_root.clone(), t_new)
+                }
+            }
         } else {
             extend_window(old_root.clone(), t_new)
         };
@@ -310,6 +407,7 @@ impl IMrDmd {
             stale: self.stale,
             new_subtree_modes: new_modes,
             pending: self.pending.cols(),
+            new_faults: self.faults.len().saturating_sub(faults_before) + usize::from(root_failed),
         }
     }
 
@@ -331,6 +429,7 @@ impl IMrDmd {
         self.root
             .subtract_reconstruction(&mut residual, start, self.cfg.mr.dt);
         let before = self.subnodes.len();
+        let faults_before = self.faults.len();
         let pool = WorkerPool::new(self.cfg.mr.n_threads);
         fit_tree(
             &mut residual,
@@ -343,7 +442,15 @@ impl IMrDmd {
             self.cfg.mr.max_levels,
             &pool,
             &mut self.subnodes,
+            &mut self.faults,
         );
+        let t_total = self.t_total;
+        for f in &mut self.faults[faults_before..] {
+            f.at_step = t_total;
+        }
+        if let Some(f) = self.faults[faults_before..].last() {
+            self.last_error = Some(f.cause.clone());
+        }
         self.subnodes[before..].iter().map(ModeSet::n_modes).sum()
     }
 
@@ -436,6 +543,73 @@ impl IMrDmd {
         &self.drift_log
     }
 
+    /// Health of the root subtree.
+    pub fn root_health(&self) -> &SubtreeHealth {
+        &self.root_health
+    }
+
+    /// Every recorded node-fit failure, in occurrence order.
+    pub fn fit_faults(&self) -> &[FitFault] {
+        &self.faults
+    }
+
+    /// Aggregated health snapshot: per-level node counts, coverage of the
+    /// intended tree by healthy nodes, the last solver error, and solver
+    /// statistics. Derived from serialized state, so a model restored from a
+    /// checkpoint reports the identical snapshot.
+    pub fn health(&self) -> HealthSnapshot {
+        // Per-level tallies: materialised nodes are healthy by construction
+        // (a failed fit never produces a node); recorded faults are the
+        // degraded windows. The root's slot at level 1 follows root_health.
+        let mut levels: Vec<LevelHealth> = Vec::new();
+        fn bump(levels: &mut Vec<LevelHealth>, level: usize, healthy: bool) {
+            if let Some(slot) = levels.iter_mut().find(|l| l.level == level) {
+                if healthy {
+                    slot.healthy += 1;
+                } else {
+                    slot.degraded += 1;
+                }
+                return;
+            }
+            levels.push(LevelHealth {
+                level,
+                healthy: usize::from(healthy),
+                degraded: usize::from(!healthy),
+            });
+        }
+        bump(&mut levels, 1, self.root_health.is_healthy());
+        for node in &self.subnodes {
+            bump(&mut levels, node.level, true);
+        }
+        for fault in &self.faults {
+            bump(&mut levels, fault.level, false);
+        }
+        levels.sort_by_key(|l| l.level);
+        let healthy_nodes: usize = levels.iter().map(|l| l.healthy).sum();
+        let degraded_nodes: usize = levels.iter().map(|l| l.degraded).sum();
+        let total = healthy_nodes + degraded_nodes;
+        let coverage = if total == 0 {
+            1.0
+        } else {
+            healthy_nodes as f64 / total as f64
+        };
+        HealthSnapshot {
+            root: self.root_health.clone(),
+            levels,
+            healthy_nodes,
+            degraded_nodes,
+            coverage,
+            last_error: self.last_error.clone(),
+            solver: SolverStats {
+                last_eig_iterations: self.last_eig_iterations,
+                last_eig_restarts: self.last_eig_restarts,
+                last_inner_svd_sweeps: self.isvd.last_inner_sweeps(),
+                isvd_drift: self.isvd.orthogonality_drift(),
+                isvd_drift_breaches: self.isvd_drift_breaches,
+            },
+        }
+    }
+
     /// Whether accumulated drift has exceeded the configured threshold.
     pub fn is_stale(&self) -> bool {
         self.stale
@@ -489,6 +663,9 @@ impl IMrDmd {
     /// # Panics
     /// Panics if `keep_history` was not enabled.
     pub fn recompute(&mut self) {
+        // Documented `# Panics` contract: calling without history is a
+        // programming error, not a runtime condition.
+        #[allow(clippy::expect_used)]
         let data = self
             .history
             .clone()
@@ -505,6 +682,8 @@ impl IMrDmd {
     /// # Panics
     /// Panics if `keep_history` was not enabled.
     pub fn refresh_subtrees(&mut self) {
+        // Documented `# Panics` contract, mirroring `recompute`.
+        #[allow(clippy::expect_used)]
         let data = self
             .history
             .as_ref()
@@ -515,6 +694,7 @@ impl IMrDmd {
             .subtract_reconstruction(&mut residual, 0, self.cfg.mr.dt);
         let mr = self.cfg.mr;
         let mut fresh: Vec<ModeSet> = Vec::new();
+        let mut fresh_faults: Vec<FitFault> = Vec::new();
         // The halves are independent subtrees ("embarrassingly parallel",
         // Sec. III-A.1); fit_halves fans them — and their own halves, down to
         // the size cutoff — across the worker pool instead of the former
@@ -531,8 +711,25 @@ impl IMrDmd {
             mr.max_levels,
             &pool,
             &mut fresh,
+            &mut fresh_faults,
         );
+        // Degraded-window retention: a window whose refresh failed keeps the
+        // node the previous tree served for it (if any) instead of going
+        // dark. The fault stays on record so health() reports the window as
+        // degraded.
+        for f in &mut fresh_faults {
+            f.at_step = t;
+            if let Some(old) = self.subnodes.iter().find(|n| {
+                n.start == f.start && n.window == f.window && n.row_offset == f.row_offset
+            }) {
+                fresh.push(old.clone());
+            }
+        }
+        if let Some(f) = fresh_faults.last() {
+            self.last_error = Some(f.cause.clone());
+        }
         self.subnodes = fresh;
+        self.faults = fresh_faults;
         // The refreshed subtrees cover the whole timeline, pending window
         // included — nothing is deferred any more.
         self.pending = Mat::zeros(self.p, 0);
@@ -569,7 +766,27 @@ impl IMrDmd {
         self.sub_data = self.sub_data.vstack(&new_sub);
         self.p = p_old + r;
         // Root modes now cover all rows.
-        self.root = self.solve_root(self.t_total);
+        match self.try_solve_root(self.t_total) {
+            Ok((root, stats)) => {
+                self.root = root;
+                self.last_eig_iterations = stats.iterations;
+                self.last_eig_restarts = stats.restarts;
+                self.root_fail_streak = 0;
+                self.root_health = SubtreeHealth::Healthy;
+            }
+            Err(e) => {
+                // The previous root (covering only the old rows) stays in
+                // service; the appended rows get no root contribution until
+                // a solve succeeds.
+                self.root_fail_streak += 1;
+                let cause = e.to_string();
+                self.last_error = Some(cause.clone());
+                self.root_health = SubtreeHealth::Degraded {
+                    since: self.t_total,
+                    cause,
+                };
+            }
+        }
         // Dedicated subtree for the new sensors' residual dynamics — over
         // the already-fitted timeline only: the pending tail stays deferred
         // (and now carries the new rows too), so the flush that eventually
@@ -586,6 +803,7 @@ impl IMrDmd {
             root_rows.subtract_reconstruction(&mut residual, 0, self.cfg.mr.dt);
         }
         {
+            let faults_before = self.faults.len();
             let pool = WorkerPool::new(self.cfg.mr.n_threads);
             fit_halves(
                 &mut residual,
@@ -598,7 +816,12 @@ impl IMrDmd {
                 self.cfg.mr.max_levels,
                 &pool,
                 &mut self.subnodes,
+                &mut self.faults,
             );
+            let t_total = self.t_total;
+            for f in &mut self.faults[faults_before..] {
+                f.at_step = t_total;
+            }
         }
         if self.pending.cols() > 0 {
             self.pending = self
@@ -647,6 +870,7 @@ impl IMrDmd {
             nodes: self.nodes().cloned().collect(),
             n_rows: self.p,
             n_steps: self.t_total,
+            faults: self.faults.clone(),
         }
     }
 }
@@ -1003,6 +1227,45 @@ mod tests {
         let more = Mat::from_fn(8, 64, |i, j| data[(i, j % 640)]);
         back.partial_fit(&more);
         assert_eq!(back.n_steps(), 704);
+    }
+
+    #[test]
+    fn healthy_stream_reports_full_coverage() {
+        let dt = 1.0;
+        let data = stream_data(8, 640, dt);
+        let mut inc = IMrDmd::fit(&data.cols_range(0, 512), &cfg(dt));
+        inc.partial_fit(&data.cols_range(512, 640));
+        let h = inc.health();
+        assert!(h.all_healthy(), "{h:?}");
+        assert!(h.root.is_healthy());
+        assert_eq!(h.degraded_nodes, 0);
+        assert_eq!(h.coverage, 1.0);
+        assert_eq!(h.healthy_nodes, inc.nodes().count());
+        // Levels are ascending and tally up.
+        for w in h.levels.windows(2) {
+            assert!(w[0].level < w[1].level);
+        }
+        assert_eq!(
+            h.levels.iter().map(|l| l.healthy).sum::<usize>(),
+            h.healthy_nodes
+        );
+        // The solver actually worked for the root.
+        assert!(h.solver.last_eig_iterations > 0);
+        assert_eq!(h.solver.isvd_drift_breaches, 0);
+        assert!(h.solver.isvd_drift < 1e-8, "{}", h.solver.isvd_drift);
+    }
+
+    #[test]
+    fn health_state_survives_serde_roundtrip() {
+        let dt = 1.0;
+        let data = stream_data(8, 640, dt);
+        let mut inc = IMrDmd::fit(&data.cols_range(0, 512), &cfg(dt));
+        inc.partial_fit(&data.cols_range(512, 640));
+        let json = serde_json::to_string(&inc).expect("serialize");
+        let back: IMrDmd = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.health(), inc.health());
+        assert_eq!(back.fit_faults(), inc.fit_faults());
+        assert_eq!(back.root_health(), inc.root_health());
     }
 
     #[test]

@@ -278,6 +278,8 @@ impl IngestGuard {
             }
         }
         // Trailing edge: hold the last anchor.
+        // Invariant: the empty-anchors case returned early above.
+        #[allow(clippy::expect_used)]
         let last = *anchors.last().expect("nonempty");
         for j in last + 1..cols {
             m[(i, j)] = m[(i, last)];

@@ -43,6 +43,7 @@ pub mod checkpoint;
 pub mod compression;
 pub mod dmd;
 pub mod error;
+pub mod health;
 pub mod imrdmd;
 pub mod ingest;
 pub mod mrdmd;
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use crate::compression::{compression_report, CompressionReport};
     pub use crate::dmd::{sparse_amplitudes, Dmd, DmdConfig, RankSelection};
     pub use crate::error::CoreError;
+    pub use crate::health::{FitFault, HealthSnapshot, LevelHealth, SolverStats, SubtreeHealth};
     pub use crate::imrdmd::{AsyncRefit, IMrDmd, IMrDmdConfig, IngestReport, PartialFitReport};
     pub use crate::ingest::{GapPolicy, IngestGuard, RepairReport};
     pub use crate::mrdmd::{ModeSet, MrDmd, MrDmdConfig};

@@ -10,6 +10,7 @@
 //! reproduces the signal minus the high-frequency noise floor (Eqs. 7–8).
 
 use crate::dmd::{Dmd, DmdConfig, RankSelection};
+use crate::health::FitFault;
 use hpc_linalg::pool::WorkerPool;
 use hpc_linalg::{c64, CMat, Mat};
 use serde::{Deserialize, Serialize};
@@ -230,7 +231,7 @@ impl ModeSet {
         powers
             .iter()
             .zip(&freqs)
-            .max_by(|a, b| a.0.partial_cmp(b.0).unwrap())
+            .max_by(|a, b| a.0.total_cmp(b.0))
             .map(|(_, &f)| f)
     }
 
@@ -278,14 +279,23 @@ pub struct MrDmd {
     pub n_rows: usize,
     /// Total snapshots covered.
     pub n_steps: usize,
+    /// Node fits that failed numerically; the corresponding windows carry no
+    /// modes at that level but the rest of the tree is intact.
+    pub faults: Vec<FitFault>,
 }
 
 impl MrDmd {
     /// Fits the full multiresolution decomposition to `data` (`P × T`).
+    ///
+    /// A node whose solver fails after its escalation ladder is recorded in
+    /// [`faults`](Self::faults) and skipped — the recursion continues into
+    /// its halves, so one pathological window degrades locally instead of
+    /// aborting the whole fit.
     pub fn fit(data: &Mat, config: &MrDmdConfig) -> MrDmd {
         assert!(config.max_levels >= 1, "need at least one level");
         assert!(config.max_cycles >= 1, "max_cycles must be positive");
         let mut nodes = Vec::new();
+        let mut faults = Vec::new();
         let mut work = data.clone();
         let t = work.cols();
         let pool = WorkerPool::new(config.n_threads);
@@ -300,12 +310,14 @@ impl MrDmd {
             config.max_levels,
             &pool,
             &mut nodes,
+            &mut faults,
         );
         MrDmd {
             config: *config,
             nodes,
             n_rows: data.rows(),
             n_steps: data.cols(),
+            faults,
         }
     }
 
@@ -356,6 +368,7 @@ impl MrDmd {
             nodes: self.nodes.iter().map(|n| n.filtered(filter)).collect(),
             n_rows: self.n_rows,
             n_steps: self.n_steps,
+            faults: self.faults.clone(),
         }
     }
 
@@ -435,6 +448,7 @@ pub(crate) fn fit_tree(
     max_levels: usize,
     pool: &WorkerPool,
     nodes: &mut Vec<ModeSet>,
+    faults: &mut Vec<FitFault>,
 ) {
     let w = hi.saturating_sub(lo);
     if w < 2 || work.rows() == 0 {
@@ -448,40 +462,57 @@ pub(crate) fn fit_tree(
             dt: cfg.dt * step as f64,
             rank: cfg.rank,
         };
-        let dmd = Dmd::fit(&sub, &dmd_cfg);
-        let cutoff = cfg.slow_cutoff_hz(w);
-        let slow_idx: Vec<usize> = dmd
-            .frequencies()
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| f <= cutoff)
-            .map(|(i, _)| i)
-            .collect();
-        if !slow_idx.is_empty() {
-            let mut omegas: Vec<c64> = slow_idx.iter().map(|&i| dmd.omegas[i]).collect();
-            clamp_growth(&mut omegas, w as f64 * cfg.dt, cfg.max_window_growth);
-            let mut node = ModeSet {
-                level,
-                start: start_abs,
-                window: w,
-                step,
-                // The work buffer is row-local; subtract at offset 0 and
-                // attach the global offset afterwards.
-                row_offset: 0,
-                modes: dmd.modes.select_cols(&slow_idx),
-                lambdas: slow_idx.iter().map(|&i| dmd.lambdas[i]).collect(),
-                omegas,
-                amplitudes: slow_idx.iter().map(|&i| dmd.amplitudes[i]).collect(),
-            };
-            // Subtract the slow reconstruction at full resolution before
-            // recursing (Eq. 8, second term) — in place on the shared buffer.
-            node.subtract_reconstruction(work, buf_abs0, cfg.dt);
-            node.row_offset = row_offset;
-            nodes.push(node);
+        match Dmd::try_fit(&sub, &dmd_cfg) {
+            Ok(dmd) => {
+                let cutoff = cfg.slow_cutoff_hz(w);
+                let slow_idx: Vec<usize> = dmd
+                    .frequencies()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &f)| f <= cutoff)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !slow_idx.is_empty() {
+                    let mut omegas: Vec<c64> = slow_idx.iter().map(|&i| dmd.omegas[i]).collect();
+                    clamp_growth(&mut omegas, w as f64 * cfg.dt, cfg.max_window_growth);
+                    let mut node = ModeSet {
+                        level,
+                        start: start_abs,
+                        window: w,
+                        step,
+                        // The work buffer is row-local; subtract at offset 0 and
+                        // attach the global offset afterwards.
+                        row_offset: 0,
+                        modes: dmd.modes.select_cols(&slow_idx),
+                        lambdas: slow_idx.iter().map(|&i| dmd.lambdas[i]).collect(),
+                        omegas,
+                        amplitudes: slow_idx.iter().map(|&i| dmd.amplitudes[i]).collect(),
+                    };
+                    // Subtract the slow reconstruction at full resolution before
+                    // recursing (Eq. 8, second term) — in place on the shared buffer.
+                    node.subtract_reconstruction(work, buf_abs0, cfg.dt);
+                    node.row_offset = row_offset;
+                    nodes.push(node);
+                }
+            }
+            Err(e) => {
+                // Degrade, don't die: record the fault, leave the residual
+                // untouched (nothing was explained at this level) and keep
+                // recursing — the halves see shorter, better-conditioned
+                // windows and often still converge.
+                faults.push(FitFault {
+                    level,
+                    start: start_abs,
+                    window: w,
+                    row_offset,
+                    at_step: 0, // stamped by the streaming layer
+                    cause: e.to_string(),
+                });
+            }
         }
     }
     fit_halves(
-        work, lo, hi, buf_abs0, row_offset, cfg, level, max_levels, pool, nodes,
+        work, lo, hi, buf_abs0, row_offset, cfg, level, max_levels, pool, nodes, faults,
     );
 }
 
@@ -510,6 +541,7 @@ pub(crate) fn fit_halves(
     max_levels: usize,
     pool: &WorkerPool,
     nodes: &mut Vec<ModeSet>,
+    faults: &mut Vec<FitFault>,
 ) {
     let w = hi.saturating_sub(lo);
     if parent_level >= max_levels || w / 2 < cfg.min_window {
@@ -522,13 +554,27 @@ pub(crate) fn fit_halves(
             let mut right_buf = work.cols_range(mid, hi);
             let right_w = hi - mid;
             let mut right_nodes = Vec::new();
+            // Faults mirror the node pattern: the forked branch collects into
+            // a private vector appended after the join, so the fault order is
+            // bitwise-identical to the serial recursion at any thread count.
+            let mut right_faults = Vec::new();
             let left = &mut *work;
             let left_nodes = &mut *nodes;
+            let left_faults = &mut *faults;
             fork.join(
                 || {
                     fit_tree(
-                        left, lo, mid, buf_abs0, row_offset, cfg, level, max_levels, pool,
+                        left,
+                        lo,
+                        mid,
+                        buf_abs0,
+                        row_offset,
+                        cfg,
+                        level,
+                        max_levels,
+                        pool,
                         left_nodes,
+                        left_faults,
                     )
                 },
                 || {
@@ -543,18 +589,20 @@ pub(crate) fn fit_halves(
                         max_levels,
                         pool,
                         &mut right_nodes,
+                        &mut right_faults,
                     )
                 },
             );
             nodes.append(&mut right_nodes);
+            faults.append(&mut right_faults);
             return;
         }
     }
     fit_tree(
-        work, lo, mid, buf_abs0, row_offset, cfg, level, max_levels, pool, nodes,
+        work, lo, mid, buf_abs0, row_offset, cfg, level, max_levels, pool, nodes, faults,
     );
     fit_tree(
-        work, mid, hi, buf_abs0, row_offset, cfg, level, max_levels, pool, nodes,
+        work, mid, hi, buf_abs0, row_offset, cfg, level, max_levels, pool, nodes, faults,
     );
 }
 

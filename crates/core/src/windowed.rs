@@ -117,11 +117,12 @@ impl WindowedMrDmd {
                 let window_data = tail.cols_range(lo, lo + cfg.window);
                 *slot = Some(MrDmd::fit(&window_data, &cfg.mr));
             });
-            self.fits.extend(
-                slots
-                    .into_iter()
-                    .map(|(s, f)| (s, f.expect("window fitted"))),
-            );
+            self.fits.extend(slots.into_iter().map(|(s, f)| {
+                // Invariant: for_each visits every slot exactly once, and the
+                // closure unconditionally fills it.
+                #[allow(clippy::expect_used)]
+                (s, f.expect("window fitted"))
+            }));
         }
         fitted
     }

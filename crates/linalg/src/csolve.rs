@@ -4,26 +4,51 @@
 
 use crate::cmat::CMat;
 use crate::complex::c64;
+use crate::error::LinAlgError;
 
 /// Solves `a · x = b` for a square complex system via partial-pivoted
 /// Gaussian elimination.
 ///
 /// # Panics
 /// Panics if `a` is not square, dimensions disagree, or the matrix is
-/// numerically singular.
+/// numerically singular. Use [`try_solve_complex`] to handle singularity as
+/// an error instead.
 pub fn solve_complex(a: &CMat, b: &[c64]) -> Vec<c64> {
+    match try_solve_complex(a, b) {
+        Ok(x) => x,
+        // Preserved legacy contract: the infallible entry point aborts on a
+        // singular system, exactly like the historical assert did.
+        #[allow(clippy::panic)]
+        Err(e) => panic!("singular system in solve_complex: {e}"),
+    }
+}
+
+/// Fallible twin of [`solve_complex`]: a numerically singular system is
+/// reported as [`LinAlgError::Singular`] carrying the elimination column at
+/// which every candidate pivot vanished.
+pub fn try_solve_complex(a: &CMat, b: &[c64]) -> Result<Vec<c64>, LinAlgError> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "solve_complex requires a square matrix");
     assert_eq!(b.len(), n);
     let mut m = a.clone();
     let mut x = b.to_vec();
     for k in 0..n {
-        // Partial pivot on column k.
-        let (piv, pmag) = (k..n)
-            .map(|i| (i, m[(i, k)].abs()))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap();
-        assert!(pmag > 0.0, "singular system in solve_complex");
+        // Partial pivot on column k (manual scan: the range is never empty
+        // and magnitudes of finite complex numbers never compare as NaN).
+        let mut piv = k;
+        let mut pmag = m[(k, k)].abs();
+        for i in k + 1..n {
+            let mag = m[(i, k)].abs();
+            if mag > pmag {
+                piv = i;
+                pmag = mag;
+            }
+        }
+        // `pmag` is a magnitude: zero means exactly singular, NaN means the
+        // input already carried non-finite entries — both are reported.
+        if pmag == 0.0 || pmag.is_nan() {
+            return Err(LinAlgError::Singular { pivot: k });
+        }
         if piv != k {
             for j in 0..n {
                 let tmp = m[(k, j)];
@@ -53,7 +78,7 @@ pub fn solve_complex(a: &CMat, b: &[c64]) -> Vec<c64> {
         }
         x[i] = s * m[(i, i)].inv();
     }
-    x
+    Ok(x)
 }
 
 /// Solves the least-squares problem `min ‖a·x − b‖₂` for a tall complex
@@ -61,7 +86,24 @@ pub fn solve_complex(a: &CMat, b: &[c64]) -> Vec<c64> {
 ///
 /// Adequate for the well-conditioned mode-amplitude fits in this suite; the
 /// condition number is squared, so do not use it for ill-conditioned systems.
+///
+/// # Panics
+/// Panics if the (Tikhonov-regularised) Gram system is still singular; use
+/// [`try_lstsq_complex`] to handle that as an error.
 pub fn lstsq_complex(a: &CMat, b: &[c64]) -> Vec<c64> {
+    match try_lstsq_complex(a, b) {
+        Ok(x) => x,
+        // Preserved legacy contract, mirroring `solve_complex`.
+        #[allow(clippy::panic)]
+        Err(e) => panic!("singular system in lstsq_complex: {e}"),
+    }
+}
+
+/// Fallible twin of [`lstsq_complex`]: rank deficiency that survives the
+/// Tikhonov regularisation (possible only for degenerate inputs, e.g. NaN
+/// contamination or an all-zero column set) is reported as
+/// [`LinAlgError::RankDeficient`].
+pub fn try_lstsq_complex(a: &CMat, b: &[c64]) -> Result<Vec<c64>, LinAlgError> {
     assert_eq!(a.rows(), b.len());
     let ah = a.conj_transpose();
     let gram = ah.matmul(a);
@@ -76,7 +118,11 @@ pub fn lstsq_complex(a: &CMat, b: &[c64]) -> Vec<c64> {
         let d = g[(i, i)] + c64::from_real(eps);
         g[(i, i)] = d;
     }
-    solve_complex(&g, &rhs)
+    let cols = g.cols();
+    try_solve_complex(&g, &rhs).map_err(|e| match e {
+        LinAlgError::Singular { pivot } => LinAlgError::RankDeficient { pivot, cols },
+        other => other,
+    })
 }
 
 #[cfg(test)]
@@ -137,5 +183,42 @@ mod tests {
         let a = CMat::zeros(2, 2);
         let b = vec![c64::ONE, c64::ONE];
         let _ = solve_complex(&a, &b);
+    }
+
+    #[test]
+    fn try_solve_reports_singularity_as_error() {
+        let a = CMat::zeros(2, 2);
+        let b = vec![c64::ONE, c64::ONE];
+        match try_solve_complex(&a, &b) {
+            Err(LinAlgError::Singular { pivot }) => assert_eq!(pivot, 0),
+            other => panic!("expected Singular, got {other:?}"),
+        }
+        // A rank-1 system fails at the second elimination column.
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 0)] = c64::ONE;
+        a[(0, 1)] = c64::from_real(2.0);
+        a[(1, 0)] = c64::from_real(3.0);
+        a[(1, 1)] = c64::from_real(6.0);
+        match try_solve_complex(&a, &b) {
+            Err(LinAlgError::Singular { pivot }) => assert_eq!(pivot, 1),
+            other => panic!("expected Singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_lstsq_survives_rank_deficiency_via_tikhonov() {
+        // Two identical columns: the raw Gram is singular, but the Tikhonov
+        // whisper keeps the regularised solve finite.
+        let a = CMat::from_fn(6, 2, |i, _| c64::from_real(i as f64 + 1.0));
+        let b: Vec<c64> = (0..6).map(|i| c64::from_real(i as f64)).collect();
+        let x = try_lstsq_complex(&a, &b).unwrap();
+        assert!(x.iter().all(|v| v.re.is_finite() && v.im.is_finite()));
+        // NaN contamination is the one thing it cannot repair.
+        let mut bad = a.clone();
+        bad[(0, 0)] = c64::new(f64::NAN, 0.0);
+        match try_lstsq_complex(&bad, &b) {
+            Err(LinAlgError::RankDeficient { cols, .. }) => assert_eq!(cols, 2),
+            other => panic!("expected RankDeficient, got {other:?}"),
+        }
     }
 }

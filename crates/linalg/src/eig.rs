@@ -12,7 +12,18 @@
 
 use crate::cmat::CMat;
 use crate::complex::c64;
+use crate::error::{LinAlgError, PartialSchur};
+use crate::failpoint;
 use crate::mat::Mat;
+
+/// Iteration accounting of a (possibly escalated) eigendecomposition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EigStats {
+    /// Total shifted-QR iterations spent, across all escalation rungs.
+    pub iterations: usize,
+    /// Fresh-Hessenberg restarts from the balanced matrix (0 or 1).
+    pub restarts: usize,
+}
 
 /// An eigendecomposition `A·W = W·diag(λ)`.
 #[derive(Clone, Debug)]
@@ -21,40 +32,233 @@ pub struct Eig {
     pub values: Vec<c64>,
     /// Eigenvectors as columns (unit 2-norm).
     pub vectors: CMat,
+    /// How hard the QR iteration had to work to get here.
+    pub stats: EigStats,
 }
 
 /// Computes eigenvalues and right eigenvectors of a square real matrix.
 ///
 /// # Panics
-/// Panics if `a` is not square or the QR iteration fails to converge (which
-/// for Wilkinson-shifted QR with exceptional shifts does not occur in
-/// practice on finite inputs).
+/// Panics if `a` is not square or the QR iteration fails to converge even
+/// after the escalation ladder (which for Wilkinson-shifted QR with
+/// exceptional shifts does not occur in practice on finite inputs). Use
+/// [`try_eig_real`] to handle non-convergence instead.
 pub fn eig_real(a: &Mat) -> Eig {
-    assert_eq!(a.rows(), a.cols(), "eig requires a square matrix");
-    eig_complex(&CMat::from_real(a))
+    match try_eig_real(a) {
+        Ok(e) => e,
+        // Preserved legacy contract: the infallible entry point aborts on
+        // non-convergence exactly like the historical assert did. Callers
+        // that must survive it use the `try_` variant.
+        #[allow(clippy::panic)]
+        Err(e) => panic!("QR iteration failed to converge: {e}"),
+    }
 }
 
 /// Computes eigenvalues and right eigenvectors of a square complex matrix.
+///
+/// # Panics
+/// Panics on non-convergence; see [`eig_real`]. Use [`try_eig_complex`] to
+/// handle it instead.
 pub fn eig_complex(a: &CMat) -> Eig {
+    match try_eig_complex(a) {
+        Ok(e) => e,
+        // Same preserved legacy contract as `eig_real`.
+        #[allow(clippy::panic)]
+        Err(e) => panic!("QR iteration failed to converge: {e}"),
+    }
+}
+
+/// Fallible twin of [`eig_real`]: surfaces QR non-convergence as a
+/// [`LinAlgError::EigNonConvergence`] carrying the partially deflated Schur
+/// state instead of panicking.
+pub fn try_eig_real(a: &Mat) -> Result<Eig, LinAlgError> {
+    assert_eq!(a.rows(), a.cols(), "eig requires a square matrix");
+    try_eig_complex(&CMat::from_real(a))
+}
+
+/// Fallible twin of [`eig_complex`].
+///
+/// Escalation ladder, walked deterministically before giving up:
+/// 1. standard budget (`40n` iterations, exceptional shift every 12 stalls);
+/// 2. continue on the partially deflated form with `30n` more iterations and
+///    an exceptional shift every 6 stalls;
+/// 3. restart from a fresh Hessenberg of the *balanced* matrix (power-of-two
+///    diagonal similarity scaling, so the spectrum is bitwise unchanged)
+///    with an `80n` budget.
+///
+/// On failure the returned error carries the last attempt's partial Schur
+/// factors: the trailing `converged` eigenvalues on its diagonal are valid.
+pub fn try_eig_complex(a: &CMat) -> Result<Eig, LinAlgError> {
     let n = a.rows();
     assert_eq!(n, a.cols());
+    if failpoint::take_eig_failure() {
+        // Armed test fail point: report non-convergence with an honest
+        // (zero-progress) partial state.
+        let (h, z) = if n >= 2 {
+            hessenberg(a)
+        } else {
+            (a.clone(), CMat::identity(n))
+        };
+        return Err(LinAlgError::EigNonConvergence {
+            iterations: 0,
+            restarts: 0,
+            partial: Box::new(PartialSchur {
+                t: h,
+                q: z,
+                converged: 0,
+            }),
+        });
+    }
     if n == 0 {
-        return Eig {
+        return Ok(Eig {
             values: vec![],
             vectors: CMat::zeros(0, 0),
-        };
+            stats: EigStats::default(),
+        });
     }
     if n == 1 {
-        return Eig {
+        return Ok(Eig {
             values: vec![a[(0, 0)]],
             vectors: CMat::identity(1),
-        };
+            stats: EigStats::default(),
+        });
     }
     let (mut h, mut z) = hessenberg(a);
-    schur_qr(&mut h, &mut z);
+    let mut iterations = 0usize;
+    // Rung 1: the standard budget.
+    match schur_qr_budgeted(&mut h, &mut z, 40 * n, 12) {
+        Ok(it) => {
+            return Ok(assemble_eig(
+                &h,
+                &z,
+                EigStats {
+                    iterations: it,
+                    restarts: 0,
+                },
+            ))
+        }
+        Err((it, _)) => iterations += it,
+    }
+    // Rung 2: push on with more frequent exceptional shifts to break cycles.
+    match schur_qr_budgeted(&mut h, &mut z, 30 * n, 6) {
+        Ok(it) => {
+            return Ok(assemble_eig(
+                &h,
+                &z,
+                EigStats {
+                    iterations: iterations + it,
+                    restarts: 0,
+                },
+            ))
+        }
+        Err((it, _)) => iterations += it,
+    }
+    // Rung 3: restart from a fresh Hessenberg of the balanced matrix.
+    let (balanced, scale) = balance(a);
+    let (mut hb, mut zb) = hessenberg(&balanced);
+    match schur_qr_budgeted(&mut hb, &mut zb, 80 * n, 12) {
+        Ok(it) => {
+            let stats = EigStats {
+                iterations: iterations + it,
+                restarts: 1,
+            };
+            let mut eig = assemble_eig(&hb, &zb, stats);
+            // Undo the similarity: A = D·B·D⁻¹ so x_A = D·x_B, renormalised.
+            for k in 0..n {
+                let mut nrm = 0.0;
+                for (i, &s) in scale.iter().enumerate() {
+                    let v = eig.vectors[(i, k)] * s;
+                    eig.vectors[(i, k)] = v;
+                    nrm += v.norm_sqr();
+                }
+                let nrm = nrm.sqrt();
+                if nrm > 0.0 {
+                    for i in 0..n {
+                        let v = eig.vectors[(i, k)] / nrm;
+                        eig.vectors[(i, k)] = v;
+                    }
+                }
+            }
+            Ok(eig)
+        }
+        Err((it, hi)) => Err(LinAlgError::EigNonConvergence {
+            iterations: iterations + it,
+            restarts: 1,
+            partial: Box::new(PartialSchur {
+                t: hb,
+                q: zb,
+                converged: n - hi,
+            }),
+        }),
+    }
+}
+
+/// Reads eigenvalues off the converged Schur diagonal and back-substitutes
+/// eigenvectors.
+fn assemble_eig(h: &CMat, z: &CMat, stats: EigStats) -> Eig {
+    let n = h.rows();
     let values: Vec<c64> = (0..n).map(|i| h[(i, i)]).collect();
-    let vectors = triangular_eigenvectors(&h, &z, &values);
-    Eig { values, vectors }
+    let vectors = triangular_eigenvectors(h, z, &values);
+    Eig {
+        values,
+        vectors,
+        stats,
+    }
+}
+
+/// Power-of-two diagonal similarity scaling (EISPACK `balanc`-style, no
+/// permutation): returns `(B, d)` with `B = D⁻¹·A·D`, `D = diag(d)`, every
+/// `d[i]` an exact power of two so the transform is lossless in floating
+/// point. Balancing equalises row/column norms, which is the classic rescue
+/// for shifted-QR stalls on badly scaled matrices.
+fn balance(a: &CMat) -> (CMat, Vec<f64>) {
+    const RADIX: f64 = 2.0;
+    let n = a.rows();
+    let mut b = a.clone();
+    let mut d = vec![1.0f64; n];
+    for _round in 0..16 {
+        let mut converged = true;
+        for i in 0..n {
+            let (mut c, mut r) = (0.0f64, 0.0f64);
+            for j in 0..n {
+                if j != i {
+                    c += b[(j, i)].abs();
+                    r += b[(i, j)].abs();
+                }
+            }
+            if c == 0.0 || r == 0.0 {
+                continue;
+            }
+            let s = c + r;
+            let mut f = 1.0f64;
+            while c < r / RADIX {
+                c *= RADIX * RADIX;
+                f *= RADIX;
+            }
+            while c >= r * RADIX {
+                c /= RADIX * RADIX;
+                f /= RADIX;
+            }
+            if (c + r) / f < 0.95 * s {
+                converged = false;
+                d[i] *= f;
+                // B ← D⁻¹·A·D for the updated dᵢ: row i shrinks by f,
+                // column i grows by f (both exact power-of-two scalings).
+                for j in 0..n {
+                    let v = b[(i, j)] / f;
+                    b[(i, j)] = v;
+                }
+                for j in 0..n {
+                    let v = b[(j, i)] * f;
+                    b[(j, i)] = v;
+                }
+            }
+        }
+        if converged {
+            break;
+        }
+    }
+    (b, d)
 }
 
 /// Unitary reduction to upper Hessenberg form: returns `(H, Z)` with
@@ -130,17 +334,30 @@ fn hessenberg(a: &CMat) -> (CMat, CMat) {
 }
 
 /// Single-shift QR iteration on a Hessenberg matrix, accumulating the unitary
-/// similarity into `z`. On return `h` is upper triangular (complex Schur form).
-fn schur_qr(h: &mut CMat, z: &mut CMat) {
+/// similarity into `z`, with an explicit iteration budget.
+///
+/// On success `h` is upper triangular (complex Schur form) and the spent
+/// iteration count is returned. On budget exhaustion returns
+/// `Err((iterations, hi))` where `hi` is the size of the still-active leading
+/// block — the trailing `n - hi` eigenvalues have already deflated, and `h`
+/// and `z` are left in that partially reduced state so a caller can either
+/// resume with a fresh budget or hand the partial factors to its own caller.
+fn schur_qr_budgeted(
+    h: &mut CMat,
+    z: &mut CMat,
+    max_total: usize,
+    exceptional_every: usize,
+) -> Result<usize, (usize, usize)> {
     let n = h.rows();
     let eps = f64::EPSILON;
     let mut hi = n; // active block is [lo, hi)
     let mut iters_at_this_size = 0usize;
-    let max_total = 40 * n.max(1);
     let mut total = 0usize;
     while hi > 1 {
+        if total >= max_total {
+            return Err((total, hi));
+        }
         total += 1;
-        assert!(total <= max_total, "QR iteration failed to converge");
         // Deflate: find lo such that subdiagonals above are negligible.
         let mut lo = hi - 1;
         while lo > 0 {
@@ -160,8 +377,9 @@ fn schur_qr(h: &mut CMat, z: &mut CMat) {
         }
         iters_at_this_size += 1;
         // Wilkinson shift from the trailing 2×2 of the active block; an
-        // exceptional shift every 12 stalls breaks rare symmetry cycles.
-        let shift = if iters_at_this_size.is_multiple_of(12) {
+        // exceptional shift every `exceptional_every` stalls breaks rare
+        // symmetry cycles (the escalation rungs tighten this cadence).
+        let shift = if iters_at_this_size.is_multiple_of(exceptional_every) {
             h[(hi - 1, hi - 2)].abs() * c64::new(0.75, 0.0) + h[(hi - 1, hi - 1)]
         } else {
             wilkinson_shift(h, hi)
@@ -194,6 +412,7 @@ fn schur_qr(h: &mut CMat, z: &mut CMat) {
             h[(i, j)] = c64::ZERO;
         }
     }
+    Ok(total)
 }
 
 /// Eigenvalue of the trailing 2×2 block of the active region closest to the
@@ -410,6 +629,52 @@ mod tests {
         let mut ims: Vec<f64> = e.values.iter().map(|l| l.im).collect();
         ims.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!((ims[0] + 1.0).abs() < 1e-12 && (ims[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_eig_converges_with_stats_on_ordinary_input() {
+        let a = Mat::from_fn(10, 10, |i, j| {
+            (((i * 13 + j * 5 + 3) % 17) as f64 - 8.0) / 5.0
+        });
+        let e = try_eig_real(&a).unwrap();
+        assert!(e.stats.iterations > 0);
+        assert_eq!(e.stats.restarts, 0);
+        assert!(residual(&a, &e) < 1e-8);
+    }
+
+    #[test]
+    fn balanced_restart_path_preserves_spectrum() {
+        // A wildly mis-scaled similarity of diag(1, 2, 3): balancing must
+        // recover the spectrum exactly, and the D-rescaled eigenvectors must
+        // still diagonalise the original matrix.
+        let mut a = Mat::from_rows(&[
+            vec![1.0, 1e9, 0.0],
+            vec![0.0, 2.0, 1e-9],
+            vec![1e-9, 0.0, 3.0],
+        ]);
+        a[(0, 0)] = 1.0;
+        let ca = CMat::from_real(&a);
+        let (b, d) = balance(&ca);
+        // b = D⁻¹ A D element-wise.
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = ca[(i, j)] * (d[j] / d[i]);
+                assert!((b[(i, j)] - expect).abs() <= 1e-12 * expect.abs().max(1.0));
+            }
+        }
+        // Powers of two: the scaling is exactly invertible.
+        for &s in &d {
+            assert_eq!(s.log2().fract(), 0.0, "scale {s} is not a power of two");
+        }
+        let eb = try_eig_complex(&b).unwrap();
+        let ea = try_eig_complex(&ca).unwrap();
+        let mut sa: Vec<f64> = ea.values.iter().map(|l| l.re).collect();
+        let mut sb: Vec<f64> = eb.values.iter().map(|l| l.re).collect();
+        sa.sort_by(f64::total_cmp);
+        sb.sort_by(f64::total_cmp);
+        for (x, y) in sa.iter().zip(&sb) {
+            assert!((x - y).abs() < 1e-6 * x.abs().max(1.0), "{x} vs {y}");
+        }
     }
 
     #[test]

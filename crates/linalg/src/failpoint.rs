@@ -1,0 +1,82 @@
+//! Deterministic fault injection for the fallible kernels (test harness).
+//!
+//! Natural non-convergence of the escalated solvers is essentially
+//! unreachable from finite data, so robustness tests arm these process-wide
+//! fail points to force the error paths deterministically: an armed counter
+//! makes the next `count` calls of a kernel report non-convergence without
+//! doing any work. Arming with [`usize::MAX`] fails *every* call until
+//! [`disarm_all`], which is thread-count independent and therefore safe to
+//! combine with the worker pool.
+//!
+//! The counters are process-global; tests that use them must run in their
+//! own test binary (or serialise themselves) to avoid cross-talk.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static EIG_FAILS: AtomicUsize = AtomicUsize::new(0);
+static SVD_FAILS: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the next `count` eigendecompositions to report non-convergence
+/// (`usize::MAX` = all until disarmed).
+pub fn arm_eig_nonconvergence(count: usize) {
+    EIG_FAILS.store(count, Ordering::SeqCst);
+}
+
+/// Forces the next `count` Jacobi SVDs to report non-convergence
+/// (`usize::MAX` = all until disarmed).
+pub fn arm_svd_nonconvergence(count: usize) {
+    SVD_FAILS.store(count, Ordering::SeqCst);
+}
+
+/// Clears every armed fail point.
+pub fn disarm_all() {
+    EIG_FAILS.store(0, Ordering::SeqCst);
+    SVD_FAILS.store(0, Ordering::SeqCst);
+}
+
+pub(crate) fn take_eig_failure() -> bool {
+    take(&EIG_FAILS)
+}
+
+pub(crate) fn take_svd_failure() -> bool {
+    take(&SVD_FAILS)
+}
+
+/// Decrement-if-positive; a `usize::MAX` counter is sticky.
+fn take(counter: &AtomicUsize) -> bool {
+    let mut cur = counter.load(Ordering::SeqCst);
+    loop {
+        if cur == 0 {
+            return false;
+        }
+        if cur == usize::MAX {
+            return true;
+        }
+        match counter.compare_exchange_weak(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Exercised on a local counter: the process-wide statics would race with
+    // the other unit tests' (concurrent) eig/svd calls.
+    #[test]
+    fn take_decrements_and_is_sticky_at_max() {
+        let c = AtomicUsize::new(0);
+        assert!(!take(&c));
+        c.store(2, Ordering::SeqCst);
+        assert!(take(&c));
+        assert!(take(&c));
+        assert!(!take(&c));
+        c.store(usize::MAX, Ordering::SeqCst);
+        assert!(take(&c));
+        assert!(take(&c));
+        c.store(0, Ordering::SeqCst);
+        assert!(!take(&c));
+    }
+}

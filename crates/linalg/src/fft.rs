@@ -100,7 +100,7 @@ pub fn periodogram(signal: &[f64], dt: f64) -> Vec<(f64, f64)> {
 pub fn dominant_frequency(signal: &[f64], dt: f64) -> Option<f64> {
     periodogram(signal, dt)
         .into_iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .filter(|&(_, p)| p > 0.0)
         .map(|(f, _)| f)
 }

@@ -192,6 +192,8 @@ fn gemm_split(threads: usize, alpha: f64, a: View<'_>, b: View<'_>, beta: f64, c
         .map(|(ci, s)| (ci * chunk, s))
         .collect();
     std::thread::scope(|scope| {
+        // Invariant: `m ≥ 2·MR > 0` on this path, so `chunks` is nonempty.
+        #[allow(clippy::expect_used)]
         let (first, rest) = chunks.split_first_mut().expect("chunks nonempty");
         for (i0, dst) in rest.iter_mut() {
             let i0 = *i0;

@@ -16,10 +16,11 @@
 //! updates, so a Gram test triggers re-orthonormalisation when drift exceeds
 //! a tolerance.
 
+use crate::error::LinAlgError;
 use crate::gemm::{gemm, Trans};
 use crate::mat::Mat;
 use crate::qr::{orthonormal_complement, orthonormal_complement_rows, qr};
-use crate::svd::{scale_cols, svd, svd_truncated, Svd};
+use crate::svd::{scale_cols, svd_truncated, svd_with_stats, Svd};
 use crate::workspace;
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +38,9 @@ pub struct IncrementalSvd {
     cols_seen: usize,
     /// ‖UᵀU − I‖_F tolerance that triggers re-orthonormalisation.
     reorth_tol: f64,
+    /// Jacobi sweeps spent by the most recent inner (core-matrix) SVD —
+    /// surfaced through the streaming health snapshot.
+    last_inner_sweeps: usize,
 }
 
 impl IncrementalSvd {
@@ -63,6 +67,7 @@ impl IncrementalSvd {
             max_rank,
             cols_seen: first_block.cols(),
             reorth_tol: 1e-8,
+            last_inner_sweeps: 0,
         }
     }
 
@@ -107,16 +112,32 @@ impl IncrementalSvd {
 
     /// Folds a new block of columns into the factorisation (Brand update).
     ///
+    /// Infallible entry point: a post-repair orthogonality-drift breach (see
+    /// [`IncrementalSvd::try_update`]) is dropped — the factorisation has
+    /// already advanced either way.
+    ///
     /// # Panics
     /// Panics if the row count differs from the initial block.
     pub fn update(&mut self, block: &Mat) {
+        let _ = self.try_update(block);
+    }
+
+    /// Fallible twin of [`IncrementalSvd::update`]: after the Brand update
+    /// (and, if needed, a QR re-orthonormalisation pass), a left basis that
+    /// is *still* measurably non-orthonormal is reported as
+    /// [`LinAlgError::OrthogonalityDrift`]. The update itself has been
+    /// applied in either case; the error is a health signal, not a rollback.
+    ///
+    /// # Panics
+    /// Panics if the row count differs from the initial block.
+    pub fn try_update(&mut self, block: &Mat) -> Result<(), LinAlgError> {
         assert_eq!(
             block.rows(),
             self.u.rows(),
             "row count must match the stream"
         );
         if block.cols() == 0 {
-            return;
+            return Ok(());
         }
         let c = block.cols();
         let q = self.rank();
@@ -147,7 +168,8 @@ impl IncrementalSvd {
                 k[(q + i, q + jj)] = p[(i, jj)];
             }
         }
-        let fk = svd(&k);
+        let (fk, kstats) = svd_with_stats(&k);
+        self.last_inner_sweeps = kstats.sweeps;
         let keep = fk.rank().min(self.max_rank);
         let fk = drop_negligible(fk.truncate(keep));
         let r = fk.rank();
@@ -195,7 +217,20 @@ impl IncrementalSvd {
         self.s = fk.s;
         self.cols_seen += c;
 
-        self.maybe_reorthonormalise();
+        let drift = self.maybe_reorthonormalise();
+        self.check_drift(drift)
+    }
+
+    /// Post-repair drift verdict shared by the fallible updates.
+    fn check_drift(&self, drift: f64) -> Result<(), LinAlgError> {
+        if drift > self.reorth_tol {
+            Err(LinAlgError::OrthogonalityDrift {
+                drift,
+                tolerance: self.reorth_tol,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     /// Folds new **rows** (sensors) into the factorisation — the transpose
@@ -244,7 +279,8 @@ impl IncrementalSvd {
                 k[(q + i, q + jj)] = p[(i, jj)];
             }
         }
-        let fk = svd(&k);
+        let (fk, kstats) = svd_with_stats(&k);
+        self.last_inner_sweeps = kstats.sweeps;
         let keep = fk.rank().min(self.max_rank);
         let fk = drop_negligible(fk.truncate(keep));
         let rank = fk.rank();
@@ -297,24 +333,36 @@ impl IncrementalSvd {
         self.maybe_reorthonormalise();
     }
 
+    /// Jacobi sweeps spent by the most recent inner (core-matrix) SVD.
+    pub fn last_inner_sweeps(&self) -> usize {
+        self.last_inner_sweeps
+    }
+
     /// Largest deviation of the left basis from orthonormality.
     pub fn orthogonality_drift(&self) -> f64 {
         let g = self.u.t_matmul(&self.u);
         g.sub(&Mat::identity(self.u.cols())).fro_norm()
     }
 
-    fn maybe_reorthonormalise(&mut self) {
-        if self.rank() == 0 || self.orthogonality_drift() <= self.reorth_tol {
-            return;
+    /// Repairs the left basis if its drift exceeds tolerance; returns the
+    /// drift *after* any repair so callers can report an unrepaired breach.
+    fn maybe_reorthonormalise(&mut self) -> f64 {
+        if self.rank() == 0 {
+            return 0.0;
+        }
+        let drift = self.orthogonality_drift();
+        if drift <= self.reorth_tol {
+            return drift;
         }
         // U = Q R; fold R into a small SVD to restore exact factorisation.
         let f = qr(&self.u);
         let rs = scale_cols(&f.r, &self.s); // R · diag(s)
-        let inner = svd(&rs);
+        let (inner, _) = svd_with_stats(&rs);
         let inner = drop_negligible(inner.truncate(self.max_rank));
         self.u = f.q.matmul(&inner.u);
         self.v = self.v.matmul(&inner.v);
         self.s = inner.s;
+        self.orthogonality_drift()
     }
 
     /// Low-rank reconstruction `U·diag(s)·Vᵀ` of everything absorbed so far.
@@ -336,6 +384,7 @@ fn drop_negligible(f: Svd) -> Svd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::svd::svd;
 
     /// Reference matrix with controlled low-rank-plus-noise structure.
     fn test_matrix(m: usize, t: usize) -> Mat {
@@ -485,6 +534,21 @@ mod tests {
         let before = inc.s().to_vec();
         inc.update_rows(&Mat::zeros(0, 12));
         assert_eq!(inc.s(), &before[..]);
+    }
+
+    #[test]
+    fn try_update_is_ok_on_healthy_streams_and_records_sweeps() {
+        let a = test_matrix(20, 40);
+        let mut inc = IncrementalSvd::new(&a.cols_range(0, 10), 8);
+        for start in (10..40).step_by(6) {
+            inc.try_update(&a.cols_range(start, (start + 6).min(40)))
+                .unwrap();
+        }
+        assert!(inc.last_inner_sweeps() >= 1);
+        // Rank-collapsing blocks (all-constant columns) must also pass.
+        let flat = Mat::from_fn(20, 4, |i, _| i as f64 * 0.01);
+        inc.try_update(&flat).unwrap();
+        assert_eq!(inc.cols_seen(), 44);
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub mod cmat;
 pub mod complex;
 pub mod csolve;
 pub mod eig;
+pub mod error;
+pub mod failpoint;
 pub mod fft;
 pub mod gemm;
 pub mod isvd;
@@ -42,8 +44,9 @@ pub mod workspace;
 
 pub use cmat::CMat;
 pub use complex::c64;
-pub use csolve::{lstsq_complex, solve_complex};
-pub use eig::{eig_complex, eig_real, Eig};
+pub use csolve::{lstsq_complex, solve_complex, try_lstsq_complex, try_solve_complex};
+pub use eig::{eig_complex, eig_real, try_eig_complex, try_eig_real, Eig, EigStats};
+pub use error::{LinAlgError, PartialSchur};
 pub use fft::{dominant_frequency, fft, fft_in_place, ifft, periodogram};
 pub use gemm::{gemm, gemm_threaded, gemv, Trans};
 pub use isvd::IncrementalSvd;
@@ -52,5 +55,5 @@ pub use pool::{max_threads, WorkerPool};
 pub use qr::{
     lstsq, orthonormal_complement, orthonormal_complement_rows, qr, solve_upper_triangular, Qr,
 };
-pub use svd::{svd, svd_randomized, svd_truncated, Svd};
+pub use svd::{svd, svd_randomized, svd_truncated, svd_with_stats, try_svd, Svd, SvdStats};
 pub use svht::{svht_rank, svht_rank_known_noise};

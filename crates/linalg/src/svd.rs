@@ -6,10 +6,24 @@
 //! path (Halko–Martinsson–Tropp) is the hot one; the Jacobi path is the exact
 //! fallback and the inner solver for the small projected problems.
 
+use crate::error::LinAlgError;
+use crate::failpoint;
 use crate::mat::Mat;
 use crate::qr::qr;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Convergence accounting of a one-sided Jacobi run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SvdStats {
+    /// Sweeps actually performed.
+    pub sweeps: usize,
+    /// Relative off-diagonal residual `max |gᵢⱼ|/√(gᵢᵢ·gⱼⱼ)` of the implicit
+    /// Gram matrix after the final sweep (0 when fully converged).
+    pub off_diagonal: f64,
+    /// Whether a full sweep completed without any rotation.
+    pub converged: bool,
+}
 
 /// A (possibly truncated) singular value decomposition `A ≈ U·diag(s)·Vᵀ`.
 #[derive(Clone, Debug)]
@@ -82,25 +96,72 @@ pub(crate) fn scale_cols(m: &Mat, d: &[f64]) -> Mat {
     out
 }
 
+/// Default Jacobi sweep budget; `try_svd` doubles it once before giving up.
+const JACOBI_MAX_SWEEPS: usize = 60;
+
 /// Full SVD via one-sided Jacobi. Exact to machine precision but `O(mn²)` per
 /// sweep; intended for matrices up to a few thousand on a side.
+///
+/// Best-effort: if the sweep budget runs out the factors of the final sweep
+/// are returned anyway (they are still a valid orthogonal decomposition, just
+/// not fully diagonalised). Use [`svd_with_stats`] to observe convergence or
+/// [`try_svd`] to treat non-convergence as an error.
 pub fn svd(a: &Mat) -> Svd {
+    svd_with_stats(a).0
+}
+
+/// Like [`svd`], but also reports sweep count and the final off-diagonal
+/// residual so callers can see a silent budget cap instead of guessing.
+pub fn svd_with_stats(a: &Mat) -> (Svd, SvdStats) {
+    svd_budgeted(a, JACOBI_MAX_SWEEPS)
+}
+
+/// Fallible SVD: runs the standard budget, escalates once with a doubled
+/// sweep budget (recomputed from `a` — deterministic), and reports
+/// [`LinAlgError::SvdNonConvergence`] if the off-diagonal mass still has not
+/// settled.
+pub fn try_svd(a: &Mat) -> Result<Svd, LinAlgError> {
+    if failpoint::take_svd_failure() {
+        return Err(LinAlgError::SvdNonConvergence {
+            sweeps: 0,
+            off_diagonal: f64::INFINITY,
+        });
+    }
+    let (f, stats) = svd_budgeted(a, JACOBI_MAX_SWEEPS);
+    if stats.converged {
+        return Ok(f);
+    }
+    // Escalation: one retry with a doubled budget, from scratch.
+    let (f, retry) = svd_budgeted(a, 2 * JACOBI_MAX_SWEEPS);
+    if retry.converged {
+        return Ok(f);
+    }
+    Err(LinAlgError::SvdNonConvergence {
+        sweeps: stats.sweeps + retry.sweeps,
+        off_diagonal: retry.off_diagonal,
+    })
+}
+
+fn svd_budgeted(a: &Mat, max_sweeps: usize) -> (Svd, SvdStats) {
     if a.rows() >= a.cols() {
         // The Jacobi core wants Aᵀ (columns as contiguous rows): one pooled
         // transposed copy, recycled on return.
         let w = crate::workspace::pooled_transpose(a);
-        jacobi_core(w, a.rows(), a.cols())
+        jacobi_core(w, a.rows(), a.cols(), max_sweeps)
     } else {
         // Aᵀ = U'ΣV'ᵀ ⇒ A = V'ΣU'ᵀ; (Aᵀ)ᵀ = A is already the layout the
         // core wants, so a pooled straight copy suffices — the seed code
         // materialised the transpose twice here.
         let w = crate::workspace::pooled_copy(a);
-        let t = jacobi_core(w, a.cols(), a.rows());
-        Svd {
-            u: t.v,
-            s: t.s,
-            v: t.u,
-        }
+        let (t, stats) = jacobi_core(w, a.cols(), a.rows(), max_sweeps);
+        (
+            Svd {
+                u: t.v,
+                s: t.s,
+                v: t.u,
+            },
+            stats,
+        )
     }
 }
 
@@ -108,7 +169,12 @@ pub fn svd(a: &Mat) -> Svd {
 /// scratch. The per-sweep state (`w`, `vt`, norms) lives in recycled
 /// workspace buffers, so repeated small SVDs — the inner solves of the
 /// incremental update — stop hitting the allocator.
-fn jacobi_core(mut w: crate::workspace::PooledMat, m: usize, n: usize) -> Svd {
+fn jacobi_core(
+    mut w: crate::workspace::PooledMat,
+    m: usize,
+    n: usize,
+    max_sweeps: usize,
+) -> (Svd, SvdStats) {
     debug_assert_eq!(w.shape(), (n, m));
     assert!(m >= n);
     let mut vt = crate::workspace::pooled_zeros(n, n); // row j = column j of V
@@ -116,8 +182,22 @@ fn jacobi_core(mut w: crate::workspace::PooledMat, m: usize, n: usize) -> Svd {
         vt[(i, i)] = 1.0;
     }
     let tol = 1e-14;
-    let max_sweeps = 60;
+    // Rows whose squared norm falls below ε²·‖A‖²_F are cancellation residue
+    // of rank deficiency: their pairwise correlations are pure noise and can
+    // never satisfy the relative tolerance, so rotating them would cycle
+    // forever. The Frobenius norm is rotation-invariant, making this floor
+    // stable across sweeps.
+    let fro2: f64 = (0..n)
+        .map(|i| w.row(i).iter().map(|x| x * x).sum::<f64>())
+        .sum();
+    let negligible = f64::EPSILON * f64::EPSILON * fro2;
+    let mut stats = SvdStats {
+        sweeps: 0,
+        off_diagonal: 0.0,
+        converged: n <= 1, // nothing to rotate
+    };
     for _sweep in 0..max_sweeps {
+        stats.sweeps += 1;
         let mut rotated = false;
         for p in 0..n {
             for q in (p + 1)..n {
@@ -134,7 +214,7 @@ fn jacobi_core(mut w: crate::workspace::PooledMat, m: usize, n: usize) -> Svd {
                     }
                     (app, aqq, apq)
                 };
-                if apq.abs() <= tol * (app * aqq).sqrt() || app == 0.0 || aqq == 0.0 {
+                if apq.abs() <= tol * (app * aqq).sqrt() || app <= negligible || aqq <= negligible {
                     continue;
                 }
                 rotated = true;
@@ -147,15 +227,42 @@ fn jacobi_core(mut w: crate::workspace::PooledMat, m: usize, n: usize) -> Svd {
             }
         }
         if !rotated {
+            stats.converged = true;
             break;
         }
+    }
+    if !stats.converged {
+        // Budget exhausted: measure how far from diagonal the implicit Gram
+        // matrix still is, instead of capping silently.
+        let mut worst = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let wp = w.row(p);
+                let wq = w.row(q);
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for (&x, &y) in wp.iter().zip(wq) {
+                    app += x * x;
+                    aqq += y * y;
+                    apq += x * y;
+                }
+                if app > negligible && aqq > negligible {
+                    worst = worst.max(apq.abs() / (app * aqq).sqrt());
+                }
+            }
+        }
+        stats.off_diagonal = worst;
+        // A residual back under tolerance means the last sweep finished the
+        // job even though it still rotated: count that as converged.
+        stats.converged = worst <= tol;
     }
     // Extract singular values and left vectors; sort descending.
     let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<f64> = (0..n)
         .map(|j| w.row(j).iter().map(|&x| x * x).sum::<f64>().sqrt())
         .collect();
-    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
     let mut u = Mat::zeros(m, n);
     let mut v = Mat::zeros(n, n);
     let mut s = Vec::with_capacity(n);
@@ -173,7 +280,7 @@ fn jacobi_core(mut w: crate::workspace::PooledMat, m: usize, n: usize) -> Svd {
             v[(i, k)] = vrow[i];
         }
     }
-    Svd { u, s, v }
+    (Svd { u, s, v }, stats)
 }
 
 #[cfg(test)]
@@ -366,6 +473,29 @@ mod tests {
         let a = Mat::zeros(4, 3);
         let f = svd(&a);
         assert!(f.s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn stats_report_convergence_on_ordinary_input() {
+        let a = Mat::from_fn(7, 5, |i, j| ((i * 3 + j) % 6) as f64 - 2.5);
+        let (f, stats) = svd_with_stats(&a);
+        assert!(stats.converged);
+        assert!(stats.sweeps >= 1 && stats.sweeps <= 60, "{}", stats.sweeps);
+        assert_eq!(stats.off_diagonal, 0.0);
+        assert!(f.reconstruct().fro_dist(&a) < 1e-10);
+    }
+
+    #[test]
+    fn try_svd_succeeds_on_pathological_but_finite_inputs() {
+        // Rank collapse, duplication, and a Hilbert-like κ≈1/ε Gram should
+        // all converge (possibly via the doubled-budget retry), never error.
+        let rank1 = Mat::from_fn(12, 8, |i, j| (i as f64 + 1.0) * (j as f64 + 1.0));
+        let dup = Mat::from_fn(10, 6, |i, _| i as f64);
+        let hilbert = Mat::from_fn(12, 12, |i, j| 1.0 / ((i + j + 1) as f64));
+        for a in [&rank1, &dup, &hilbert, &Mat::zeros(5, 4)] {
+            let f = try_svd(a).unwrap();
+            assert!(f.reconstruct().fro_dist(a) < 1e-9 * a.fro_norm().max(1.0));
+        }
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct FaultConfig {
     /// Per-batch probability the batch is delivered twice (collector
     /// restart re-sending its buffer).
     pub duplicate_prob: f64,
+    /// Per-batch probability the batch is replaced by a rank-collapsing
+    /// pathological batch (constant columns, duplicated rows, or a
+    /// near-machine-epsilon noise floor) — the numerical worst case the
+    /// decomposition's degraded path must absorb without dying.
+    pub pathological_prob: f64,
 }
 
 impl Default for FaultConfig {
@@ -42,6 +47,7 @@ impl Default for FaultConfig {
             nan_run_max_len: 12,
             sensor_dropout_prob: 0.1,
             duplicate_prob: 0.0,
+            pathological_prob: 0.0,
         }
     }
 }
@@ -56,8 +62,22 @@ impl FaultConfig {
             nan_run_max_len: 0,
             sensor_dropout_prob: 0.0,
             duplicate_prob: 0.0,
+            pathological_prob: 0.0,
         }
     }
+}
+
+/// The shape of a rank-collapsing pathological batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathologicalKind {
+    /// Every column is constant across sensors — the batch is rank ≤ 1.
+    ConstantColumns,
+    /// Every odd row is a copy of the row above it — the rank halves.
+    DuplicatedRows,
+    /// The batch collapses to its mean plus noise a few orders of magnitude
+    /// above machine epsilon — nearly rank 0, with a noise floor that
+    /// stresses rank selection and Jacobi convergence.
+    EpsilonNoise,
 }
 
 /// One injected fault, in absolute stream coordinates.
@@ -94,6 +114,15 @@ pub enum FaultEvent {
         start: usize,
         /// Batch length in snapshots.
         len: usize,
+    },
+    /// The batch was rewritten into a rank-collapsing pathological batch.
+    PathologicalBatch {
+        /// Absolute snapshot the batch starts at.
+        start: usize,
+        /// Batch length in snapshots.
+        len: usize,
+        /// The collapse applied.
+        kind: PathologicalKind,
     },
 }
 
@@ -178,7 +207,7 @@ impl<I> FaultInjector<I> {
                         cells.push((row, step - start));
                     }
                 }
-                FaultEvent::DuplicatedBatch { .. } => {}
+                FaultEvent::DuplicatedBatch { .. } | FaultEvent::PathologicalBatch { .. } => {}
             }
         }
         cells.sort_unstable();
@@ -245,6 +274,67 @@ impl<I: Iterator<Item = Mat>> Iterator for FaultInjector<I> {
                 len: t - lo,
             });
         }
+        // Rank collapse. NaN cells (already injected and logged above) are
+        // left untouched so the NaN ↔ event ground truth stays exact.
+        if self.cfg.pathological_prob > 0.0 && self.rng.random_bool(self.cfg.pathological_prob) {
+            let kind = match self.rng.random_range(0..3u8) {
+                0 => PathologicalKind::ConstantColumns,
+                1 => PathologicalKind::DuplicatedRows,
+                _ => PathologicalKind::EpsilonNoise,
+            };
+            match kind {
+                PathologicalKind::ConstantColumns => {
+                    for j in 0..t {
+                        let v = batch[(0, j)];
+                        if !v.is_finite() {
+                            continue;
+                        }
+                        for i in 1..p {
+                            if batch[(i, j)].is_finite() {
+                                batch[(i, j)] = v;
+                            }
+                        }
+                    }
+                }
+                PathologicalKind::DuplicatedRows => {
+                    for i in (1..p).step_by(2) {
+                        for j in 0..t {
+                            let v = batch[(i - 1, j)];
+                            if v.is_finite() && batch[(i, j)].is_finite() {
+                                batch[(i, j)] = v;
+                            }
+                        }
+                    }
+                }
+                PathologicalKind::EpsilonNoise => {
+                    let mut mean = 0.0;
+                    let mut count = 0usize;
+                    for i in 0..p {
+                        for j in 0..t {
+                            let v = batch[(i, j)];
+                            if v.is_finite() {
+                                mean += v;
+                                count += 1;
+                            }
+                        }
+                    }
+                    mean /= count.max(1) as f64;
+                    let floor = mean.abs().max(1.0) * f64::EPSILON * 1e3;
+                    for i in 0..p {
+                        for j in 0..t {
+                            if batch[(i, j)].is_finite() {
+                                batch[(i, j)] = mean + floor * (self.rng.random::<f64>() - 0.5);
+                            }
+                        }
+                    }
+                }
+            }
+            self.events.push(FaultEvent::PathologicalBatch {
+                start,
+                len: t,
+                kind,
+            });
+        }
         // Re-delivery of the (already corrupted) batch.
         if self.rng.random_bool(self.cfg.duplicate_prob) {
             self.queued_dup = Some(batch.clone());
@@ -288,6 +378,7 @@ mod tests {
             nan_run_max_len: 9,
             sensor_dropout_prob: 0.5,
             duplicate_prob: 0.0,
+            pathological_prob: 0.0,
         };
         let mut inj = FaultInjector::new(ChunkStream::new(&sc, 0, 400, 100), cfg);
         let mut start = 0usize;
@@ -357,6 +448,93 @@ mod tests {
             .filter(|e| matches!(e, FaultEvent::DuplicatedBatch { .. }))
             .count();
         assert_eq!(dups, 3);
+    }
+
+    #[test]
+    fn pathological_batches_collapse_rank_and_are_logged() {
+        let sc = scenario(8, 400);
+        let cfg = FaultConfig {
+            seed: 21,
+            pathological_prob: 1.0,
+            ..FaultConfig::none(21)
+        };
+        let mut inj = FaultInjector::new(ChunkStream::new(&sc, 0, 400, 50), cfg);
+        let batches: Vec<Mat> = (&mut inj).collect();
+        assert_eq!(batches.len(), 8);
+        let events = inj.into_events();
+        assert_eq!(events.len(), 8, "every batch must be collapsed");
+        let mut kinds_seen = std::collections::BTreeSet::new();
+        for (batch, ev) in batches.iter().zip(&events) {
+            let FaultEvent::PathologicalBatch { len, kind, .. } = *ev else {
+                panic!("unexpected event {ev:?}");
+            };
+            assert_eq!(len, batch.cols());
+            kinds_seen.insert(format!("{kind:?}"));
+            let (p, t) = batch.shape();
+            match kind {
+                PathologicalKind::ConstantColumns => {
+                    for j in 0..t {
+                        for i in 1..p {
+                            assert_eq!(batch[(i, j)], batch[(0, j)]);
+                        }
+                    }
+                }
+                PathologicalKind::DuplicatedRows => {
+                    for i in (1..p).step_by(2) {
+                        for j in 0..t {
+                            assert_eq!(batch[(i, j)], batch[(i - 1, j)]);
+                        }
+                    }
+                }
+                PathologicalKind::EpsilonNoise => {
+                    // Everything sits within a hair of the batch mean.
+                    let mean: f64 =
+                        batch.as_slice().iter().sum::<f64>() / batch.as_slice().len() as f64;
+                    let spread = batch
+                        .as_slice()
+                        .iter()
+                        .map(|v| (v - mean).abs())
+                        .fold(0.0f64, f64::max);
+                    assert!(
+                        spread <= mean.abs().max(1.0) * f64::EPSILON * 1e3,
+                        "noise floor too loud: {spread:.3e}"
+                    );
+                }
+            }
+        }
+        assert!(
+            kinds_seen.len() >= 2,
+            "eight draws should hit more than one collapse kind: {kinds_seen:?}"
+        );
+    }
+
+    #[test]
+    fn pathological_mode_preserves_nan_ground_truth() {
+        let sc = scenario(10, 300);
+        let cfg = FaultConfig {
+            seed: 13,
+            drop_prob: 0.02,
+            nan_run_prob: 0.5,
+            nan_run_max_len: 7,
+            sensor_dropout_prob: 0.3,
+            duplicate_prob: 0.0,
+            pathological_prob: 1.0,
+        };
+        let mut inj = FaultInjector::new(ChunkStream::new(&sc, 0, 300, 75), cfg);
+        let mut start = 0usize;
+        while let Some(batch) = inj.next() {
+            let expected = inj.corrupted_cells(start, batch.cols());
+            for i in 0..batch.rows() {
+                for j in 0..batch.cols() {
+                    assert_eq!(
+                        batch[(i, j)].is_nan(),
+                        expected.binary_search(&(i, j)).is_ok(),
+                        "rank collapse must not create or erase NaN cells"
+                    );
+                }
+            }
+            start += batch.cols();
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod stats;
 pub mod stream;
 
 pub use envlog::{Anomaly, Profile, Scenario, SensorKind};
-pub use faults::{FaultConfig, FaultEvent, FaultInjector};
+pub use faults::{FaultConfig, FaultEvent, FaultInjector, PathologicalKind};
 pub use hwlog::{HwEvent, HwEventKind, HwLog};
 pub use io::{
     read_hw_log, read_job_log, read_snapshots_csv, write_hw_log, write_job_log,

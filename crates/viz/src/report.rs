@@ -53,6 +53,33 @@ impl HtmlReport {
         self
     }
 
+    /// Adds a status strip: a row of label/value badges coloured by the
+    /// value's health keyword — `healthy` green, `degraded` amber, `stale`
+    /// red, anything else neutral. Used to surface the model's numerical
+    /// health at the top of a dashboard.
+    pub fn status_strip(&mut self, items: &[(&str, &str)]) -> &mut Self {
+        let _ = writeln!(self.body, "<div class=\"strip\">");
+        for (label, value) in items {
+            let class = if value.contains("stale") {
+                "bad"
+            } else if value.contains("degraded") {
+                "warn"
+            } else if value.contains("healthy") {
+                "ok"
+            } else {
+                "info"
+            };
+            let _ = writeln!(
+                self.body,
+                "<span class=\"badge {class}\"><b>{}</b> {}</span>",
+                escape(label),
+                escape(value)
+            );
+        }
+        let _ = writeln!(self.body, "</div>");
+        self
+    }
+
     /// Adds a two-column key/value table.
     pub fn kv_table(&mut self, rows: &[(&str, String)]) -> &mut Self {
         let _ = writeln!(self.body, "<table>");
@@ -87,7 +114,14 @@ figure{margin:1em 0;border:1px solid #ddd;padding:8px;overflow-x:auto}\
 figcaption{font-size:0.85em;color:#666;margin-top:4px}\
 pre{background:#f6f6f6;padding:8px;overflow-x:auto;font-size:0.85em}\
 table{border-collapse:collapse}th,td{border:1px solid #ccc;padding:4px 10px;text-align:left}\
-th{background:#f0f4f8}";
+th{background:#f0f4f8}\
+.strip{display:flex;gap:8px;flex-wrap:wrap;margin:1em 0}\
+.badge{padding:4px 10px;border-radius:4px;font-size:0.85em;border:1px solid}\
+.badge b{margin-right:4px}\
+.badge.ok{background:#e6f4e6;border-color:#55aa55;color:#225522}\
+.badge.warn{background:#fdf3dc;border-color:#dd9900;color:#664400}\
+.badge.bad{background:#fbe4e4;border-color:#cc5555;color:#662222}\
+.badge.info{background:#eef2f6;border-color:#aaaabb;color:#333344}";
 
 #[cfg(test)]
 mod tests {
@@ -109,6 +143,29 @@ mod tests {
         assert!(html.contains("All &lt;nodes&gt; nominal &amp; cool."));
         assert!(html.contains("<svg xmlns"));
         assert!(html.contains("<th>hot nodes</th><td>3</td>"));
+    }
+
+    #[test]
+    fn status_strip_colours_by_keyword() {
+        let mut r = HtmlReport::new("health");
+        r.status_strip(&[
+            ("root", "healthy"),
+            ("level 3", "degraded — eig stalled"),
+            ("level 5", "stale"),
+            ("isvd drift", "1.2e-16"),
+        ]);
+        let html = r.finish();
+        assert!(html.contains("badge ok\"><b>root</b> healthy"), "{html}");
+        assert!(html.contains("badge warn\"><b>level 3</b>"), "{html}");
+        assert!(html.contains("badge bad\"><b>level 5</b> stale"), "{html}");
+        assert!(
+            html.contains("badge info\"><b>isvd drift</b> 1.2e-16"),
+            "{html}"
+        );
+        // Values are escaped like any other user text.
+        let mut r = HtmlReport::new("esc");
+        r.status_strip(&[("a<b", "x&y")]);
+        assert!(r.finish().contains("<b>a&lt;b</b> x&amp;y"));
     }
 
     #[test]

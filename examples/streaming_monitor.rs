@@ -1,9 +1,11 @@
 //! Streaming monitor: the paper's online setting end to end, hardened.
 //!
 //! Telemetry arrives in fixed-size chunks through a fault injector (NaN
-//! runs, dropped samples, sensor dropout — the stream hygiene of real
-//! facility feeds); every chunk passes the gap-repairing ingest guard and is
-//! folded into the I-mrDMD state with `try_partial_fit`. Z-scores are
+//! runs, dropped samples, sensor dropout, and occasional rank-collapsing
+//! pathological batches — the stream hygiene of real facility feeds); every
+//! chunk passes the gap-repairing ingest guard and is folded into the
+//! I-mrDMD state with `try_partial_fit`. Each round prints the model's
+//! numerical health summary alongside drift and z-score status. Z-scores are
 //! refreshed against a baseline band, hot/idle nodes are reported, and when
 //! the root drift crosses the configured threshold a full refit is launched
 //! on a background thread (the paper's "embarrassingly parallel" levels-2..L
@@ -112,6 +114,7 @@ fn main() {
         nan_run_max_len: 10,
         sensor_dropout_prob: 0.05,
         duplicate_prob: 0.0,
+        pathological_prob: 0.05,
     };
     let stream = FaultInjector::with_start(
         ChunkStream::new(&scenario, start, total, chunk),
@@ -180,7 +183,7 @@ fn main() {
             )
         };
         println!(
-            "round {:>2}: T = {:>5}, drift {:>9.2e}{}, {:>3} gaps repaired | {}",
+            "round {:>2}: T = {:>5}, drift {:>9.2e}{}, {:>3} gaps repaired | {} | {}",
             round + 1,
             m.n_steps(),
             report.as_ref().map_or(0.0, |r| r.drift),
@@ -190,7 +193,8 @@ fn main() {
                 ""
             },
             repairs.repaired,
-            status
+            status,
+            m.health().summary()
         );
 
         // Periodic atomic checkpoint: kill the process at any point and
@@ -265,9 +269,10 @@ fn main() {
         }
     }
     println!(
-        "final model: {} modes, depth {}, {} drift samples",
+        "final model: {} modes, depth {}, {} drift samples, health: {}",
         model.n_modes(),
         model.depth(),
-        model.drift_log().len()
+        model.drift_log().len(),
+        model.health().summary()
     );
 }

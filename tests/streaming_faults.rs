@@ -64,6 +64,7 @@ fn faulty_stream_survives_guarded_ingest_end_to_end() {
         nan_run_max_len: 20,
         sensor_dropout_prob: 0.3,
         duplicate_prob: 0.0,
+        pathological_prob: 0.0,
     };
     let mut stream = FaultInjector::new(ChunkStream::new(&scenario, 0, total, chunk), faults);
 
