@@ -46,10 +46,11 @@ pub fn run(opts: &Opts) -> std::io::Result<Vec<StrategyResult>> {
 
     // --- I-mrDMD. ---
     {
-        let cfg = IMrDmdConfig {
-            mr,
-            ..IMrDmdConfig::default()
-        };
+        let cfg = IMrDmdConfig::builder()
+            .mr(mr)
+            .build()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        imrdmd::obs::reset();
         let mut model = IMrDmd::fit(&data.cols_range(0, t0), &cfg);
         let mut times = Vec::new();
         for b in 0..batches {
@@ -58,6 +59,19 @@ pub fn run(opts: &Opts) -> std::io::Result<Vec<StrategyResult>> {
             let (secs, _) = timeit(|| model.partial_fit(&batch));
             times.push(secs);
         }
+        // Per-round timing + metrics artefacts for the dashboard's
+        // observability panel (`round N: SECONDS` per line, then the
+        // Prometheus rendering of the whole streaming run's counters).
+        let mut timing = String::new();
+        for (i, secs) in times.iter().enumerate() {
+            use std::fmt::Write as _;
+            let _ = writeln!(timing, "round {}: {secs:.6}", i + 1);
+        }
+        out.artefact("round_timings.txt", &timing)?;
+        out.artefact(
+            "metrics.prom",
+            &imrdmd::obs::MetricsSnapshot::capture().to_prometheus(),
+        )?;
         let rel = model.reconstruct().fro_dist(&data) / data.fro_norm();
         results.push(StrategyResult {
             strategy: "I-mrDMD".into(),

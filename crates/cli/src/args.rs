@@ -99,13 +99,29 @@ pub enum Command {
         /// Resume from the newest checkpoint in `checkpoint_dir` instead of
         /// fitting from scratch.
         resume: bool,
+        /// Emit a JSON-line metrics snapshot every N chunks (0 = off).
+        metrics_every: usize,
         /// Output model JSON path.
         model: PathBuf,
+    },
+    /// Stream a snapshot CSV through a fit and print the final metrics
+    /// snapshot (JSON or Prometheus text exposition).
+    Metrics {
+        /// Input snapshot CSV.
+        input: PathBuf,
+        /// Snapshot spacing in seconds.
+        dt: f64,
+        /// Tree depth.
+        levels: usize,
+        /// Snapshots per ingest batch.
+        chunk: usize,
+        /// Output format: `json` or `prom`.
+        format: String,
     },
 }
 
 /// Usage text shown on parse errors.
-pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info|health|stream> [--flag value]...
+pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info|health|stream|metrics> [--flag value]...
   synth   --nodes N --steps T [--seed S] --out FILE.csv
   fit     --input FILE.csv --dt SECONDS [--levels L] [--max-cycles C] [--threads N] --model FILE.json
   update  --model FILE.json --input FILE.csv [--model-out FILE.json] [--threads N]
@@ -115,7 +131,8 @@ pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info
   health  --model FILE.json
   stream  --input FILE.csv --dt SECONDS --model FILE.json [--chunk N] [--levels L] [--threads N]
           [--gap-policy reject|hold|interpolate|mask]
-          [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]";
+          [--checkpoint-dir DIR] [--checkpoint-every K] [--resume] [--metrics-every N]
+  metrics --input FILE.csv --dt SECONDS [--levels L] [--chunk N] [--format json|prom]";
 
 /// Flags that take no value: their presence means `true`.
 const BOOL_FLAGS: &[&str] = &["resume"];
@@ -261,7 +278,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .map_err(|_| CliError("--checkpoint-every must be an integer".into()))?
                 .unwrap_or(1),
             resume: flags.contains_key("resume"),
+            metrics_every: flags
+                .get("metrics-every")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--metrics-every must be an integer".into()))?
+                .unwrap_or(0),
             model: get("model")?.into(),
+        }),
+        "metrics" => Ok(Command::Metrics {
+            input: get("input")?.into(),
+            dt: num("dt")?,
+            levels: flags
+                .get("levels")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--levels must be an integer".into()))?
+                .unwrap_or(6),
+            chunk: flags
+                .get("chunk")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--chunk must be an integer".into()))?
+                .unwrap_or(64),
+            format: flags
+                .get("format")
+                .cloned()
+                .unwrap_or_else(|| "json".to_string()),
         }),
         other => Err(CliError(format!("unknown subcommand `{other}`\n{USAGE}"))),
     }
@@ -389,9 +432,58 @@ mod tests {
                 checkpoint_dir: None,
                 checkpoint_every: 1,
                 resume: false,
+                metrics_every: 0,
                 model: "m.json".into(),
             }
         );
+    }
+
+    #[test]
+    fn parses_metrics_flags() {
+        let c = parse_args(&argv("metrics --input a.csv --dt 20")).unwrap();
+        assert_eq!(
+            c,
+            Command::Metrics {
+                input: "a.csv".into(),
+                dt: 20.0,
+                levels: 6,
+                chunk: 64,
+                format: "json".into(),
+            }
+        );
+        let c = parse_args(&argv(
+            "metrics --input a.csv --dt 20 --levels 4 --chunk 32 --format prom",
+        ))
+        .unwrap();
+        match c {
+            Command::Metrics {
+                levels,
+                chunk,
+                format,
+                ..
+            } => {
+                assert_eq!((levels, chunk), (4, 32));
+                assert_eq!(format, "prom");
+            }
+            _ => panic!("wrong variant"),
+        }
+        assert!(parse_args(&argv("metrics --input a.csv")).is_err());
+    }
+
+    #[test]
+    fn stream_metrics_every_parses() {
+        let c = parse_args(&argv(
+            "stream --input a.csv --dt 20 --model m.json --metrics-every 5",
+        ))
+        .unwrap();
+        match c {
+            Command::Stream { metrics_every, .. } => assert_eq!(metrics_every, 5),
+            _ => panic!("wrong variant"),
+        }
+        assert!(parse_args(&argv(
+            "stream --input a.csv --dt 20 --model m.json --metrics-every x",
+        ))
+        .is_err());
     }
 
     #[test]

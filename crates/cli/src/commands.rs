@@ -60,6 +60,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             checkpoint_dir,
             checkpoint_every,
             resume,
+            metrics_every,
             model,
         } => stream(StreamOpts {
             input,
@@ -71,8 +72,16 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             checkpoint_dir: checkpoint_dir.as_deref(),
             checkpoint_every: *checkpoint_every,
             resume: *resume,
+            metrics_every: *metrics_every,
             model,
         }),
+        Command::Metrics {
+            input,
+            dt,
+            levels,
+            chunk,
+            format,
+        } => metrics(input, *dt, *levels, *chunk, format),
     }
 }
 
@@ -88,7 +97,26 @@ struct StreamOpts<'a> {
     checkpoint_dir: Option<&'a Path>,
     checkpoint_every: usize,
     resume: bool,
+    metrics_every: usize,
     model: &'a Path,
+}
+
+/// The streaming configuration every CSV-driven command uses, built (and
+/// therefore validated) through the builder-first API.
+fn stream_config(
+    dt: f64,
+    levels: usize,
+    max_cycles: usize,
+    threads: usize,
+) -> Result<IMrDmdConfig, CliError> {
+    let mr = MrDmdConfig::builder()
+        .dt(dt)
+        .max_levels(levels.max(1))
+        .max_cycles(max_cycles.max(1))
+        .rank(RankSelection::Svht)
+        .n_threads(threads)
+        .build()?;
+    Ok(IMrDmdConfig::builder().mr(mr).build()?)
 }
 
 fn load_model(path: &Path) -> Result<IMrDmd, CliError> {
@@ -141,17 +169,7 @@ fn fit(
         return Err(CliError("--dt must be positive".into()));
     }
     let data = load_csv(input)?;
-    let cfg = IMrDmdConfig {
-        mr: MrDmdConfig {
-            dt,
-            max_levels: levels.max(1),
-            max_cycles: max_cycles.max(1),
-            rank: RankSelection::Svht,
-            n_threads: threads,
-            ..MrDmdConfig::default()
-        },
-        ..IMrDmdConfig::default()
-    };
+    let cfg = stream_config(dt, levels, max_cycles, threads)?;
     let model = IMrDmd::fit(&data, &cfg);
     save_model(model_path, &model)?;
     Ok(format!(
@@ -360,6 +378,12 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
     let mut repairs = RepairReport::default();
     let mut chunks = 0usize;
     let mut ckpts = 0usize;
+    let mut out = String::new();
+    // Metrics are process-wide monotonic totals; zero them at stream start so
+    // the emitted JSON-lines count exactly this stream's work.
+    if o.metrics_every > 0 {
+        imrdmd::obs::reset();
+    }
     while done < total {
         let hi = (done + o.chunk).min(total);
         let batch = data.cols_range(done, hi);
@@ -368,16 +392,7 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
                 // First chunk: repair it stand-alone, then cold-start.
                 let (clean, rep) = guard.repair(&batch)?;
                 repairs.merge(&rep);
-                let cfg = IMrDmdConfig {
-                    mr: MrDmdConfig {
-                        dt: o.dt,
-                        max_levels: o.levels.max(1),
-                        rank: RankSelection::Svht,
-                        n_threads: o.threads,
-                        ..MrDmdConfig::default()
-                    },
-                    ..IMrDmdConfig::default()
-                };
+                let cfg = stream_config(o.dt, o.levels, 2, o.threads)?;
                 model = Some(IMrDmd::fit(clean.as_ref().unwrap_or(&batch), &cfg));
             }
             Some(m) => {
@@ -387,6 +402,9 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
         }
         done = hi;
         chunks += 1;
+        if o.metrics_every > 0 && chunks.is_multiple_of(o.metrics_every) {
+            let _ = writeln!(out, "{}", MetricsLine::capture(done, chunks).to_json());
+        }
         if let (Some(ck), Some(m)) = (&mut checkpointer, &model) {
             if ck.tick(m)?.is_some() {
                 ckpts += 1;
@@ -397,7 +415,6 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
     let model =
         model.ok_or_else(|| CliError("nothing to stream: the input CSV has no columns".into()))?;
     save_model(o.model, &model)?;
-    let mut out = String::new();
     if let Some((path, at)) = resumed_from {
         let _ = writeln!(out, "resumed from {} at snapshot {at}", path.display());
     }
@@ -426,6 +443,54 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
         o.model.display()
     );
     Ok(out)
+}
+
+/// Streams `input` through a fit (first chunk cold-start, rest via
+/// `partial_fit`) and prints the final process metrics snapshot. Metrics are
+/// process-local, so the subcommand generates its own workload rather than
+/// reading a model file.
+fn metrics(
+    input: &Path,
+    dt: f64,
+    levels: usize,
+    chunk: usize,
+    format: &str,
+) -> Result<String, CliError> {
+    if dt <= 0.0 {
+        return Err(CliError("--dt must be positive".into()));
+    }
+    if chunk < 2 {
+        return Err(CliError("--chunk must be at least 2".into()));
+    }
+    if !matches!(format, "json" | "prom") {
+        return Err(CliError(format!(
+            "unknown --format `{format}` (expected json or prom)"
+        )));
+    }
+    let data = load_csv(input)?;
+    let total = data.cols();
+    if total < 2 {
+        return Err(CliError("metrics needs at least two snapshots".into()));
+    }
+    imrdmd::obs::reset();
+    let cfg = stream_config(dt, levels, 2, 0)?;
+    let first = chunk.min(total);
+    let mut model = IMrDmd::fit(&data.cols_range(0, first), &cfg);
+    let mut done = first;
+    while done < total {
+        let hi = (done + chunk).min(total);
+        model.partial_fit(&data.cols_range(done, hi));
+        done = hi;
+    }
+    let snap = MetricsSnapshot::capture();
+    Ok(match format {
+        "prom" => snap.to_prometheus(),
+        _ => {
+            let mut s = snap.to_json();
+            s.push('\n');
+            s
+        }
+    })
 }
 
 fn info(model_path: &Path) -> Result<String, CliError> {
@@ -743,6 +808,66 @@ mod tests {
         .unwrap())
         .unwrap_err();
         assert!(err.0.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn stream_emits_metrics_lines_and_metrics_subcommand_renders() {
+        let csv = tmp("metrics.csv");
+        let model = tmp("metrics.json");
+        run(&parse_args(&argv(&format!(
+            "synth --nodes 12 --steps 400 --seed 5 --out {}",
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+
+        let r = run(&parse_args(&argv(&format!(
+            "stream --input {} --dt 20 --chunk 100 --levels 3 --metrics-every 2 --model {}",
+            csv.display(),
+            model.display()
+        )))
+        .unwrap())
+        .unwrap();
+        // 4 chunks, a line every 2nd → 2 JSON lines, each a parseable
+        // MetricsLine carrying the running counters.
+        let lines: Vec<&str> = r.lines().filter(|l| l.starts_with('{')).collect();
+        assert_eq!(lines.len(), 2, "{r}");
+        for line in &lines {
+            let parsed: MetricsLine = serde_json::from_str(line).unwrap();
+            // Counters are process-global: other tests may run concurrently,
+            // so assert lower bounds only.
+            assert!(parsed.snapshot.counter("round.count").unwrap_or(0) >= 1);
+            assert!(parsed.snapshot.counter("gemm.calls").unwrap_or(0) >= 1);
+        }
+        let last: MetricsLine = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(last.step, 400);
+        assert_eq!(last.round, 4);
+
+        // The metrics subcommand over the same CSV, both formats.
+        let r = run(&parse_args(&argv(&format!(
+            "metrics --input {} --dt 20 --levels 3 --chunk 100",
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let snap: MetricsSnapshot = serde_json::from_str(r.trim()).unwrap();
+        assert!(snap.counter("gemm.calls").unwrap_or(0) >= 1);
+        let r = run(&parse_args(&argv(&format!(
+            "metrics --input {} --dt 20 --levels 3 --chunk 100 --format prom",
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("# TYPE gemm_calls counter"), "{r}");
+        assert!(r.contains("# TYPE gemm_ns histogram"), "{r}");
+
+        let err = run(&parse_args(&argv(&format!(
+            "metrics --input {} --dt 20 --format yaml",
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("unknown --format"), "{err}");
     }
 
     #[test]

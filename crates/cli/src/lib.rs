@@ -11,7 +11,8 @@
 //! imrdmd-cli render  --model model.json --input logs.csv --layout "xc40 …" --out rack.svg
 //! imrdmd-cli info    --model model.json
 //! imrdmd-cli stream  --input logs.csv --dt 20 --model model.json \
-//!                    --gap-policy hold --checkpoint-dir ckpts --resume
+//!                    --gap-policy hold --checkpoint-dir ckpts --resume --metrics-every 5
+//! imrdmd-cli metrics --input logs.csv --dt 20 --format prom
 //! ```
 //!
 //! Snapshot CSVs use the `hpc-telemetry` format (header `series,t0,t1,…`);
@@ -56,7 +57,7 @@ impl From<serde_json::Error> for CliError {
 
 impl From<imrdmd::CoreError> for CliError {
     fn from(e: imrdmd::CoreError) -> Self {
-        CliError(format!("ingest: {e}"))
+        CliError(e.to_string())
     }
 }
 

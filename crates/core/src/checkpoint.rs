@@ -133,7 +133,10 @@ fn encode(model: &IMrDmd) -> Result<String, CheckpointError> {
 
 /// Writes a checkpoint of `model` to `path` atomically (`.tmp` + rename).
 pub fn save_checkpoint(model: &IMrDmd, path: &Path) -> Result<(), CheckpointError> {
+    let _span = crate::obs::CHECKPOINT_NS.span();
     let bytes = encode(model)?;
+    crate::obs::CHECKPOINT_SAVES.inc();
+    crate::obs::CHECKPOINT_BYTES.add(bytes.len() as u64);
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
@@ -153,7 +156,10 @@ pub fn save_checkpoint(model: &IMrDmd, path: &Path) -> Result<(), CheckpointErro
 /// Restores a model from a checkpoint written by [`save_checkpoint`],
 /// verifying magic, version, length, and checksum first.
 pub fn load_checkpoint(path: &Path) -> Result<IMrDmd, CheckpointError> {
+    let _span = crate::obs::CHECKPOINT_NS.span();
     let raw = std::fs::read(path)?;
+    crate::obs::CHECKPOINT_LOADS.inc();
+    crate::obs::CHECKPOINT_BYTES.add(raw.len() as u64);
     let text = std::str::from_utf8(&raw)
         .map_err(|_| CheckpointError::BadHeader("not valid UTF-8".into()))?;
     let (header, payload) = text

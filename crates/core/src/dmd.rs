@@ -145,6 +145,55 @@ impl DmdConfig {
         }
         self.rank.validate()
     }
+
+    /// Builder-first construction: every field defaults as in
+    /// [`DmdConfig::default`], and [`DmdConfigBuilder::build`] runs the full
+    /// domain validation, so an invalid configuration is caught at
+    /// construction instead of deep inside a fit.
+    ///
+    /// ```
+    /// use imrdmd::dmd::{DmdConfig, RankSelection};
+    /// let cfg = DmdConfig::builder()
+    ///     .dt(0.01)
+    ///     .rank(RankSelection::Fixed(4))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.dt, 0.01);
+    /// assert!(DmdConfig::builder().dt(-1.0).build().is_err());
+    /// ```
+    pub fn builder() -> DmdConfigBuilder {
+        DmdConfigBuilder {
+            cfg: DmdConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`DmdConfig`]; see [`DmdConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct DmdConfigBuilder {
+    cfg: DmdConfig,
+}
+
+impl DmdConfigBuilder {
+    /// Time between snapshots, in seconds.
+    #[must_use]
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.cfg.dt = dt;
+        self
+    }
+
+    /// Truncation rule for the snapshot SVD.
+    #[must_use]
+    pub fn rank(mut self, rank: RankSelection) -> Self {
+        self.cfg.rank = rank;
+        self
+    }
+
+    /// Validates every field and returns the configuration.
+    pub fn build(self) -> Result<DmdConfig, CoreError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 /// An exact DMD of a snapshot sequence.

@@ -67,6 +67,91 @@ impl Default for IMrDmdConfig {
     }
 }
 
+impl IMrDmdConfig {
+    /// Checks every field's domain, including the nested
+    /// [`MrDmdConfig::validate`]: a nonzero streaming-SVD rank cap, a
+    /// positive finite drift threshold when set, and the cross-field
+    /// constraint that `auto_refresh` requires `keep_history` (the refresh
+    /// refits from history and would otherwise panic mid-stream).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.mr.validate()?;
+        let fail = |what: String| Err(CoreError::InvalidConfig { what });
+        if self.isvd_max_rank < 1 {
+            return fail("isvd_max_rank must be at least 1".into());
+        }
+        if let Some(th) = self.drift_threshold {
+            if !(th > 0.0 && th.is_finite()) {
+                return fail(format!(
+                    "drift_threshold must be positive and finite, got {th}"
+                ));
+            }
+        }
+        if self.auto_refresh && !self.keep_history {
+            return fail("auto_refresh requires keep_history".into());
+        }
+        Ok(())
+    }
+
+    /// Builder-first construction; [`IMrDmdConfigBuilder::build`] runs
+    /// [`validate`](Self::validate), so cross-field mistakes (e.g.
+    /// `auto_refresh` without `keep_history`) fail at construction instead
+    /// of panicking mid-stream.
+    pub fn builder() -> IMrDmdConfigBuilder {
+        IMrDmdConfigBuilder {
+            cfg: IMrDmdConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`IMrDmdConfig`]; see [`IMrDmdConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct IMrDmdConfigBuilder {
+    cfg: IMrDmdConfig,
+}
+
+impl IMrDmdConfigBuilder {
+    /// The underlying multiresolution configuration.
+    #[must_use]
+    pub fn mr(mut self, mr: MrDmdConfig) -> Self {
+        self.cfg.mr = mr;
+        self
+    }
+
+    /// Rank cap of the streaming root SVD.
+    #[must_use]
+    pub fn isvd_max_rank(mut self, isvd_max_rank: usize) -> Self {
+        self.cfg.isvd_max_rank = isvd_max_rank;
+        self
+    }
+
+    /// Frobenius drift beyond which the tree is flagged stale.
+    #[must_use]
+    pub fn drift_threshold(mut self, drift_threshold: f64) -> Self {
+        self.cfg.drift_threshold = Some(drift_threshold);
+        self
+    }
+
+    /// Retain the full-resolution history.
+    #[must_use]
+    pub fn keep_history(mut self, keep_history: bool) -> Self {
+        self.cfg.keep_history = keep_history;
+        self
+    }
+
+    /// Refresh subtrees automatically when the drift threshold trips.
+    #[must_use]
+    pub fn auto_refresh(mut self, auto_refresh: bool) -> Self {
+        self.cfg.auto_refresh = auto_refresh;
+        self
+    }
+
+    /// Validates every field and returns the configuration.
+    pub fn build(self) -> Result<IMrDmdConfig, CoreError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// Summary of one incremental update.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct PartialFitReport {
@@ -88,12 +173,79 @@ pub struct PartialFitReport {
 }
 
 /// Outcome of one guarded ingest ([`IMrDmd::try_partial_fit`]).
+#[deprecated(
+    since = "0.6.0",
+    note = "try_partial_fit now returns the unified `RoundReport`; \
+            convert with `RoundReport::into` if the old shape is needed"
+)]
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct IngestReport {
     /// What the decomposition update did.
     pub fit: PartialFitReport,
     /// What the ingest guard repaired before the update.
     pub repairs: RepairReport,
+}
+
+#[allow(deprecated)]
+impl From<RoundReport> for IngestReport {
+    fn from(r: RoundReport) -> IngestReport {
+        IngestReport {
+            fit: r.fit_summary(),
+            repairs: r.repairs,
+        }
+    }
+}
+
+/// Unified outcome of one streaming round ([`IMrDmd::try_partial_fit`]):
+/// what the decomposition did, what the ingest guard repaired, the node
+/// fits that failed during this round, and the post-round health snapshot.
+/// One struct replaces the former `IngestReport` + separate
+/// [`IMrDmd::fit_faults`]/[`IMrDmd::health`] follow-up calls.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Snapshots absorbed by this round.
+    pub batch_len: usize,
+    /// Decimated columns appended to the root SVD.
+    pub new_root_cols: usize,
+    /// Frobenius drift of the root reconstruction over the old timeline.
+    pub drift: f64,
+    /// Whether accumulated drift has exceeded the configured threshold.
+    pub stale: bool,
+    /// Modes extracted in the new window's subtree.
+    pub new_subtree_modes: usize,
+    /// Snapshots still buffered below `min_window`, awaiting a subtree fit.
+    pub pending: usize,
+    /// Node fits that failed numerically during this round, root failures
+    /// included (the root degrades in place and leaves no [`FitFault`]).
+    pub new_faults: usize,
+    /// What the ingest guard repaired before the update (all-zero for the
+    /// unguarded [`IMrDmd::partial_fit`] path).
+    pub repairs: RepairReport,
+    /// The node-fit faults recorded during this round, in occurrence order.
+    pub faults: Vec<FitFault>,
+    /// Health of the whole tree after the round.
+    pub health: HealthSnapshot,
+}
+
+impl RoundReport {
+    /// The decomposition-only summary (the former `partial_fit` return).
+    pub fn fit_summary(&self) -> PartialFitReport {
+        PartialFitReport {
+            batch_len: self.batch_len,
+            new_root_cols: self.new_root_cols,
+            drift: self.drift,
+            stale: self.stale,
+            new_subtree_modes: self.new_subtree_modes,
+            pending: self.pending,
+            new_faults: self.new_faults,
+        }
+    }
+
+    /// The decomposition-only summary, under its historical name.
+    #[deprecated(since = "0.6.0", note = "use `fit_summary()` or the flat fields")]
+    pub fn fit(&self) -> PartialFitReport {
+        self.fit_summary()
+    }
 }
 
 /// Streaming multiresolution DMD state.
@@ -275,12 +427,49 @@ impl IMrDmd {
 
     /// Absorbs a batch of `T₁` new snapshots (columns) and updates the tree
     /// per Algorithm 1. Returns a report of what changed.
+    ///
+    /// Thin wrapper over the guarded round ([`Self::try_partial_fit`] with
+    /// no ingest repair); panics on a row-count mismatch where the `try_`
+    /// variant returns an error.
     pub fn partial_fit(&mut self, batch: &Mat) -> PartialFitReport {
         assert_eq!(
             batch.rows(),
             self.p,
             "batch row count must match the stream"
         );
+        self.round(batch, RepairReport::default()).fit_summary()
+    }
+
+    /// One instrumented streaming round: runs the Algorithm-1 update and
+    /// assembles the unified [`RoundReport`] (fit summary + this round's
+    /// faults + post-round health). Both public entry points funnel here.
+    fn round(&mut self, batch: &Mat, repairs: RepairReport) -> RoundReport {
+        let _span = crate::obs::ROUND_NS.span();
+        crate::obs::ROUND_COUNT.inc();
+        let faults_before = self.faults.len();
+        let fit = self.partial_fit_inner(batch);
+        crate::obs::FIT_FAULTS.add(fit.new_faults as u64);
+        crate::obs::ROUND_PENDING.set(fit.pending as f64);
+        crate::obs::ROUND_DRIFT.set(fit.drift);
+        let health = self.health();
+        crate::obs::HEALTH_COVERAGE.set(health.coverage);
+        RoundReport {
+            batch_len: fit.batch_len,
+            new_root_cols: fit.new_root_cols,
+            drift: fit.drift,
+            stale: fit.stale,
+            new_subtree_modes: fit.new_subtree_modes,
+            pending: fit.pending,
+            new_faults: fit.new_faults,
+            repairs,
+            faults: self.faults[faults_before..].to_vec(),
+            health,
+        }
+    }
+
+    /// The Algorithm-1 update proper (steps 1–5 of the module doc).
+    fn partial_fit_inner(&mut self, batch: &Mat) -> PartialFitReport {
+        debug_assert_eq!(batch.rows(), self.p);
         let t1 = batch.cols();
         if t1 == 0 {
             return PartialFitReport {
@@ -470,11 +659,14 @@ impl IMrDmd {
     /// (shape mismatch, non-finite values under
     /// [`GapPolicy::Reject`](crate::ingest::GapPolicy::Reject)) surfaces as
     /// a [`CoreError`] instead of a panic or a silently poisoned SVD.
+    ///
+    /// Returns the unified [`RoundReport`]; the former `IngestReport` shape
+    /// is available via `From`/`Into`.
     pub fn try_partial_fit(
         &mut self,
         batch: &Mat,
         guard: &mut IngestGuard,
-    ) -> Result<IngestReport, CoreError> {
+    ) -> Result<RoundReport, CoreError> {
         if batch.rows() != self.p {
             return Err(CoreError::ShapeMismatch {
                 expected_rows: self.p,
@@ -482,8 +674,7 @@ impl IMrDmd {
             });
         }
         let (clean, repairs) = guard.repair(batch)?;
-        let fit = self.partial_fit(clean.as_ref().unwrap_or(batch));
-        Ok(IngestReport { fit, repairs })
+        Ok(self.round(clean.as_ref().unwrap_or(batch), repairs))
     }
 
     /// Frobenius norm of the difference between the current and previous

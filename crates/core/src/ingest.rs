@@ -168,6 +168,7 @@ impl IngestGuard {
             self.note_clean(batch);
             return Ok((None, report));
         }
+        let _span = crate::obs::INGEST_NS.span();
         let mut clean = batch.clone();
         for &i in &dirty_rows {
             match self.policy {
@@ -178,6 +179,9 @@ impl IngestGuard {
             }
         }
         self.note_clean(&clean);
+        crate::obs::INGEST_GAPS.add(report.gaps as u64);
+        crate::obs::INGEST_REPAIRED_CELLS.add(report.repaired as u64);
+        crate::obs::INGEST_MASKED_ROWS.add(report.masked_rows.len() as u64);
         Ok((Some(clean), report))
     }
 

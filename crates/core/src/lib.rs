@@ -47,6 +47,7 @@ pub mod health;
 pub mod imrdmd;
 pub mod ingest;
 pub mod mrdmd;
+pub mod obs;
 pub mod spectrum;
 pub mod windowed;
 
@@ -60,12 +61,17 @@ pub mod prelude {
         latest_checkpoint, load_checkpoint, save_checkpoint, CheckpointError, Checkpointer,
     };
     pub use crate::compression::{compression_report, CompressionReport};
-    pub use crate::dmd::{sparse_amplitudes, Dmd, DmdConfig, RankSelection};
+    pub use crate::dmd::{sparse_amplitudes, Dmd, DmdConfig, DmdConfigBuilder, RankSelection};
     pub use crate::error::CoreError;
     pub use crate::health::{FitFault, HealthSnapshot, LevelHealth, SolverStats, SubtreeHealth};
-    pub use crate::imrdmd::{AsyncRefit, IMrDmd, IMrDmdConfig, IngestReport, PartialFitReport};
+    #[allow(deprecated)]
+    pub use crate::imrdmd::{
+        AsyncRefit, IMrDmd, IMrDmdConfig, IMrDmdConfigBuilder, IngestReport, PartialFitReport,
+        RoundReport,
+    };
     pub use crate::ingest::{GapPolicy, IngestGuard, RepairReport};
-    pub use crate::mrdmd::{ModeSet, MrDmd, MrDmdConfig};
+    pub use crate::mrdmd::{ModeSet, MrDmd, MrDmdConfig, MrDmdConfigBuilder};
+    pub use crate::obs::{MetricsLine, MetricsSnapshot, Observer};
     pub use crate::spectrum::{
         mode_spectrum, power_by_level, power_histogram, BandFilter, SpectrumPoint,
     };

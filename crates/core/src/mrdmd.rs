@@ -10,6 +10,7 @@
 //! reproduces the signal minus the high-frequency noise floor (Eqs. 7–8).
 
 use crate::dmd::{Dmd, DmdConfig, RankSelection};
+use crate::error::CoreError;
 use crate::health::FitFault;
 use hpc_linalg::pool::WorkerPool;
 use hpc_linalg::{c64, CMat, Mat};
@@ -89,6 +90,120 @@ impl MrDmdConfig {
     /// `max_cycles` oscillations per window duration.
     pub fn slow_cutoff_hz(&self, w: usize) -> f64 {
         self.max_cycles as f64 / (w as f64 * self.dt)
+    }
+
+    /// Checks every field's domain: positive finite `dt`, at least one
+    /// level and one cycle, a nonzero Nyquist factor, a splittable
+    /// `min_window`, a positive growth cap, and a valid rank rule.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let fail = |what: String| Err(CoreError::InvalidConfig { what });
+        if !(self.dt > 0.0 && self.dt.is_finite()) {
+            return fail(format!(
+                "snapshot spacing dt must be positive and finite, got {}",
+                self.dt
+            ));
+        }
+        if self.max_levels < 1 {
+            return fail("max_levels must be at least 1".into());
+        }
+        if self.max_cycles < 1 {
+            return fail("max_cycles must be at least 1".into());
+        }
+        if self.nyquist_factor < 1 {
+            return fail("nyquist_factor must be at least 1".into());
+        }
+        if self.min_window < 2 {
+            return fail(format!(
+                "min_window must be at least 2 snapshots, got {}",
+                self.min_window
+            ));
+        }
+        if self.max_window_growth <= 0.0 || self.max_window_growth.is_nan() {
+            return fail(format!(
+                "max_window_growth must be positive, got {}",
+                self.max_window_growth
+            ));
+        }
+        self.rank.validate()
+    }
+
+    /// Builder-first construction; [`MrDmdConfigBuilder::build`] runs
+    /// [`validate`](Self::validate), so a bad value fails at construction
+    /// rather than as a panic inside [`MrDmd::fit`].
+    pub fn builder() -> MrDmdConfigBuilder {
+        MrDmdConfigBuilder {
+            cfg: MrDmdConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`MrDmdConfig`]; see [`MrDmdConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct MrDmdConfigBuilder {
+    cfg: MrDmdConfig,
+}
+
+impl MrDmdConfigBuilder {
+    /// Snapshot spacing in seconds.
+    #[must_use]
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.cfg.dt = dt;
+        self
+    }
+
+    /// Maximum recursion depth `L` (level 1 = whole timeline).
+    #[must_use]
+    pub fn max_levels(mut self, max_levels: usize) -> Self {
+        self.cfg.max_levels = max_levels;
+        self
+    }
+
+    /// Modes oscillating at most this many times per window count as slow.
+    #[must_use]
+    pub fn max_cycles(mut self, max_cycles: usize) -> Self {
+        self.cfg.max_cycles = max_cycles;
+        self
+    }
+
+    /// SVD truncation rule for every per-node DMD.
+    #[must_use]
+    pub fn rank(mut self, rank: RankSelection) -> Self {
+        self.cfg.rank = rank;
+        self
+    }
+
+    /// Samples kept per window: `nyquist_factor × 2 × max_cycles`.
+    #[must_use]
+    pub fn nyquist_factor(mut self, nyquist_factor: usize) -> Self {
+        self.cfg.nyquist_factor = nyquist_factor;
+        self
+    }
+
+    /// Windows shorter than this many snapshots are not split further.
+    #[must_use]
+    pub fn min_window(mut self, min_window: usize) -> Self {
+        self.cfg.min_window = min_window;
+        self
+    }
+
+    /// Cap on in-window amplitude growth.
+    #[must_use]
+    pub fn max_window_growth(mut self, max_window_growth: f64) -> Self {
+        self.cfg.max_window_growth = max_window_growth;
+        self
+    }
+
+    /// Worker threads (0 = machine-sized, 1 = serial).
+    #[must_use]
+    pub fn n_threads(mut self, n_threads: usize) -> Self {
+        self.cfg.n_threads = n_threads;
+        self
+    }
+
+    /// Validates every field and returns the configuration.
+    pub fn build(self) -> Result<MrDmdConfig, CoreError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -292,8 +407,21 @@ impl MrDmd {
     /// its halves, so one pathological window degrades locally instead of
     /// aborting the whole fit.
     pub fn fit(data: &Mat, config: &MrDmdConfig) -> MrDmd {
-        assert!(config.max_levels >= 1, "need at least one level");
-        assert!(config.max_cycles >= 1, "max_cycles must be positive");
+        match Self::try_fit(data, config) {
+            Ok(m) => m,
+            // Preserved legacy contract: the infallible entry point aborts on
+            // an out-of-domain configuration, as its asserts used to.
+            #[allow(clippy::panic)]
+            Err(e) => panic!("mrDMD fit failed: {e}"),
+        }
+    }
+
+    /// Fallible twin of [`fit`](Self::fit): configuration problems surface
+    /// as [`CoreError::InvalidConfig`] instead of a panic. Per-node solver
+    /// failures are still degradations recorded in [`faults`](Self::faults),
+    /// never errors — one pathological window must not abort the fit.
+    pub fn try_fit(data: &Mat, config: &MrDmdConfig) -> Result<MrDmd, CoreError> {
+        config.validate()?;
         let mut nodes = Vec::new();
         let mut faults = Vec::new();
         let mut work = data.clone();
@@ -312,13 +440,13 @@ impl MrDmd {
             &mut nodes,
             &mut faults,
         );
-        MrDmd {
+        Ok(MrDmd {
             config: *config,
             nodes,
             n_rows: data.rows(),
             n_steps: data.cols(),
             faults,
-        }
+        })
     }
 
     /// Total number of modes across all nodes.

@@ -1,0 +1,384 @@
+//! Observability surface of the streaming decomposition.
+//!
+//! Builds on the substrate in [`hpc_linalg::obs`] (sharded counters, gauges,
+//! nanosecond histograms, injectable clock, runtime [`Observer`] switch) and
+//! adds the pipeline-level metric catalogue — ingest repair, round timing,
+//! checkpoint traffic, tree fit faults — plus the export surfaces:
+//!
+//! * [`MetricsSnapshot::capture`] — a serde-JSON-able snapshot of every
+//!   metric in the process (linalg kernels + this crate), in fixed order;
+//! * [`MetricsSnapshot::to_prometheus`] — the Prometheus text exposition
+//!   format (`name{le="…"}` bucket lines, `_sum`/`_count`, `# HELP`/`# TYPE`);
+//! * [`MetricsLine`] — one JSON-line of counters/gauges emitted periodically
+//!   by `imrdmd-cli stream --metrics-every N`.
+//!
+//! Metric semantics worth knowing: `pool.*` metrics are scheduler-dependent
+//! (they vary with the thread budget), so determinism comparisons across
+//! thread counts must use [`MetricsSnapshot::deterministic_subset`], which
+//! excludes them and all wall-time histograms. Under the fake clock with a
+//! zero step ([`Observer::with_fake_clock`]) the histograms are deterministic
+//! too: every duration records as 0.
+
+pub use hpc_linalg::obs::{
+    collect as collect_linalg, is_enabled, now_ns, reset as reset_linalg, use_fake_clock,
+    use_monotonic_clock, HistogramData, Observer, Span,
+};
+use hpc_linalg::obs::{Counter, Gauge, Histogram, MetricRecord, MetricValue};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Core metric catalogue
+// ---------------------------------------------------------------------------
+
+/// Streaming rounds absorbed (`partial_fit`/`try_partial_fit` calls).
+pub static ROUND_COUNT: Counter = Counter::new(
+    "round.count",
+    "Streaming rounds absorbed (partial_fit calls)",
+);
+/// Wall time per streaming round.
+pub static ROUND_NS: Histogram = Histogram::new("round.ns", "Wall time per streaming round");
+/// Snapshot columns currently buffered below the minimum window.
+pub static ROUND_PENDING: Gauge = Gauge::new(
+    "round.pending",
+    "Snapshot columns buffered below the minimum window",
+);
+/// Root-window reconstruction drift of the most recent round.
+pub static ROUND_DRIFT: Gauge = Gauge::new(
+    "round.drift",
+    "Root-window reconstruction drift of the most recent round",
+);
+
+/// NaN/Inf gaps seen by the ingest guard.
+pub static INGEST_GAPS: Counter =
+    Counter::new("ingest.gaps", "Non-finite cells seen by the ingest guard");
+/// Cells the ingest guard repaired (held, interpolated or masked).
+pub static INGEST_REPAIRED_CELLS: Counter = Counter::new(
+    "ingest.repaired_cells",
+    "Cells repaired by the ingest guard",
+);
+/// Rows masked out of a batch by the mask-row policy.
+pub static INGEST_MASKED_ROWS: Counter = Counter::new(
+    "ingest.masked_rows",
+    "Rows masked out of a batch by the mask-row policy",
+);
+/// Wall time per ingest repair pass.
+pub static INGEST_NS: Histogram = Histogram::new("ingest.ns", "Wall time per ingest repair pass");
+
+/// Node fits that failed and were degraded or skipped.
+pub static FIT_FAULTS: Counter = Counter::new(
+    "fit.faults",
+    "Node fits that failed and were degraded or skipped",
+);
+/// Fraction of tree nodes serving live (non-degraded) modes.
+pub static HEALTH_COVERAGE: Gauge = Gauge::new(
+    "health.coverage",
+    "Fraction of tree nodes serving live modes",
+);
+
+/// Checkpoints written.
+pub static CHECKPOINT_SAVES: Counter = Counter::new("checkpoint.saves", "Checkpoints written");
+/// Checkpoints restored.
+pub static CHECKPOINT_LOADS: Counter = Counter::new("checkpoint.loads", "Checkpoints restored");
+/// Bytes of checkpoint payload written or read.
+pub static CHECKPOINT_BYTES: Counter = Counter::new(
+    "checkpoint.bytes",
+    "Bytes of checkpoint payload written or read",
+);
+/// Wall time per checkpoint save or load.
+pub static CHECKPOINT_NS: Histogram =
+    Histogram::new("checkpoint.ns", "Wall time per checkpoint save or load");
+
+/// Captures every metric in the process — the linalg kernel catalogue
+/// followed by this crate's pipeline catalogue — in fixed order.
+pub fn collect() -> Vec<MetricRecord> {
+    let mut out = collect_linalg();
+    for c in [
+        &ROUND_COUNT,
+        &INGEST_GAPS,
+        &INGEST_REPAIRED_CELLS,
+        &INGEST_MASKED_ROWS,
+        &FIT_FAULTS,
+        &CHECKPOINT_SAVES,
+        &CHECKPOINT_LOADS,
+        &CHECKPOINT_BYTES,
+    ] {
+        out.push(record_counter(c));
+    }
+    for g in [&ROUND_PENDING, &ROUND_DRIFT, &HEALTH_COVERAGE] {
+        out.push(record_gauge(g));
+    }
+    for h in [&ROUND_NS, &INGEST_NS, &CHECKPOINT_NS] {
+        out.push(record_histogram(h));
+    }
+    out
+}
+
+/// Zeroes every metric in the process (linalg + core catalogues).
+pub fn reset() {
+    reset_linalg();
+    for c in [
+        &ROUND_COUNT,
+        &INGEST_GAPS,
+        &INGEST_REPAIRED_CELLS,
+        &INGEST_MASKED_ROWS,
+        &FIT_FAULTS,
+        &CHECKPOINT_SAVES,
+        &CHECKPOINT_LOADS,
+        &CHECKPOINT_BYTES,
+    ] {
+        c.reset();
+    }
+    for g in [&ROUND_PENDING, &ROUND_DRIFT, &HEALTH_COVERAGE] {
+        g.reset();
+    }
+    for h in [&ROUND_NS, &INGEST_NS, &CHECKPOINT_NS] {
+        h.reset();
+    }
+}
+
+fn record_counter(c: &'static Counter) -> MetricRecord {
+    MetricRecord {
+        name: c.name(),
+        help: c.help(),
+        value: MetricValue::Counter(c.value()),
+    }
+}
+
+fn record_gauge(g: &'static Gauge) -> MetricRecord {
+    MetricRecord {
+        name: g.name(),
+        help: g.help(),
+        value: MetricValue::Gauge(g.value()),
+    }
+}
+
+fn record_histogram(h: &'static Histogram) -> MetricRecord {
+    MetricRecord {
+        name: h.name(),
+        help: h.help(),
+        value: MetricValue::Histogram(h.snapshot()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot types (serde)
+// ---------------------------------------------------------------------------
+
+/// Serializable histogram state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    /// Upper bucket bounds in nanoseconds (overflow bucket implicit).
+    pub bounds_ns: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds_ns` (overflow last).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed durations in nanoseconds.
+    pub sum_ns: u64,
+}
+
+/// One metric in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricEntry {
+    /// Dotted metric name, e.g. `ingest.repaired_cells`.
+    pub name: String,
+    /// `counter`, `gauge` or `histogram`.
+    pub kind: String,
+    /// One-line description.
+    pub help: String,
+    /// Counter value (counters only).
+    pub counter: Option<u64>,
+    /// Gauge value (gauges only).
+    pub gauge: Option<f64>,
+    /// Histogram state (histograms only).
+    pub histogram: Option<HistogramEntry>,
+}
+
+/// A point-in-time capture of every metric in the process, in fixed
+/// catalogue order. Serializes with serde; renders to Prometheus text.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// The captured metrics.
+    pub metrics: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Captures the current value of every metric.
+    pub fn capture() -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: collect().into_iter().map(entry_of).collect(),
+        }
+    }
+
+    /// The value of a counter by dotted name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .and_then(|m| m.counter)
+    }
+
+    /// The value of a gauge by dotted name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .and_then(|m| m.gauge)
+    }
+
+    /// The state of a histogram by dotted name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramEntry> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .and_then(|m| m.histogram.as_ref())
+    }
+
+    /// The `(name, value)` pairs of every counter and gauge that is
+    /// deterministic across thread counts: excludes `pool.*` (scheduler-
+    /// dependent) and all histograms (wall-time-dependent unless the fake
+    /// clock is installed).
+    pub fn deterministic_subset(&self) -> Vec<(String, f64)> {
+        self.metrics
+            .iter()
+            .filter(|m| !m.name.starts_with("pool."))
+            .filter_map(|m| {
+                m.counter
+                    .map(|c| (m.name.clone(), c as f64))
+                    .or_else(|| m.gauge.map(|g| (m.name.clone(), g)))
+            })
+            .collect()
+    }
+
+    /// Serializes the snapshot as one line of JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Dotted names become underscore names (`gemm.calls` → `gemm_calls`);
+    /// histograms emit cumulative `_bucket{le="…"}` lines (bounds in
+    /// nanoseconds) plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let name = m.name.replace('.', "_");
+            let _ = writeln!(out, "# HELP {name} {}", m.help);
+            match (&m.counter, &m.gauge, &m.histogram) {
+                (Some(v), _, _) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                (_, Some(v), _) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                (_, _, Some(h)) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cum = 0u64;
+                    for (bound, count) in h.bounds_ns.iter().zip(&h.counts) {
+                        cum += count;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                    let _ = writeln!(out, "{name}_sum {}", h.sum_ns);
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// One periodic metrics emission of `imrdmd-cli stream --metrics-every N`:
+/// the absolute stream position plus a full metrics snapshot, serialized as
+/// a single JSON line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsLine {
+    /// Absolute snapshot count absorbed when the line was emitted.
+    pub step: usize,
+    /// Rounds absorbed when the line was emitted.
+    pub round: usize,
+    /// The metrics at that point.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl MetricsLine {
+    /// Captures the current metrics at stream position `step`, round `round`.
+    pub fn capture(step: usize, round: usize) -> MetricsLine {
+        MetricsLine {
+            step,
+            round,
+            snapshot: MetricsSnapshot::capture(),
+        }
+    }
+
+    /// Serializes as one line of JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+fn entry_of(r: MetricRecord) -> MetricEntry {
+    let (kind, counter, gauge, histogram) = match r.value {
+        MetricValue::Counter(v) => ("counter", Some(v), None, None),
+        MetricValue::Gauge(v) => ("gauge", None, Some(v), None),
+        MetricValue::Histogram(h) => (
+            "histogram",
+            None,
+            None,
+            Some(HistogramEntry {
+                bounds_ns: h.bounds_ns.to_vec(),
+                counts: h.counts,
+                count: h.count,
+                sum_ns: h.sum_ns,
+            }),
+        ),
+    };
+    MetricEntry {
+        name: r.name.to_string(),
+        kind: kind.to_string(),
+        help: r.help.to_string(),
+        counter,
+        gauge,
+        histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_contains_both_catalogues_in_order() {
+        let snap = MetricsSnapshot::capture();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        let gemm = names.iter().position(|n| *n == "gemm.calls");
+        let round = names.iter().position(|n| *n == "round.count");
+        let repaired = names.iter().position(|n| *n == "ingest.repaired_cells");
+        assert!(
+            gemm.is_some() && round.is_some() && repaired.is_some(),
+            "{names:?}"
+        );
+        assert!(gemm < round, "linalg catalogue precedes the core catalogue");
+    }
+
+    #[test]
+    fn deterministic_subset_excludes_pool_and_histograms() {
+        let snap = MetricsSnapshot::capture();
+        for (name, _) in snap.deterministic_subset() {
+            assert!(!name.starts_with("pool."), "{name}");
+            assert!(snap.histogram(&name).is_none(), "{name}");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let snap = MetricsSnapshot::capture();
+        let back: MetricsSnapshot = serde_json::from_str(&snap.to_json()).expect("parse");
+        assert_eq!(back, snap);
+    }
+}

@@ -91,7 +91,15 @@ pub fn try_eig_real(a: &Mat) -> Result<Eig, LinAlgError> {
 pub fn try_eig_complex(a: &CMat) -> Result<Eig, LinAlgError> {
     let n = a.rows();
     assert_eq!(n, a.cols());
+    let _span = crate::obs::EIG_NS.span();
+    crate::obs::EIG_CALLS.inc();
     if failpoint::take_eig_failure() {
+        // A forced nonconvergence models a fully exhausted ladder: one
+        // escalation + one failure, giving armed failpoints an exact
+        // counter ground truth (natural escalations are essentially
+        // unreachable from finite data).
+        crate::obs::EIG_ESCALATIONS.inc();
+        crate::obs::EIG_FAILURES.inc();
         // Armed test fail point: report non-convergence with an honest
         // (zero-progress) partial state.
         let (h, z) = if n >= 2 {
@@ -137,7 +145,10 @@ pub fn try_eig_complex(a: &CMat) -> Result<Eig, LinAlgError> {
                 },
             ))
         }
-        Err((it, _)) => iterations += it,
+        Err((it, _)) => {
+            crate::obs::EIG_ESCALATIONS.inc();
+            iterations += it;
+        }
     }
     // Rung 2: push on with more frequent exceptional shifts to break cycles.
     match schur_qr_budgeted(&mut h, &mut z, 30 * n, 6) {
@@ -151,7 +162,10 @@ pub fn try_eig_complex(a: &CMat) -> Result<Eig, LinAlgError> {
                 },
             ))
         }
-        Err((it, _)) => iterations += it,
+        Err((it, _)) => {
+            crate::obs::EIG_ESCALATIONS.inc();
+            iterations += it;
+        }
     }
     // Rung 3: restart from a fresh Hessenberg of the balanced matrix.
     let (balanced, scale) = balance(a);
@@ -181,15 +195,18 @@ pub fn try_eig_complex(a: &CMat) -> Result<Eig, LinAlgError> {
             }
             Ok(eig)
         }
-        Err((it, hi)) => Err(LinAlgError::EigNonConvergence {
-            iterations: iterations + it,
-            restarts: 1,
-            partial: Box::new(PartialSchur {
-                t: hb,
-                q: zb,
-                converged: n - hi,
-            }),
-        }),
+        Err((it, hi)) => {
+            crate::obs::EIG_FAILURES.inc();
+            Err(LinAlgError::EigNonConvergence {
+                iterations: iterations + it,
+                restarts: 1,
+                partial: Box::new(PartialSchur {
+                    t: hb,
+                    q: zb,
+                    converged: n - hi,
+                }),
+            })
+        }
     }
 }
 

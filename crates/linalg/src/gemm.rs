@@ -127,6 +127,13 @@ pub fn gemm(alpha: f64, a: &Mat, ta: Trans, b: &Mat, tb: Trans, beta: f64, c: &m
     let (m, k, n) = (av.rows, av.cols, bv.cols);
     assert_eq!(k, bv.rows, "gemm inner dimensions must agree");
     assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+    let _span = crate::obs::GEMM_NS.span();
+    crate::obs::GEMM_CALLS.inc();
+    crate::obs::GEMM_FLOPS.add(
+        2u64.saturating_mul(m as u64)
+            .saturating_mul(k as u64)
+            .saturating_mul(n as u64),
+    );
     if m == 0 || n == 0 {
         return;
     }
@@ -165,6 +172,13 @@ pub fn gemm_threaded(
     let (m, k, n) = (av.rows, av.cols, bv.cols);
     assert_eq!(k, bv.rows, "gemm inner dimensions must agree");
     assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+    let _span = crate::obs::GEMM_NS.span();
+    crate::obs::GEMM_CALLS.inc();
+    crate::obs::GEMM_FLOPS.add(
+        2u64.saturating_mul(m as u64)
+            .saturating_mul(k as u64)
+            .saturating_mul(n as u64),
+    );
     if m == 0 || n == 0 {
         return;
     }

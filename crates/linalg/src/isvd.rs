@@ -139,6 +139,8 @@ impl IncrementalSvd {
         if block.cols() == 0 {
             return Ok(());
         }
+        let _span = crate::obs::ISVD_UPDATE_NS.span();
+        crate::obs::ISVD_UPDATES.inc();
         let c = block.cols();
         let q = self.rank();
         // Projection onto the current basis and orthonormal residual basis.

@@ -20,7 +20,10 @@
 //!   DMD operator,
 //! - [`isvd`]: the Brand/Kühl incremental SVD that makes mrDMD streamable,
 //! - [`mod@pool`]: a permit-based scoped fork-join worker pool with a
-//!   process-wide thread budget shared with the matmul kernel.
+//!   process-wide thread budget shared with the matmul kernel,
+//! - [`mod@obs`]: the observability substrate (sharded counters, gauges,
+//!   nanosecond histograms with RAII span timers, an injectable clock and a
+//!   runtime [`Observer`] switch) every hot kernel reports into.
 //!
 //! Everything is `f64`; matrices are row-major with rows = sensors and
 //! columns = time points, matching the paper's `P × T` convention.
@@ -36,6 +39,7 @@ pub mod fft;
 pub mod gemm;
 pub mod isvd;
 pub mod mat;
+pub mod obs;
 pub mod pool;
 pub mod qr;
 pub mod svd;
@@ -51,6 +55,7 @@ pub use fft::{dominant_frequency, fft, fft_in_place, ifft, periodogram};
 pub use gemm::{gemm, gemm_threaded, gemv, Trans};
 pub use isvd::IncrementalSvd;
 pub use mat::Mat;
+pub use obs::Observer;
 pub use pool::{max_threads, WorkerPool};
 pub use qr::{
     lstsq, orthonormal_complement, orthonormal_complement_rows, qr, solve_upper_triangular, Qr,

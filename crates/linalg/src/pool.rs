@@ -44,7 +44,7 @@ static SPARE_WORKERS: OnceLock<AtomicUsize> = OnceLock::new();
 /// integer, else `std::thread::available_parallelism()`. Cached on first use.
 pub fn max_threads() -> usize {
     *MAX_THREADS.get_or_init(|| {
-        std::env::var(THREADS_ENV)
+        let n = std::env::var(THREADS_ENV)
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
@@ -52,7 +52,9 @@ pub fn max_threads() -> usize {
                 std::thread::available_parallelism()
                     .map(|p| p.get())
                     .unwrap_or(1)
-            })
+            });
+        crate::obs::POOL_THREADS.set(n as f64);
+        n
     })
 }
 
@@ -163,6 +165,7 @@ impl WorkerPool {
             self.spare_local.fetch_add(1, Ordering::Release);
             return None;
         }
+        crate::obs::POOL_FORKS.inc();
         Some(ForkGuard {
             pool: self,
             _tokens: tokens,
@@ -214,7 +217,10 @@ impl ForkGuard<'_> {
         g: impl FnOnce() -> Rb + Send,
     ) -> (Ra, Rb) {
         let (ra, rb) = std::thread::scope(|s| {
-            let hb = s.spawn(g);
+            let hb = s.spawn(move || {
+                crate::obs::POOL_TASKS.inc();
+                g()
+            });
             let ra = f();
             (ra, hb.join())
         });

@@ -22,6 +22,8 @@ pub struct Qr {
 /// row-wise (`w = vᵀR`, then `R -= 2·v·wᵀ`), so both passes stream the
 /// row-major storage contiguously instead of walking columns.
 pub fn qr(a: &Mat) -> Qr {
+    let _span = crate::obs::QR_NS.span();
+    crate::obs::QR_CALLS.inc();
     let m = a.rows();
     let n = a.cols();
     let k = m.min(n);

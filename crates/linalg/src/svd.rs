@@ -113,6 +113,8 @@ pub fn svd(a: &Mat) -> Svd {
 /// Like [`svd`], but also reports sweep count and the final off-diagonal
 /// residual so callers can see a silent budget cap instead of guessing.
 pub fn svd_with_stats(a: &Mat) -> (Svd, SvdStats) {
+    let _span = crate::obs::SVD_NS.span();
+    crate::obs::SVD_CALLS.inc();
     svd_budgeted(a, JACOBI_MAX_SWEEPS)
 }
 
@@ -121,7 +123,14 @@ pub fn svd_with_stats(a: &Mat) -> (Svd, SvdStats) {
 /// [`LinAlgError::SvdNonConvergence`] if the off-diagonal mass still has not
 /// settled.
 pub fn try_svd(a: &Mat) -> Result<Svd, LinAlgError> {
+    let _span = crate::obs::SVD_NS.span();
+    crate::obs::SVD_CALLS.inc();
     if failpoint::take_svd_failure() {
+        // A forced nonconvergence models a fully exhausted ladder: it counts
+        // as one escalation and one failure, so armed failpoints give tests
+        // an exact counter ground truth.
+        crate::obs::SVD_ESCALATIONS.inc();
+        crate::obs::SVD_FAILURES.inc();
         return Err(LinAlgError::SvdNonConvergence {
             sweeps: 0,
             off_diagonal: f64::INFINITY,
@@ -132,10 +141,12 @@ pub fn try_svd(a: &Mat) -> Result<Svd, LinAlgError> {
         return Ok(f);
     }
     // Escalation: one retry with a doubled budget, from scratch.
+    crate::obs::SVD_ESCALATIONS.inc();
     let (f, retry) = svd_budgeted(a, 2 * JACOBI_MAX_SWEEPS);
     if retry.converged {
         return Ok(f);
     }
+    crate::obs::SVD_FAILURES.inc();
     Err(LinAlgError::SvdNonConvergence {
         sweeps: stats.sweeps + retry.sweeps,
         off_diagonal: retry.off_diagonal,

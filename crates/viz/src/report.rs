@@ -80,6 +80,32 @@ impl HtmlReport {
         self
     }
 
+    /// Adds a per-round timing panel: one row per round with a horizontal
+    /// bar scaled to the slowest round. `rows` are `(label, seconds)`.
+    /// Feed it the span durations the observability layer records (e.g.
+    /// `round.ns` samples) to surface where streaming time goes.
+    pub fn timing_panel(&mut self, rows: &[(String, f64)]) -> &mut Self {
+        let max = rows.iter().map(|(_, s)| *s).fold(0.0_f64, f64::max);
+        let _ = writeln!(self.body, "<table class=\"timing\">");
+        for (label, secs) in rows {
+            let pct = if max > 0.0 {
+                (secs / max * 100.0).clamp(0.0, 100.0)
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                self.body,
+                "<tr><th>{}</th><td class=\"t\">{:.4} s</td>\
+                 <td class=\"barcell\"><div class=\"bar\" style=\"width:{:.1}%\"></div></td></tr>",
+                escape(label),
+                secs,
+                pct
+            );
+        }
+        let _ = writeln!(self.body, "</table>");
+        self
+    }
+
     /// Adds a two-column key/value table.
     pub fn kv_table(&mut self, rows: &[(&str, String)]) -> &mut Self {
         let _ = writeln!(self.body, "<table>");
@@ -121,7 +147,10 @@ th{background:#f0f4f8}\
 .badge.ok{background:#e6f4e6;border-color:#55aa55;color:#225522}\
 .badge.warn{background:#fdf3dc;border-color:#dd9900;color:#664400}\
 .badge.bad{background:#fbe4e4;border-color:#cc5555;color:#662222}\
-.badge.info{background:#eef2f6;border-color:#aaaabb;color:#333344}";
+.badge.info{background:#eef2f6;border-color:#aaaabb;color:#333344}\
+table.timing{width:100%;max-width:700px}table.timing td.t{white-space:nowrap;text-align:right}\
+table.timing td.barcell{width:60%;border:none;background:#f6f8fa}\
+table.timing .bar{height:0.9em;background:#4477aa;border-radius:2px}";
 
 #[cfg(test)]
 mod tests {
@@ -166,6 +195,26 @@ mod tests {
         let mut r = HtmlReport::new("esc");
         r.status_strip(&[("a<b", "x&y")]);
         assert!(r.finish().contains("<b>a&lt;b</b> x&amp;y"));
+    }
+
+    #[test]
+    fn timing_panel_scales_bars_to_slowest_round() {
+        let mut r = HtmlReport::new("timing");
+        r.timing_panel(&[
+            ("round 1".into(), 0.05),
+            ("round 2 <hot>".into(), 0.1),
+            ("round 3".into(), 0.025),
+        ]);
+        let html = r.finish();
+        assert!(html.contains("width:100.0%"), "{html}");
+        assert!(html.contains("width:50.0%"), "{html}");
+        assert!(html.contains("width:25.0%"), "{html}");
+        assert!(html.contains("0.0500 s"), "{html}");
+        assert!(html.contains("round 2 &lt;hot&gt;"), "{html}");
+        // Degenerate all-zero rows render without dividing by zero.
+        let mut z = HtmlReport::new("zero");
+        z.timing_panel(&[("round 1".into(), 0.0)]);
+        assert!(z.finish().contains("width:0.0%"));
     }
 
     #[test]

@@ -70,18 +70,19 @@ fn main() {
         scenario.anomalies().len()
     );
 
-    let cfg = IMrDmdConfig {
-        mr: MrDmdConfig {
-            dt: scenario.dt(),
-            max_levels: 5,
-            max_cycles: 2,
-            rank: RankSelection::Svht,
-            ..MrDmdConfig::default()
-        },
-        drift_threshold: Some(50.0),
-        keep_history: true,
-        ..IMrDmdConfig::default()
-    };
+    let mr = MrDmdConfig::builder()
+        .dt(scenario.dt())
+        .max_levels(5)
+        .max_cycles(2)
+        .rank(RankSelection::Svht)
+        .build()
+        .expect("static config is valid");
+    let cfg = IMrDmdConfig::builder()
+        .mr(mr)
+        .drift_threshold(50.0)
+        .keep_history(true)
+        .build()
+        .expect("static config is valid");
 
     // Resume from the newest checkpoint, or prime with the first chunk.
     let mut model: Option<IMrDmd> = None;
@@ -144,7 +145,7 @@ fn main() {
                 let r = m
                     .try_partial_fit(&batch, &mut guard)
                     .expect("guarded ingest");
-                (Some(r.fit), r.repairs)
+                (Some(r.fit_summary()), r.repairs)
             }
         };
         let m = model.as_mut().expect("model primed above");

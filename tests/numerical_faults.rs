@@ -139,7 +139,7 @@ fn forced_nonconvergence_degrades_instead_of_erroring() {
         .expect("degraded operation is not an error");
     failpoint::disarm_all();
 
-    assert!(report.fit.new_faults > 0, "{report:?}");
+    assert!(report.new_faults > 0, "{report:?}");
     let h = model.health();
     assert!(!h.root.is_healthy(), "{h:?}");
     assert_eq!(h.root.label(), "degraded");
