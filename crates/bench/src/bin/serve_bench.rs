@@ -1,0 +1,186 @@
+//! `serve_bench` — release-mode smoke benchmark of the `imrdmd-serve`
+//! daemon: a 64-shard synthetic fleet streamed over real TCP by concurrent
+//! clients, reporting ingest throughput (req/s) and p50/p99 per-request
+//! latency. Writes `BENCH_serve.json` and exits nonzero if any request
+//! fails or throughput falls below the floor (default 20 req/s, override
+//! with `SERVE_BENCH_MIN_RPS` — deliberately loose: this is a smoke gate
+//! against collapse, not a performance contract on shared CI runners).
+//!
+//! ```text
+//! cargo run --release -p mrdmd-bench --bin serve_bench [-- --out BENCH_serve.json]
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use hpc_telemetry::{write_snapshots_csv, FleetDriver, FleetSpec};
+use imrdmd::{GapPolicy, IMrDmdConfig, MrDmdConfig, RankSelection};
+use imrdmd_serve::{ServeConfig, Server};
+
+const TENANTS: usize = 64;
+const CLIENT_THREADS: usize = 16;
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, f64) {
+    let start = Instant::now();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\
+         Content-Type: text/csv\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes()).expect("write head");
+    conn.write_all(body).expect("write body");
+    let mut reply = Vec::new();
+    let _ = conn.read_to_end(&mut reply);
+    let elapsed = start.elapsed().as_secs_f64();
+    let status = std::str::from_utf8(&reply)
+        .ok()
+        .and_then(|t| t.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, elapsed)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_serve.json".to_string())
+    };
+    let min_rps: f64 = std::env::var("SERVE_BENCH_MIN_RPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+
+    let driver = FleetDriver::new(FleetSpec {
+        tenants: TENANTS,
+        nodes_per_tenant: 4,
+        steps: 240,
+        chunk: 60,
+        base_seed: 2024,
+        faults: None,
+    });
+    let cfg = ServeConfig {
+        model: IMrDmdConfig {
+            mr: MrDmdConfig {
+                dt: driver.dt(),
+                max_levels: 4,
+                max_cycles: 2,
+                rank: RankSelection::Svht,
+                ..MrDmdConfig::default()
+            },
+            ..IMrDmdConfig::default()
+        },
+        policy: GapPolicy::Interpolate,
+        max_tenants: TENANTS,
+        ..ServeConfig::default()
+    };
+    let (server, _, _) = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let worker = std::thread::spawn(move || server.run());
+
+    // Pre-render every tenant's CSV deliveries so the measured loop is
+    // pure client→daemon traffic, not scenario generation.
+    let names = driver.tenant_names();
+    let payloads: Vec<Vec<(String, Vec<u8>)>> = (0..TENANTS)
+        .map(|k| {
+            let mut pos = 0usize;
+            driver
+                .tenant_batches(k)
+                .iter()
+                .map(|batch| {
+                    let mut body = Vec::new();
+                    write_snapshots_csv(&mut body, batch, pos).expect("csv");
+                    pos += batch.cols();
+                    (format!("/v1/{}/ingest", names[k]), body)
+                })
+                .collect()
+        })
+        .collect();
+    let n_requests: usize = payloads.iter().map(|p| p.len()).sum();
+
+    // Shard tenants across client threads; each tenant's batches stay in
+    // order (the daemon's only ordering requirement).
+    let started = Instant::now();
+    let clients: Vec<_> = (0..CLIENT_THREADS)
+        .map(|c| {
+            let mine: Vec<Vec<(String, Vec<u8>)>> = payloads
+                .iter()
+                .skip(c)
+                .step_by(CLIENT_THREADS)
+                .cloned()
+                .collect();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::new();
+                let mut errors = 0usize;
+                for tenant in &mine {
+                    for (path, body) in tenant {
+                        let (status, secs) = request(addr, "POST", path, body);
+                        if status != 200 {
+                            errors += 1;
+                        }
+                        latencies.push(secs);
+                    }
+                }
+                (latencies, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(n_requests);
+    let mut errors = 0usize;
+    for c in clients {
+        let (lat, err) = c.join().expect("client thread");
+        latencies.extend(lat);
+        errors += err;
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    // One read per tenant to confirm every shard is live and fitted.
+    for name in &names {
+        let (status, _) = request(addr, "GET", &format!("/v1/{name}/health"), b"");
+        if status != 200 {
+            errors += 1;
+        }
+    }
+    handle.shutdown();
+    worker.join().expect("server thread").expect("server run");
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rps = n_requests as f64 / wall;
+    let p50_ms = percentile(&latencies, 0.50) * 1e3;
+    let p99_ms = percentile(&latencies, 0.99) * 1e3;
+    let pass = errors == 0 && rps >= min_rps;
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_bench\",\n  \"tenants\": {TENANTS},\n  \
+         \"client_threads\": {CLIENT_THREADS},\n  \"ingest_requests\": {n_requests},\n  \
+         \"errors\": {errors},\n  \"wall_s\": {wall:.3},\n  \"req_per_s\": {rps:.1},\n  \
+         \"ingest_p50_ms\": {p50_ms:.3},\n  \"ingest_p99_ms\": {p99_ms:.3},\n  \
+         \"min_req_per_s\": {min_rps},\n  \"pass\": {pass}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("serve_bench: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "{TENANTS}-shard fleet: {n_requests} ingests in {wall:.2} s -> {rps:.0} req/s, \
+         p50 {p50_ms:.1} ms, p99 {p99_ms:.1} ms, {errors} errors (floor {min_rps} req/s): {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

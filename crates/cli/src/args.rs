@@ -104,6 +104,29 @@ pub enum Command {
         /// Output model JSON path.
         model: PathBuf,
     },
+    /// Run the multi-tenant serving daemon (see `imrdmd-serve`).
+    Serve {
+        /// Listen address, e.g. `127.0.0.1:8080` or `0.0.0.0:9100`
+        /// (`:0` binds an ephemeral port).
+        addr: String,
+        /// Snapshot spacing in seconds.
+        dt: f64,
+        /// Tree depth.
+        levels: usize,
+        /// Worker threads shared by all shards (0 = auto, 1 = serial).
+        threads: usize,
+        /// Gap repair policy (`reject`, `hold`, `interpolate`, `mask`).
+        gap_policy: String,
+        /// Shared checkpoint directory (shard-namespaced files); enables
+        /// crash recovery.
+        checkpoint_dir: Option<PathBuf>,
+        /// Checkpoint every N batches per shard (default 1).
+        checkpoint_every: usize,
+        /// Cap on ingest body size, in MiB (default 32).
+        max_body_mb: usize,
+        /// Cap on resident tenants (default 4096).
+        max_tenants: usize,
+    },
     /// Stream a snapshot CSV through a fit and print the final metrics
     /// snapshot (JSON or Prometheus text exposition).
     Metrics {
@@ -121,7 +144,7 @@ pub enum Command {
 }
 
 /// Usage text shown on parse errors.
-pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info|health|stream|metrics> [--flag value]...
+pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info|health|stream|serve|metrics> [--flag value]...
   synth   --nodes N --steps T [--seed S] --out FILE.csv
   fit     --input FILE.csv --dt SECONDS [--levels L] [--max-cycles C] [--threads N] --model FILE.json
   update  --model FILE.json --input FILE.csv [--model-out FILE.json] [--threads N]
@@ -132,6 +155,9 @@ pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info
   stream  --input FILE.csv --dt SECONDS --model FILE.json [--chunk N] [--levels L] [--threads N]
           [--gap-policy reject|hold|interpolate|mask]
           [--checkpoint-dir DIR] [--checkpoint-every K] [--resume] [--metrics-every N]
+  serve   --addr HOST:PORT --dt SECONDS [--levels L] [--threads N]
+          [--gap-policy reject|hold|interpolate|mask]
+          [--checkpoint-dir DIR] [--checkpoint-every K] [--max-body-mb M] [--max-tenants N]
   metrics --input FILE.csv --dt SECONDS [--levels L] [--chunk N] [--format json|prom]";
 
 /// Flags that take no value: their presence means `true`.
@@ -285,6 +311,45 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .map_err(|_| CliError("--metrics-every must be an integer".into()))?
                 .unwrap_or(0),
             model: get("model")?.into(),
+        }),
+        "serve" => Ok(Command::Serve {
+            addr: get("addr")?,
+            dt: num("dt")?,
+            levels: flags
+                .get("levels")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--levels must be an integer".into()))?
+                .unwrap_or(6),
+            threads: flags
+                .get("threads")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--threads must be an integer".into()))?
+                .unwrap_or(0),
+            gap_policy: flags
+                .get("gap-policy")
+                .cloned()
+                .unwrap_or_else(|| "interpolate".to_string()),
+            checkpoint_dir: flags.get("checkpoint-dir").map(PathBuf::from),
+            checkpoint_every: flags
+                .get("checkpoint-every")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--checkpoint-every must be an integer".into()))?
+                .unwrap_or(1),
+            max_body_mb: flags
+                .get("max-body-mb")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--max-body-mb must be an integer".into()))?
+                .unwrap_or(32),
+            max_tenants: flags
+                .get("max-tenants")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--max-tenants must be an integer".into()))?
+                .unwrap_or(4096),
         }),
         "metrics" => Ok(Command::Metrics {
             input: get("input")?.into(),
@@ -520,6 +585,57 @@ mod tests {
             }
             _ => panic!("wrong variant"),
         }
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        let c = parse_args(&argv("serve --addr 127.0.0.1:0 --dt 20")).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                dt: 20.0,
+                levels: 6,
+                threads: 0,
+                gap_policy: "interpolate".into(),
+                checkpoint_dir: None,
+                checkpoint_every: 1,
+                max_body_mb: 32,
+                max_tenants: 4096,
+            }
+        );
+        let c = parse_args(&argv(
+            "serve --addr 0.0.0.0:9100 --dt 1 --levels 4 --threads 2 \
+             --gap-policy hold --checkpoint-dir ck --checkpoint-every 8 \
+             --max-body-mb 4 --max-tenants 64",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve {
+                levels,
+                threads,
+                gap_policy,
+                checkpoint_dir,
+                checkpoint_every,
+                max_body_mb,
+                max_tenants,
+                ..
+            } => {
+                assert_eq!((levels, threads), (4, 2));
+                assert_eq!(gap_policy, "hold");
+                assert_eq!(checkpoint_dir, Some("ck".into()));
+                assert_eq!((checkpoint_every, max_body_mb, max_tenants), (8, 4, 64));
+            }
+            _ => panic!("wrong variant"),
+        }
+        assert!(
+            parse_args(&argv("serve --dt 20")).is_err(),
+            "--addr required"
+        );
+        assert!(
+            parse_args(&argv("serve --addr 1.2.3.4:1")).is_err(),
+            "--dt required"
+        );
     }
 
     #[test]

@@ -75,6 +75,27 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             metrics_every: *metrics_every,
             model,
         }),
+        Command::Serve {
+            addr,
+            dt,
+            levels,
+            threads,
+            gap_policy,
+            checkpoint_dir,
+            checkpoint_every,
+            max_body_mb,
+            max_tenants,
+        } => serve(ServeOpts {
+            addr,
+            dt: *dt,
+            levels: *levels,
+            threads: *threads,
+            gap_policy,
+            checkpoint_dir: checkpoint_dir.as_deref(),
+            checkpoint_every: *checkpoint_every,
+            max_body_mb: *max_body_mb,
+            max_tenants: *max_tenants,
+        }),
         Command::Metrics {
             input,
             dt,
@@ -99,6 +120,61 @@ struct StreamOpts<'a> {
     resume: bool,
     metrics_every: usize,
     model: &'a Path,
+}
+
+/// Borrowed view of [`Command::Serve`]'s flags.
+struct ServeOpts<'a> {
+    addr: &'a str,
+    dt: f64,
+    levels: usize,
+    threads: usize,
+    gap_policy: &'a str,
+    checkpoint_dir: Option<&'a Path>,
+    checkpoint_every: usize,
+    max_body_mb: usize,
+    max_tenants: usize,
+}
+
+/// Validates the flags and binds the daemon without running it, so tests
+/// can grab the ephemeral port and a shutdown handle first. Returns the
+/// bound server plus `(restored, corrupt)` shard counts.
+fn bind_server(o: &ServeOpts<'_>) -> Result<(imrdmd_serve::Server, usize, usize), CliError> {
+    if o.dt <= 0.0 {
+        return Err(CliError("--dt must be positive".into()));
+    }
+    if o.max_body_mb == 0 {
+        return Err(CliError("--max-body-mb must be at least 1".into()));
+    }
+    let policy = GapPolicy::parse(o.gap_policy)
+        .ok_or_else(|| CliError(format!("unknown --gap-policy `{}`", o.gap_policy)))?;
+    let cfg = imrdmd_serve::ServeConfig {
+        model: stream_config(o.dt, o.levels, 2, o.threads)?,
+        policy,
+        checkpoint_dir: o.checkpoint_dir.map(Path::to_path_buf),
+        checkpoint_every: o.checkpoint_every.max(1),
+        limits: imrdmd_serve::HttpLimits {
+            max_body_bytes: o.max_body_mb * 1024 * 1024,
+            ..imrdmd_serve::HttpLimits::default()
+        },
+        max_tenants: o.max_tenants.max(1),
+        ..imrdmd_serve::ServeConfig::default()
+    };
+    imrdmd_serve::Server::bind(o.addr, cfg)
+        .map_err(|e| CliError(format!("cannot bind {}: {e}", o.addr)))
+}
+
+fn serve(o: ServeOpts<'_>) -> Result<String, CliError> {
+    let (server, restored, corrupt) = bind_server(&o)?;
+    let addr = server.local_addr();
+    eprintln!(
+        "imrdmd-serve listening on http://{addr} ({restored} shards restored, {corrupt} corrupt)"
+    );
+    server
+        .run()
+        .map_err(|e| CliError(format!("server failed: {e}")))?;
+    Ok(format!(
+        "server on {addr} stopped ({restored} shards restored at boot, {corrupt} corrupt)"
+    ))
 }
 
 /// The streaming configuration every CSV-driven command uses, built (and
@@ -914,5 +990,69 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.0.contains("layout holds 2 nodes"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        let bad_dt = bind_server(&ServeOpts {
+            addr: "127.0.0.1:0",
+            dt: 0.0,
+            levels: 4,
+            threads: 1,
+            gap_policy: "interpolate",
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            max_body_mb: 32,
+            max_tenants: 16,
+        })
+        .unwrap_err();
+        assert!(bad_dt.0.contains("--dt"), "{bad_dt}");
+
+        let bad_policy = bind_server(&ServeOpts {
+            addr: "127.0.0.1:0",
+            dt: 20.0,
+            levels: 4,
+            threads: 1,
+            gap_policy: "yolo",
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            max_body_mb: 32,
+            max_tenants: 16,
+        })
+        .unwrap_err();
+        assert!(bad_policy.0.contains("gap-policy"), "{bad_policy}");
+    }
+
+    #[test]
+    fn serve_binds_answers_healthz_and_shuts_down() {
+        use std::io::{Read as _, Write as _};
+
+        let (server, restored, corrupt) = bind_server(&ServeOpts {
+            addr: "127.0.0.1:0",
+            dt: 20.0,
+            levels: 4,
+            threads: 1,
+            gap_policy: "interpolate",
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            max_body_mb: 4,
+            max_tenants: 16,
+        })
+        .unwrap();
+        assert_eq!((restored, corrupt), (0, 0));
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let worker = std::thread::spawn(move || server.run());
+
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.contains("\"status\":\"ok\""), "{reply}");
+
+        handle.shutdown();
+        worker.join().unwrap().unwrap();
     }
 }

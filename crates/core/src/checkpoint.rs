@@ -23,6 +23,7 @@
 
 use crate::imrdmd::IMrDmd;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// First token of every checkpoint file.
 pub const CHECKPOINT_MAGIC: &str = "IMRDMD-CKPT";
@@ -120,10 +121,10 @@ pub fn crc32(data: &[u8]) -> u32 {
     crc ^ 0xFFFF_FFFF
 }
 
-/// Serialises `model` into the checkpoint wire format (header + payload).
-fn encode(model: &IMrDmd) -> Result<String, CheckpointError> {
+/// Serialises `state` into the checkpoint wire format (header + payload).
+fn encode<T: serde::Serialize>(state: &T) -> Result<String, CheckpointError> {
     let payload =
-        serde_json::to_string(model).map_err(|e| CheckpointError::Codec(e.to_string()))?;
+        serde_json::to_string(state).map_err(|e| CheckpointError::Codec(e.to_string()))?;
     let crc = crc32(payload.as_bytes());
     Ok(format!(
         "{CHECKPOINT_MAGIC} v{CHECKPOINT_VERSION} {} {crc:08x}\n{payload}",
@@ -131,31 +132,62 @@ fn encode(model: &IMrDmd) -> Result<String, CheckpointError> {
     ))
 }
 
-/// Writes a checkpoint of `model` to `path` atomically (`.tmp` + rename).
-pub fn save_checkpoint(model: &IMrDmd, path: &Path) -> Result<(), CheckpointError> {
+/// A temp-file sibling of `path` that is unique to this call.
+///
+/// Concurrent shards checkpointing into one directory must never share a
+/// temp path: with a fixed `.tmp` suffix, writer B's `File::create` would
+/// truncate writer A's half-written payload and the subsequent renames
+/// would race (one fails with `NotFound`, or a torn mix gets promoted).
+/// A process-wide counter plus the pid keeps every in-flight write on its
+/// own file; restore and [`latest_checkpoint`] never look at `.tmp` names.
+fn unique_tmp_path(path: &Path) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{}-{seq}.tmp", std::process::id()));
+    PathBuf::from(tmp)
+}
+
+/// Writes any serialisable `state` to `path` atomically (unique temp
+/// sibling + rename), in the same versioned, checksummed wire format as
+/// model checkpoints. This is the building block the serving layer uses to
+/// persist whole shards (model + ingest guard) rather than a bare model.
+pub fn save_state_checkpoint<T: serde::Serialize>(
+    state: &T,
+    path: &Path,
+) -> Result<(), CheckpointError> {
     let _span = crate::obs::CHECKPOINT_NS.span();
-    let bytes = encode(model)?;
+    let bytes = encode(state)?;
     crate::obs::CHECKPOINT_SAVES.inc();
     crate::obs::CHECKPOINT_BYTES.add(bytes.len() as u64);
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
-    {
+    let tmp = unique_tmp_path(path);
+    let wrote = (|| {
         use std::io::Write as _;
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(bytes.as_bytes())?;
         // Flush to stable storage before the rename makes the file visible
         // under its final name; a crash before this point leaves only the
-        // `.tmp`, which restore never looks at.
+        // temp file, which restore never looks at.
         f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if wrote.is_err() {
+        // Best effort: do not leave orphan temp files behind on failure.
+        let _ = std::fs::remove_file(&tmp);
     }
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    wrote.map_err(CheckpointError::Io)
 }
 
-/// Restores a model from a checkpoint written by [`save_checkpoint`],
-/// verifying magic, version, length, and checksum first.
-pub fn load_checkpoint(path: &Path) -> Result<IMrDmd, CheckpointError> {
+/// Writes a checkpoint of `model` to `path` atomically.
+pub fn save_checkpoint(model: &IMrDmd, path: &Path) -> Result<(), CheckpointError> {
+    save_state_checkpoint(model, path)
+}
+
+/// Restores any state written by [`save_state_checkpoint`], verifying
+/// magic, version, length, and checksum before decoding.
+pub fn load_state_checkpoint<T: serde::de::DeserializeOwned>(
+    path: &Path,
+) -> Result<T, CheckpointError> {
     let _span = crate::obs::CHECKPOINT_NS.span();
     let raw = std::fs::read(path)?;
     crate::obs::CHECKPOINT_LOADS.inc();
@@ -203,34 +235,108 @@ pub fn load_checkpoint(path: &Path) -> Result<IMrDmd, CheckpointError> {
     serde_json::from_str(payload).map_err(|e| CheckpointError::Codec(e.to_string()))
 }
 
-/// Newest checkpoint in `dir` (by absorbed-snapshot count encoded in the
-/// file name), if any. Ignores foreign and in-flight (`.tmp`) files.
-pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, CheckpointError> {
-    let mut best: Option<(u64, PathBuf)> = None;
+/// Restores a model from a checkpoint written by [`save_checkpoint`],
+/// verifying magic, version, length, and checksum first.
+pub fn load_checkpoint(path: &Path) -> Result<IMrDmd, CheckpointError> {
+    load_state_checkpoint(path)
+}
+
+/// True if `shard` is usable as a checkpoint-file namespace: non-empty,
+/// at most 64 bytes, only `[A-Za-z0-9_-]`. The same rule bounds tenant
+/// names on the serving path, so a tenant id can never traverse out of
+/// the checkpoint directory or collide with the `ckpt-` grammar's
+/// separators in an exploitable way.
+pub fn is_valid_shard_name(shard: &str) -> bool {
+    !shard.is_empty()
+        && shard.len() <= 64
+        && shard
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Splits a checkpoint file name into `(shard, steps)`.
+///
+/// Unsharded files are `ckpt-<steps>.ckpt` (shard `None`); sharded files
+/// are `ckpt-<shard>-<steps>.ckpt`. Steps are the *last* `-`-separated
+/// token, so shard names may themselves contain dashes.
+fn parse_ckpt_name(name: &str) -> Option<(Option<&str>, u64)> {
+    let stem = name.strip_prefix("ckpt-")?.strip_suffix(".ckpt")?;
+    if let Ok(steps) = stem.parse::<u64>() {
+        return Some((None, steps));
+    }
+    let (shard, steps) = stem.rsplit_once('-')?;
+    if shard.is_empty() {
+        return None;
+    }
+    steps.parse::<u64>().ok().map(|s| (Some(shard), s))
+}
+
+fn scan_dir(
+    dir: &Path,
+    mut visit: impl FnMut(Option<&str>, u64, PathBuf),
+) -> Result<(), CheckpointError> {
     let entries = match std::fs::read_dir(dir) {
         Ok(e) => e,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
         Err(e) => return Err(e.into()),
     };
     for entry in entries {
         let path = entry?.path();
-        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-            continue;
-        };
-        let Some(stem) = name
-            .strip_prefix("ckpt-")
-            .and_then(|s| s.strip_suffix(".ckpt"))
-        else {
-            continue;
-        };
-        let Ok(steps) = stem.parse::<u64>() else {
-            continue;
-        };
-        if best.as_ref().is_none_or(|(b, _)| steps > *b) {
-            best = Some((steps, path));
+        let parsed = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(parse_ckpt_name)
+            .map(|(shard, steps)| (shard.map(str::to_string), steps));
+        if let Some((shard, steps)) = parsed {
+            visit(shard.as_deref(), steps, path);
         }
     }
+    Ok(())
+}
+
+/// Newest unsharded checkpoint in `dir` (by absorbed-snapshot count
+/// encoded in the file name), if any. Ignores foreign, in-flight
+/// (`.tmp`), and shard-namespaced files.
+pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, CheckpointError> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    scan_dir(dir, |shard, steps, path| {
+        if shard.is_none() && best.as_ref().is_none_or(|(b, _)| steps > *b) {
+            best = Some((steps, path));
+        }
+    })?;
     Ok(best.map(|(_, p)| p))
+}
+
+/// Newest checkpoint for one shard (`ckpt-<shard>-<steps>.ckpt`), if any.
+pub fn latest_checkpoint_for_shard(
+    dir: &Path,
+    shard: &str,
+) -> Result<Option<PathBuf>, CheckpointError> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    scan_dir(dir, |s, steps, path| {
+        if s == Some(shard) && best.as_ref().is_none_or(|(b, _)| steps > *b) {
+            best = Some((steps, path));
+        }
+    })?;
+    Ok(best.map(|(_, p)| p))
+}
+
+/// All shards with at least one checkpoint in `dir`, each mapped to its
+/// newest checkpoint file, sorted by shard name. This is what a restarting
+/// daemon scans on boot to rebuild its fleet.
+pub fn shard_checkpoints(dir: &Path) -> Result<Vec<(String, PathBuf)>, CheckpointError> {
+    let mut best: std::collections::BTreeMap<String, (u64, PathBuf)> =
+        std::collections::BTreeMap::new();
+    scan_dir(dir, |shard, steps, path| {
+        let Some(shard) = shard else { return };
+        match best.get(shard) {
+            Some((b, _)) if *b >= steps => {}
+            _ => {
+                best.insert(shard.to_string(), (steps, path));
+            }
+        }
+    })?;
+    Ok(best.into_iter().map(|(s, (_, p))| (s, p)).collect())
 }
 
 /// Periodic checkpoint driver: call [`Checkpointer::tick`] once per absorbed
@@ -241,6 +347,7 @@ pub struct Checkpointer {
     dir: PathBuf,
     every: usize,
     since: usize,
+    shard: Option<String>,
 }
 
 impl Checkpointer {
@@ -253,12 +360,46 @@ impl Checkpointer {
             dir,
             every: every.max(1),
             since: 0,
+            shard: None,
         })
+    }
+
+    /// A checkpointer whose files are namespaced to one shard
+    /// (`ckpt-<shard>-<steps>.ckpt`), so many shards can share a single
+    /// checkpoint directory without their file names — or their atomic-rename
+    /// temp siblings — colliding. `shard` must satisfy
+    /// [`is_valid_shard_name`].
+    pub fn for_shard(
+        dir: impl Into<PathBuf>,
+        every: usize,
+        shard: &str,
+    ) -> Result<Checkpointer, CheckpointError> {
+        if !is_valid_shard_name(shard) {
+            return Err(CheckpointError::BadHeader(format!(
+                "invalid shard name `{shard}`: need 1-64 chars of [A-Za-z0-9_-]"
+            )));
+        }
+        let mut ck = Checkpointer::new(dir, every)?;
+        ck.shard = Some(shard.to_string());
+        Ok(ck)
     }
 
     /// The checkpoint directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The shard namespace, if this checkpointer was built with
+    /// [`Checkpointer::for_shard`].
+    pub fn shard(&self) -> Option<&str> {
+        self.shard.as_deref()
+    }
+
+    fn path_for(&self, steps: usize) -> PathBuf {
+        match &self.shard {
+            Some(s) => self.dir.join(format!("ckpt-{s}-{steps:012}.ckpt")),
+            None => self.dir.join(format!("ckpt-{steps:012}.ckpt")),
+        }
     }
 
     /// Registers one absorbed batch; writes a checkpoint when due and
@@ -272,10 +413,46 @@ impl Checkpointer {
         self.write(model).map(Some)
     }
 
+    /// Registers one absorbed batch of arbitrary serialisable state
+    /// (e.g. a whole serving shard); writes when due, keyed by `steps`.
+    pub fn tick_state<T: serde::Serialize>(
+        &mut self,
+        steps: usize,
+        state: &T,
+    ) -> Result<Option<PathBuf>, CheckpointError> {
+        self.tick_state_with(steps, || state)
+    }
+
+    /// Like [`Checkpointer::tick_state`], but builds the state lazily —
+    /// only on the ticks that actually write. Lets callers skip an
+    /// expensive snapshot clone on the `every - 1` quiet ticks.
+    pub fn tick_state_with<T: serde::Serialize>(
+        &mut self,
+        steps: usize,
+        state: impl FnOnce() -> T,
+    ) -> Result<Option<PathBuf>, CheckpointError> {
+        self.since += 1;
+        if self.since < self.every {
+            return Ok(None);
+        }
+        self.since = 0;
+        self.write_state(steps, &state()).map(Some)
+    }
+
     /// Writes a checkpoint unconditionally.
     pub fn write(&self, model: &IMrDmd) -> Result<PathBuf, CheckpointError> {
-        let path = self.dir.join(format!("ckpt-{:012}.ckpt", model.n_steps()));
-        save_checkpoint(model, &path)?;
+        self.write_state(model.n_steps(), model)
+    }
+
+    /// Writes arbitrary serialisable state unconditionally, keyed by
+    /// `steps` in the file name.
+    pub fn write_state<T: serde::Serialize>(
+        &self,
+        steps: usize,
+        state: &T,
+    ) -> Result<PathBuf, CheckpointError> {
+        let path = self.path_for(steps);
+        save_state_checkpoint(state, &path)?;
         Ok(path)
     }
 }

@@ -58,7 +58,9 @@ pub mod prelude {
         ZThresholds,
     };
     pub use crate::checkpoint::{
-        latest_checkpoint, load_checkpoint, save_checkpoint, CheckpointError, Checkpointer,
+        is_valid_shard_name, latest_checkpoint, latest_checkpoint_for_shard, load_checkpoint,
+        load_state_checkpoint, save_checkpoint, save_state_checkpoint, shard_checkpoints,
+        CheckpointError, Checkpointer,
     };
     pub use crate::compression::{compression_report, CompressionReport};
     pub use crate::dmd::{sparse_amplitudes, Dmd, DmdConfig, DmdConfigBuilder, RankSelection};

@@ -1,0 +1,189 @@
+//! Tenant → shard routing, restore-on-boot, and fleet-wide checkpointing.
+//!
+//! The manager owns the tenant map behind an `RwLock`; each shard sits
+//! behind its own `Mutex`, so two tenants' ingests run concurrently (the
+//! process-wide `hpc_linalg::pool` permit budget is the only shared
+//! throttle) while requests for one tenant serialise — which is what
+//! keeps a shard's round sequence, and therefore its bitwise state,
+//! independent of cross-tenant request interleaving.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, RwLock};
+
+use imrdmd::checkpoint::{
+    is_valid_shard_name, load_state_checkpoint, shard_checkpoints, Checkpointer,
+};
+use imrdmd::{GapPolicy, IMrDmdConfig};
+
+use crate::error::ServeError;
+use crate::obs;
+use crate::shard::{Shard, ShardSnapshot};
+
+/// A shard slot: lock it to touch the shard.
+pub type ShardCell = Arc<Mutex<Shard>>;
+
+/// Routes tenants to shards and owns fleet-wide lifecycle.
+#[derive(Debug)]
+pub struct ShardManager {
+    cfg: IMrDmdConfig,
+    policy: GapPolicy,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: usize,
+    max_tenants: usize,
+    shards: RwLock<BTreeMap<String, ShardCell>>,
+}
+
+/// Locks a shard cell, absorbing a poisoned lock: a panic in another
+/// request thread must degrade that one request, not wedge the tenant.
+pub fn lock_shard(cell: &ShardCell) -> std::sync::MutexGuard<'_, Shard> {
+    cell.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl ShardManager {
+    /// A manager for up to `max_tenants` shards, all sharing one model
+    /// config, gap policy, and (optionally) checkpoint directory.
+    pub fn new(
+        cfg: IMrDmdConfig,
+        policy: GapPolicy,
+        checkpoint_dir: Option<PathBuf>,
+        checkpoint_every: usize,
+        max_tenants: usize,
+    ) -> ShardManager {
+        ShardManager {
+            cfg,
+            policy,
+            checkpoint_dir,
+            checkpoint_every: checkpoint_every.max(1),
+            max_tenants: max_tenants.max(1),
+            shards: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The model config every shard fits with.
+    pub fn model_config(&self) -> &IMrDmdConfig {
+        &self.cfg
+    }
+
+    /// The gap policy every shard repairs with.
+    pub fn gap_policy(&self) -> GapPolicy {
+        self.policy
+    }
+
+    fn checkpointer_for(&self, tenant: &str) -> Option<Checkpointer> {
+        let dir = self.checkpoint_dir.as_ref()?;
+        Checkpointer::for_shard(dir, self.checkpoint_every, tenant).ok()
+    }
+
+    fn read_map(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, ShardCell>> {
+        self.shards.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write_map(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, ShardCell>> {
+        self.shards.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn update_gauges(map: &BTreeMap<String, ShardCell>) {
+        obs::SHARDS.set(map.len() as f64);
+        let corrupt = map
+            .values()
+            .filter(|c| lock_shard(c).state() == crate::shard::ShardState::Corrupt)
+            .count();
+        obs::SHARDS_CORRUPT.set(corrupt as f64);
+    }
+
+    /// Restores every shard that left a checkpoint in the directory.
+    /// A checkpoint that fails integrity checks yields a `Corrupt` shard
+    /// (503 on its routes) — one torn file must not take the fleet down.
+    /// Returns `(restored, corrupt)` counts.
+    pub fn restore(&self) -> (usize, usize) {
+        let Some(dir) = &self.checkpoint_dir else {
+            return (0, 0);
+        };
+        let found = match shard_checkpoints(dir) {
+            Ok(f) => f,
+            Err(_) => return (0, 0),
+        };
+        let (mut restored, mut corrupt) = (0, 0);
+        let mut map = self.write_map();
+        for (tenant, path) in found {
+            if !is_valid_shard_name(&tenant) {
+                continue;
+            }
+            let shard = match load_state_checkpoint::<ShardSnapshot>(&path) {
+                Ok(mut snap) => {
+                    // The server's thread budget wins over whatever the
+                    // checkpointed config carried (results are bitwise-
+                    // identical at every setting).
+                    snap.model.set_n_threads(self.cfg.mr.n_threads);
+                    restored += 1;
+                    Shard::from_snapshot(snap, self.checkpointer_for(&tenant))
+                }
+                Err(e) => {
+                    corrupt += 1;
+                    Shard::corrupt(&tenant, &e)
+                }
+            };
+            map.insert(tenant, Arc::new(Mutex::new(shard)));
+        }
+        Self::update_gauges(&map);
+        (restored, corrupt)
+    }
+
+    /// The shard for `tenant`, if it exists.
+    pub fn shard(&self, tenant: &str) -> Option<ShardCell> {
+        self.read_map().get(tenant).cloned()
+    }
+
+    /// The shard for `tenant`, created empty if absent (ingest path).
+    pub fn shard_or_create(&self, tenant: &str) -> Result<ShardCell, ServeError> {
+        if !is_valid_shard_name(tenant) {
+            return Err(ServeError::InvalidTenant(tenant.to_string()));
+        }
+        if let Some(cell) = self.shard(tenant) {
+            return Ok(cell);
+        }
+        let mut map = self.write_map();
+        if let Some(cell) = map.get(tenant) {
+            return Ok(cell.clone());
+        }
+        if map.len() >= self.max_tenants {
+            return Err(ServeError::TenantLimit(self.max_tenants));
+        }
+        let cell = Arc::new(Mutex::new(Shard::new(
+            tenant,
+            self.checkpointer_for(tenant),
+        )));
+        map.insert(tenant.to_string(), cell.clone());
+        Self::update_gauges(&map);
+        Ok(cell)
+    }
+
+    /// The shard for `tenant`, erroring 404/400 if absent (read path).
+    pub fn existing_shard(&self, tenant: &str) -> Result<ShardCell, ServeError> {
+        if !is_valid_shard_name(tenant) {
+            return Err(ServeError::InvalidTenant(tenant.to_string()));
+        }
+        self.shard(tenant)
+            .ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))
+    }
+
+    /// Sorted tenant ids.
+    pub fn tenants(&self) -> Vec<String> {
+        self.read_map().keys().cloned().collect()
+    }
+
+    /// Writes a final checkpoint for every fitted shard (graceful
+    /// shutdown). Returns how many writes failed.
+    pub fn checkpoint_all(&self) -> usize {
+        let map = self.read_map();
+        let mut failures = 0;
+        for cell in map.values() {
+            if lock_shard(cell).checkpoint_now().is_err() {
+                failures += 1;
+                obs::CHECKPOINT_FAILURES.inc();
+            }
+        }
+        failures
+    }
+}

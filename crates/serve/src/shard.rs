@@ -1,0 +1,382 @@
+//! One tenant's streaming decomposition, with checkpoint lifecycle.
+//!
+//! A shard owns everything that must survive a restart as a unit: the
+//! [`IMrDmd`] model, the [`IngestGuard`] (whose per-sensor last-good
+//! carry determines how boundary gaps repair — restoring the model
+//! without it would break bitwise resume), and the absorbed-round count.
+//! The trio serialises as one [`ShardSnapshot`] through the core
+//! checkpoint wire format, namespaced per shard so a whole fleet shares
+//! one `--checkpoint-dir`.
+//!
+//! Lifecycle: a shard is **empty** until its first batch (cold start:
+//! guard repair + [`IMrDmd::fit`], mirroring `imrdmd-cli stream`), then
+//! **ready** (batches flow through [`IMrDmd::try_partial_fit`]), or
+//! **corrupt** if its checkpoint failed to restore — a corrupt shard
+//! answers 503 on every route but never takes the daemon down.
+
+use hpc_linalg::Mat;
+use imrdmd::checkpoint::{CheckpointError, Checkpointer};
+use imrdmd::{GapPolicy, HealthSnapshot, IMrDmd, IMrDmdConfig, IngestGuard, RoundReport};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+use crate::obs;
+
+/// Everything a shard persists, as one checkpoint payload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Tenant the snapshot belongs to (sanity-checked on restore).
+    pub tenant: String,
+    /// The decomposition state.
+    pub model: IMrDmd,
+    /// The ingest guard, including per-sensor last-good carry.
+    pub guard: IngestGuard,
+    /// Rounds absorbed since the shard was created.
+    pub rounds: u64,
+}
+
+/// Coarse shard lifecycle state, as reported by `/status`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardState {
+    /// Created but no batch absorbed yet.
+    Empty,
+    /// Fitted and serving.
+    Ready,
+    /// Checkpoint restore failed; refusing traffic.
+    Corrupt,
+}
+
+/// The `/status` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardStatus {
+    /// Tenant id.
+    pub tenant: String,
+    /// Lifecycle state.
+    pub state: ShardState,
+    /// Snapshots absorbed (clients resume streaming from here).
+    pub steps: usize,
+    /// Rounds (batches) absorbed.
+    pub rounds: u64,
+    /// Snapshots buffered below the minimum window.
+    pub pending: usize,
+    /// Modes currently extracted.
+    pub modes: usize,
+    /// Why the shard is corrupt, if it is.
+    pub corrupt_cause: Option<String>,
+}
+
+/// The `POST /v1/{tenant}/ingest` response document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IngestReply {
+    /// Tenant id.
+    pub tenant: String,
+    /// Rounds absorbed including this one.
+    pub round: u64,
+    /// Total snapshots absorbed including this batch.
+    pub steps: usize,
+    /// True for the batch that cold-started the shard (fit, not
+    /// partial-fit; there is no [`RoundReport`] for it).
+    pub cold_start: bool,
+    /// The round report, absent on cold start.
+    pub report: Option<RoundReport>,
+}
+
+/// One tenant's decomposition plus its durable lifecycle.
+#[derive(Debug)]
+pub struct Shard {
+    tenant: String,
+    model: Option<IMrDmd>,
+    guard: Option<IngestGuard>,
+    rounds: u64,
+    corrupt_cause: Option<String>,
+    checkpointer: Option<Checkpointer>,
+}
+
+impl Shard {
+    /// An empty shard, checkpointing into `checkpointer` if given.
+    pub fn new(tenant: &str, checkpointer: Option<Checkpointer>) -> Shard {
+        Shard {
+            tenant: tenant.to_string(),
+            model: None,
+            guard: None,
+            rounds: 0,
+            corrupt_cause: None,
+            checkpointer,
+        }
+    }
+
+    /// A shard restored from a checkpoint snapshot.
+    pub fn from_snapshot(snap: ShardSnapshot, checkpointer: Option<Checkpointer>) -> Shard {
+        Shard {
+            tenant: snap.tenant,
+            model: Some(snap.model),
+            guard: Some(snap.guard),
+            rounds: snap.rounds,
+            corrupt_cause: None,
+            checkpointer,
+        }
+    }
+
+    /// A shard whose checkpoint failed integrity checks. It holds its
+    /// tenant slot (so the operator sees it) but answers 503 everywhere.
+    pub fn corrupt(tenant: &str, cause: &CheckpointError) -> Shard {
+        Shard {
+            tenant: tenant.to_string(),
+            model: None,
+            guard: None,
+            rounds: 0,
+            corrupt_cause: Some(cause.to_string()),
+            checkpointer: None,
+        }
+    }
+
+    /// Tenant id.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> ShardState {
+        if self.corrupt_cause.is_some() {
+            ShardState::Corrupt
+        } else if self.model.is_some() {
+            ShardState::Ready
+        } else {
+            ShardState::Empty
+        }
+    }
+
+    /// The `/status` document.
+    pub fn status(&self) -> ShardStatus {
+        ShardStatus {
+            tenant: self.tenant.clone(),
+            state: self.state(),
+            steps: self.model.as_ref().map_or(0, |m| m.n_steps()),
+            rounds: self.rounds,
+            pending: self.model.as_ref().map_or(0, |m| m.pending_len()),
+            modes: self.model.as_ref().map_or(0, |m| m.n_modes()),
+            corrupt_cause: self.corrupt_cause.clone(),
+        }
+    }
+
+    fn fitted(&self) -> Result<&IMrDmd, ServeError> {
+        if let Some(cause) = &self.corrupt_cause {
+            return Err(ServeError::ShardCorrupt {
+                tenant: self.tenant.clone(),
+                cause: cause.clone(),
+            });
+        }
+        self.model
+            .as_ref()
+            .ok_or_else(|| ServeError::UnknownTenant(self.tenant.clone()))
+    }
+
+    /// Health snapshot of a fitted shard.
+    pub fn health(&self) -> Result<HealthSnapshot, ServeError> {
+        Ok(self.fitted()?.health())
+    }
+
+    /// Runs `f` against the fitted model (spectrum, forecast,
+    /// reconstruction — any read).
+    pub fn with_model<T>(&self, f: impl FnOnce(&IMrDmd) -> T) -> Result<T, ServeError> {
+        Ok(f(self.fitted()?))
+    }
+
+    /// Absorbs one batch: cold-start fit on the first, `try_partial_fit`
+    /// after, and a checkpoint tick on success. `first_step` (from the
+    /// CSV header) is validated against the shard clock so duplicated
+    /// batches from at-least-once collectors are rejected with 409
+    /// instead of silently skewing the timeline.
+    pub fn ingest(
+        &mut self,
+        batch: &Mat,
+        first_step: Option<usize>,
+        cfg: &IMrDmdConfig,
+        policy: GapPolicy,
+    ) -> Result<IngestReply, ServeError> {
+        if let Some(cause) = &self.corrupt_cause {
+            return Err(ServeError::ShardCorrupt {
+                tenant: self.tenant.clone(),
+                cause: cause.clone(),
+            });
+        }
+        let _span = obs::INGEST_NS.span();
+        let steps_now = self.model.as_ref().map_or(0, |m| m.n_steps());
+        if let Some(got) = first_step {
+            if got != steps_now {
+                return Err(ServeError::OutOfOrder {
+                    expected: steps_now,
+                    got,
+                });
+            }
+        }
+
+        let reply = match &mut self.model {
+            None => {
+                if batch.cols() < 2 {
+                    return Err(ServeError::BadBody(format!(
+                        "cold-start batch needs at least 2 snapshots, got {}",
+                        batch.cols()
+                    )));
+                }
+                let mut guard = IngestGuard::new(policy, batch.rows());
+                let (clean, _rep) = guard.repair(batch)?;
+                let model = IMrDmd::fit(clean.as_ref().unwrap_or(batch), cfg);
+                let steps = model.n_steps();
+                self.model = Some(model);
+                self.guard = Some(guard);
+                self.rounds = 1;
+                IngestReply {
+                    tenant: self.tenant.clone(),
+                    round: 1,
+                    steps,
+                    cold_start: true,
+                    report: None,
+                }
+            }
+            Some(model) => {
+                let guard = self
+                    .guard
+                    .get_or_insert_with(|| IngestGuard::new(policy, batch.rows()));
+                let report = model.try_partial_fit(batch, guard)?;
+                self.rounds += 1;
+                IngestReply {
+                    tenant: self.tenant.clone(),
+                    round: self.rounds,
+                    steps: model.n_steps(),
+                    cold_start: false,
+                    report: Some(report),
+                }
+            }
+        };
+
+        obs::INGEST_BATCHES.inc();
+        obs::INGEST_SNAPSHOTS.add(batch.cols() as u64);
+        self.tick_checkpoint();
+        Ok(reply)
+    }
+
+    /// Advances the checkpoint schedule. A failed write is *not* an
+    /// ingest failure: the batch is already absorbed and the response
+    /// must report that truthfully; durability degrades to the previous
+    /// checkpoint and the failure is counted on `serve.checkpoint_failures`.
+    fn tick_checkpoint(&mut self) {
+        let (Some(model), Some(guard)) = (&self.model, &self.guard) else {
+            return;
+        };
+        let Some(ck) = &mut self.checkpointer else {
+            return;
+        };
+        let steps = model.n_steps();
+        let tenant = &self.tenant;
+        let rounds = self.rounds;
+        let result = ck.tick_state_with(steps, || ShardSnapshot {
+            tenant: tenant.clone(),
+            model: model.clone(),
+            guard: guard.clone(),
+            rounds,
+        });
+        if result.is_err() {
+            obs::CHECKPOINT_FAILURES.inc();
+        }
+    }
+
+    /// Writes a final checkpoint unconditionally (graceful shutdown).
+    /// No-op for empty or corrupt shards.
+    pub fn checkpoint_now(&self) -> Result<(), CheckpointError> {
+        let (Some(model), Some(guard), Some(ck)) = (&self.model, &self.guard, &self.checkpointer)
+        else {
+            return Ok(());
+        };
+        ck.write_state(
+            model.n_steps(),
+            &ShardSnapshot {
+                tenant: self.tenant.clone(),
+                model: model.clone(),
+                guard: guard.clone(),
+                rounds: self.rounds,
+            },
+        )
+        .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_telemetry::{theta, Scenario};
+
+    fn cfg() -> IMrDmdConfig {
+        IMrDmdConfig::default()
+    }
+
+    #[test]
+    fn cold_start_then_rounds() {
+        let sc = Scenario::sc_log(theta().scaled(4), 200, 3);
+        let mut shard = Shard::new("t0", None);
+        assert_eq!(shard.state(), ShardState::Empty);
+        assert!(shard.health().is_err());
+
+        let r0 = shard
+            .ingest(
+                &sc.generate(0, 100),
+                Some(0),
+                &cfg(),
+                GapPolicy::Interpolate,
+            )
+            .unwrap();
+        assert!(r0.cold_start);
+        assert_eq!(shard.state(), ShardState::Ready);
+
+        let r1 = shard
+            .ingest(
+                &sc.generate(100, 200),
+                Some(100),
+                &cfg(),
+                GapPolicy::Interpolate,
+            )
+            .unwrap();
+        assert!(!r1.cold_start);
+        assert_eq!(r1.steps, 200);
+        assert!(r1.report.is_some());
+        assert!(shard.health().is_ok());
+    }
+
+    #[test]
+    fn out_of_order_batch_is_409() {
+        let sc = Scenario::sc_log(theta().scaled(4), 200, 3);
+        let mut shard = Shard::new("t0", None);
+        shard
+            .ingest(
+                &sc.generate(0, 100),
+                Some(0),
+                &cfg(),
+                GapPolicy::Interpolate,
+            )
+            .unwrap();
+        // Redelivering the same window must be refused, not absorbed twice.
+        let err = shard
+            .ingest(
+                &sc.generate(0, 100),
+                Some(0),
+                &cfg(),
+                GapPolicy::Interpolate,
+            )
+            .unwrap_err();
+        assert_eq!(err.status(), 409);
+    }
+
+    #[test]
+    fn corrupt_shard_is_503_not_panic() {
+        let cause = CheckpointError::BadHeader("torn".into());
+        let mut shard = Shard::corrupt("t9", &cause);
+        assert_eq!(shard.state(), ShardState::Corrupt);
+        assert_eq!(shard.health().unwrap_err().status(), 503);
+        let sc = Scenario::sc_log(theta().scaled(4), 50, 3);
+        let err = shard
+            .ingest(&sc.generate(0, 50), None, &cfg(), GapPolicy::Interpolate)
+            .unwrap_err();
+        assert_eq!(err.status(), 503);
+        assert!(shard.status().corrupt_cause.is_some());
+    }
+}

@@ -37,8 +37,9 @@ pub mod prelude {
     };
     pub use hpc_linalg::{c64, CMat, IncrementalSvd, Mat, Svd};
     pub use hpc_telemetry::{
-        polaris, theta, Anomaly, ChunkStream, FaultConfig, FaultEvent, FaultInjector, HwEventKind,
-        HwLog, Job, JobLog, LayoutSpec, MachineSpec, Profile, Scenario, SensorKind, StreamStats,
+        polaris, theta, Anomaly, ChunkStream, FaultConfig, FaultEvent, FaultInjector, FleetDriver,
+        FleetSpec, HwEventKind, HwLog, Job, JobLog, LayoutSpec, MachineSpec, Profile, Scenario,
+        SensorKind, StreamStats,
     };
     pub use imrdmd::prelude::*;
     pub use rackviz::{

@@ -356,3 +356,102 @@ fn hold_policy_carries_state_across_batches() {
     let rec = model.reconstruct();
     assert!(rec.as_slice().iter().all(|v| v.is_finite()));
 }
+
+/// Regression for the concurrent-checkpoint collision: multiple threads
+/// saving into the same directory — even to the **same final path** — must
+/// never tear each other's writes. The pre-fix code derived one shared
+/// `.tmp` sibling from the final path, so two concurrent saves raced on the
+/// temp file and one rename could ship a half-written payload; temp names
+/// are now unique per (process, save). Every save must succeed and the
+/// file must parse as a complete checkpoint at all times.
+#[test]
+fn concurrent_checkpoint_saves_to_one_path_never_collide() {
+    let dt = 20.0;
+    let data = signal(5, 160, dt);
+    let model = IMrDmd::fit(&data, &cfg(dt, 3));
+    let path = tmp("concurrent-one-path.ckpt");
+    let _ = fs::remove_file(&path);
+
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            let model = model.clone();
+            let path = path.clone();
+            std::thread::spawn(move || {
+                for _ in 0..12 {
+                    save_checkpoint(&model, &path).expect("save must never fail under contention");
+                }
+            })
+        })
+        .collect();
+    // Reader races the writers: any visible file state must be a complete,
+    // CRC-valid checkpoint (rename is atomic; temp files are private).
+    let mut observed = 0usize;
+    while workers.iter().any(|w| !w.is_finished()) {
+        if path.exists() {
+            let restored = load_checkpoint(&path).expect("visible checkpoint must be whole");
+            assert_eq!(restored.n_steps(), model.n_steps());
+            observed += 1;
+        }
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(observed > 0, "reader must actually race the writers");
+    let restored = load_checkpoint(&path).unwrap();
+    assert_eq!(bits(&restored.reconstruct()), bits(&model.reconstruct()));
+    // No temp litter left behind.
+    let dir = path.parent().unwrap();
+    let litter: Vec<_> = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("concurrent-one-path") && n.ends_with(".tmp"))
+        .collect();
+    assert!(litter.is_empty(), "temp files leaked: {litter:?}");
+}
+
+/// Shard-namespaced checkpointers sharing one `--checkpoint-dir`: each
+/// tenant's files live under its own `ckpt-<shard>-<steps>` namespace, so
+/// concurrent fleets neither collide nor cross-restore, and the legacy
+/// unsharded scan does not pick shard files up.
+#[test]
+fn sharded_checkpointers_share_a_directory_without_crosstalk() {
+    let dt = 20.0;
+    let dir = tmp("sharded-dir");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+
+    let workers: Vec<_> = (0..6)
+        .map(|k| {
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                // Distinct per-shard signal so cross-restores would be caught.
+                let data = signal(4 + k, 128, dt);
+                let model = IMrDmd::fit(&data, &cfg(dt, 3));
+                let mut ck = Checkpointer::for_shard(&dir, 1, &format!("shard-{k}")).unwrap();
+                ck.tick(&model).unwrap();
+                model
+            })
+        })
+        .collect();
+    let models: Vec<IMrDmd> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    let found = shard_checkpoints(&dir).unwrap();
+    assert_eq!(found.len(), 6);
+    for (k, model) in models.iter().enumerate() {
+        let shard = format!("shard-{k}");
+        let path = latest_checkpoint_for_shard(&dir, &shard)
+            .unwrap()
+            .unwrap_or_else(|| panic!("missing checkpoint for {shard}"));
+        let restored = load_checkpoint(&path).unwrap();
+        assert_eq!(
+            bits(&restored.reconstruct()),
+            bits(&model.reconstruct()),
+            "{shard} restored someone else's state"
+        );
+    }
+    // Shard names may themselves contain dashes; the steps suffix still
+    // parses. And the unsharded legacy scan ignores all shard files.
+    assert!(is_valid_shard_name("rack-a-12"));
+    assert_eq!(latest_checkpoint(&dir).unwrap(), None);
+}
