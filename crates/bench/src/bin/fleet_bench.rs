@@ -1,0 +1,190 @@
+//! `fleet_bench` — the cross-tree batched execution engine vs the
+//! one-tree-at-a-time loop, on a fleet of small per-rack trees (the
+//! regime the paper's per-rack/per-cabinet incremental trees produce at
+//! Polaris scale: thousands of tiny kernel calls per fleet round).
+//!
+//! Two identical fleets absorb the same synthetic telemetry: the
+//! **legacy** fleet calls `IMrDmd::partial_fit` per tree per round; the
+//! **batched** fleet runs each round as one `Engine::run_fleet` wave.
+//! After the streams finish, every tree pair is compared bit for bit
+//! (serialized state) — the speedup only counts if the engine changed
+//! nothing. Writes `BENCH_fleet.json` and exits nonzero below the
+//! speedup floor (default 1.5×, override with `FLEET_BENCH_MIN_SPEEDUP`;
+//! CI smoke uses 1.3× for shared-runner headroom) or on any state
+//! divergence.
+//!
+//! ```text
+//! cargo run --release -p mrdmd-bench --bin fleet_bench [-- --out BENCH_fleet.json]
+//! ```
+
+use std::time::Instant;
+
+use hpc_linalg::Mat;
+use imrdmd::engine::{Engine, FleetJob};
+use imrdmd::{IMrDmd, IMrDmdConfig, MrDmdConfig, RankSelection};
+
+/// Fleet geometry: many small trees, as in per-rack sharding.
+const TREES: usize = 256;
+/// Sensors per tree (one rack's telemetry channels).
+const ROWS: usize = 16;
+/// Snapshots in each tree's initial fit.
+const FIT_COLS: usize = 96;
+/// Timed streaming rounds.
+const ROUNDS: usize = 480;
+/// Untimed warm-up rounds (absorbed by both fleets before timing).
+const WARMUP: usize = 8;
+/// Snapshots per batch per round: the per-scrape streaming regime the serve
+/// path produces — every telemetry arrival becomes a round, most of which
+/// fall between decimated root columns.
+const BATCH_COLS: usize = 1;
+
+fn signal(tree: usize, rows: usize, t0: usize, cols: usize) -> Mat {
+    Mat::from_fn(rows, cols, |i, j| {
+        let t = (t0 + j) as f64 * 0.5;
+        let phase = tree as f64 * 0.37 + i as f64 * 0.21;
+        (0.03 * t + phase).sin() * (i as f64 * 0.4).cos()
+            + 0.2 * (0.9 * t + phase).sin()
+            + 0.05 * ((tree * 31 + i * 7 + t0 + j) % 17) as f64 / 17.0
+    })
+}
+
+fn fleet_config() -> IMrDmdConfig {
+    IMrDmdConfig {
+        mr: MrDmdConfig {
+            max_levels: 2,
+            max_cycles: 2,
+            rank: RankSelection::Fixed(6),
+            min_window: 16,
+            n_threads: 1,
+            ..MrDmdConfig::default()
+        },
+        // root_step = 96 / (nyquist 4 · 2 · cycles 2) = 6: one round in six
+        // advances the decimated root stream; the rest are the window-extend
+        // rounds the engine short-circuits.
+        isvd_max_rank: 8,
+        drift_threshold: None,
+        keep_history: false,
+        auto_refresh: false,
+    }
+}
+
+fn build_fleet(cfg: &IMrDmdConfig) -> Vec<IMrDmd> {
+    (0..TREES)
+        .map(|k| IMrDmd::fit(&signal(k, ROWS, 0, FIT_COLS), cfg))
+        .collect()
+}
+
+/// One legacy fleet round: every tree absorbs its batch, one at a time (the
+/// pre-engine execution model). Returns wall seconds.
+fn legacy_round(fleet: &mut [IMrDmd], batches: &[Vec<Mat>], r: usize) -> f64 {
+    let start = Instant::now();
+    for (tree, per_tree) in fleet.iter_mut().zip(batches) {
+        tree.partial_fit(&per_tree[r]);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// One engine fleet round: the same batches, as a single wave. Returns wall
+/// seconds.
+fn batched_round(engine: &mut Engine, fleet: &mut [IMrDmd], batches: &[Vec<Mat>], r: usize) -> f64 {
+    let start = Instant::now();
+    let mut jobs: Vec<FleetJob<'_>> = fleet
+        .iter_mut()
+        .zip(batches)
+        .map(|(tree, per_tree)| FleetJob {
+            tree,
+            batch: &per_tree[r],
+            guard: None,
+        })
+        .collect();
+    for res in engine.run_fleet(&mut jobs) {
+        assert!(res.is_ok(), "engine round failed: {res:?}");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_fleet.json".to_string())
+    };
+    let min_speedup: f64 = std::env::var("FLEET_BENCH_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+
+    let cfg = fleet_config();
+    let total_rounds = WARMUP + ROUNDS;
+    // Pre-render every batch so the measured loops are pure round
+    // execution, not signal synthesis.
+    let batches: Vec<Vec<Mat>> = (0..TREES)
+        .map(|k| {
+            (0..total_rounds)
+                .map(|r| signal(k, ROWS, FIT_COLS + r * BATCH_COLS, BATCH_COLS))
+                .collect()
+        })
+        .collect();
+
+    let mut legacy = build_fleet(&cfg);
+    let mut batched = build_fleet(&cfg);
+    let mut engine = Engine::with_threads(1);
+
+    // Warm-up: both fleets absorb the same prefix untimed (pools, caches,
+    // allocator steady state).
+    for r in 0..WARMUP {
+        legacy_round(&mut legacy, &batches, r);
+        batched_round(&mut engine, &mut batched, &batches, r);
+    }
+
+    // Interleave the two paths round by round so scheduler noise on a shared
+    // host lands on both sides alike.
+    let (mut legacy_s, mut batched_s) = (0.0f64, 0.0f64);
+    for r in WARMUP..total_rounds {
+        legacy_s += legacy_round(&mut legacy, &batches, r);
+        batched_s += batched_round(&mut engine, &mut batched, &batches, r);
+    }
+
+    // The speedup only counts if the engine changed nothing: every tree
+    // pair must serialize identically.
+    let mut diverged = 0usize;
+    for (a, b) in legacy.iter().zip(&batched) {
+        let sa = serde_json::to_string(a).expect("serialize legacy tree");
+        let sb = serde_json::to_string(b).expect("serialize batched tree");
+        if sa != sb {
+            diverged += 1;
+        }
+    }
+    let bitwise_identical = diverged == 0;
+
+    let fleet_rounds = ROUNDS as f64;
+    let legacy_rps = fleet_rounds / legacy_s;
+    let batched_rps = fleet_rounds / batched_s;
+    let speedup = legacy_s / batched_s;
+    let pass = bitwise_identical && speedup >= min_speedup;
+
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_bench\",\n  \"trees\": {TREES},\n  \"rows\": {ROWS},\n  \
+         \"fit_cols\": {FIT_COLS},\n  \"rounds\": {ROUNDS},\n  \"batch_cols\": {BATCH_COLS},\n  \
+         \"legacy_wall_s\": {legacy_s:.4},\n  \"batched_wall_s\": {batched_s:.4},\n  \
+         \"legacy_fleet_rounds_per_s\": {legacy_rps:.2},\n  \
+         \"batched_fleet_rounds_per_s\": {batched_rps:.2},\n  \"speedup\": {speedup:.3},\n  \
+         \"min_speedup\": {min_speedup},\n  \"diverged_trees\": {diverged},\n  \
+         \"bitwise_identical\": {bitwise_identical},\n  \"pass\": {pass}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("fleet_bench: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "{TREES}-tree fleet, {ROUNDS} rounds: legacy {legacy_s:.2} s ({legacy_rps:.1} fleet-rounds/s), \
+         batched {batched_s:.2} s ({batched_rps:.1} fleet-rounds/s) -> {speedup:.2}x \
+         (floor {min_speedup}x), {diverged} diverged trees: {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

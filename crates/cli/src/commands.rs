@@ -521,10 +521,13 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Streams `input` through a fit (first chunk cold-start, rest via
-/// `partial_fit`) and prints the final process metrics snapshot. Metrics are
-/// process-local, so the subcommand generates its own workload rather than
-/// reading a model file.
+/// Streams `input` through a fit (first chunk cold-start, rest dispatched
+/// through the batched execution [`Engine`]) and prints the final process
+/// metrics snapshot. Metrics are process-local, so the subcommand generates
+/// its own workload rather than reading a model file; routing the rounds
+/// through the engine makes the `batch.*` series (kernel groups dispatched,
+/// bypasses, ops per group) report the values a fleet deployment would see
+/// instead of zeros.
 fn metrics(
     input: &Path,
     dt: f64,
@@ -552,10 +555,19 @@ fn metrics(
     let cfg = stream_config(dt, levels, 2, 0)?;
     let first = chunk.min(total);
     let mut model = IMrDmd::fit(&data.cols_range(0, first), &cfg);
+    let mut engine = Engine::with_threads(1);
     let mut done = first;
     while done < total {
         let hi = (done + chunk).min(total);
-        model.partial_fit(&data.cols_range(done, hi));
+        let batch = data.cols_range(done, hi);
+        let mut jobs = vec![FleetJob {
+            tree: &mut model,
+            batch: &batch,
+            guard: None,
+        }];
+        for res in engine.run_fleet(&mut jobs) {
+            res.map_err(|e| CliError(format!("engine round failed: {e}")))?;
+        }
         done = hi;
     }
     let snap = MetricsSnapshot::capture();

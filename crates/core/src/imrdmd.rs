@@ -395,6 +395,13 @@ impl IMrDmd {
             rank: self.cfg.mr.rank,
         };
         let dmd = Dmd::try_from_svd(&self.isvd.to_svd(), &y, &self.sub_data, &dmd_cfg)?;
+        Ok(self.root_from_dmd(dmd, window))
+    }
+
+    /// Filters a solved root DMD down to its slow modes and packages the
+    /// level-1 [`ModeSet`] — the tail of [`Self::try_solve_root`], shared
+    /// with the batched execution engine's staged root solve.
+    pub(crate) fn root_from_dmd(&self, dmd: Dmd, window: usize) -> (ModeSet, EigStats) {
         let cutoff = self.cfg.mr.slow_cutoff_hz(window);
         let slow: Vec<usize> = dmd
             .frequencies()
@@ -409,7 +416,7 @@ impl IMrDmd {
             window as f64 * self.cfg.mr.dt,
             self.cfg.mr.max_window_growth,
         );
-        Ok((
+        (
             ModeSet {
                 level: 1,
                 start: 0,
@@ -422,7 +429,7 @@ impl IMrDmd {
                 amplitudes: slow.iter().map(|&i| dmd.amplitudes[i]).collect(),
             },
             dmd.eig_stats,
-        ))
+        )
     }
 
     /// Absorbs a batch of `T₁` new snapshots (columns) and updates the tree
@@ -1066,6 +1073,421 @@ impl IMrDmd {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Batched-engine staging.
+//
+// `crate::engine` drives a fleet of trees through one round each with the
+// stages below, interleaved across trees so the kernel work (ISVD basis
+// projections, root `B = Y·vs` products) batches into packed cross-tree
+// passes. Each stage mirrors the corresponding fragment of
+// `partial_fit_inner` *exactly* — same arithmetic, same order — so an
+// engine-driven round is bitwise-identical to the legacy per-tree round.
+// `partial_fit_inner` itself is untouched and remains the reference (and the
+// benchmark baseline).
+// ---------------------------------------------------------------------------
+
+/// Per-tree state carried between the stages of one engine-driven round: the
+/// locals of `partial_fit_inner`, lifted into a struct so many trees' rounds
+/// can be in flight at once.
+pub(crate) struct EngineRound {
+    pub(crate) t1: usize,
+    pub(crate) t_new: usize,
+    pub(crate) n_new: usize,
+    pub(crate) old_sub_cols: usize,
+    pub(crate) faults_before: usize,
+    pub(crate) root_failed: bool,
+    /// Decimated new columns (`p × n_new`), appended to `sub_data` at fold.
+    pub(crate) block: Mat,
+    /// Shifted columns entering the streaming SVD's `X` (`p × n_new`).
+    pub(crate) x_block: Mat,
+    /// Basis projection `Uᵀ·x_block` (`rank × n_new`) — filled by the
+    /// engine's batched projection pass before the fold stage.
+    pub(crate) d: Mat,
+    /// The displaced root, kept for window extension on failure and for the
+    /// drift measurement.
+    pub(crate) old_root: Option<ModeSet>,
+    /// Deferred root solve (present when the rank-resolved fit owes its
+    /// `B = Y·vs` product to the cross-tree batch).
+    pub(crate) root_stage: Option<RootStage>,
+    pub(crate) drift: f64,
+}
+
+/// The deferred root product: `b = y · plan.vs`, executed by the engine's
+/// GEMM batch between [`IMrDmd::engine_root_begin`] and
+/// [`IMrDmd::engine_root_finish`].
+pub(crate) struct RootStage {
+    pub(crate) plan: crate::dmd::DmdPlan,
+    pub(crate) y: Mat,
+    pub(crate) b: Mat,
+}
+
+/// Reusable buffers for the alloc-free drift stage; owned by the engine and
+/// shared across every tree in the fleet (the stage is serial per tree).
+#[derive(Default)]
+pub(crate) struct DriftScratch {
+    new_w: Vec<hpc_linalg::c64>,
+    old_w: Vec<hpc_linalg::c64>,
+    new_col: Vec<f64>,
+    old_col: Vec<f64>,
+}
+
+/// [`ModeSet::eval_extrapolated`] into caller-owned buffers: identical
+/// arithmetic (weights in mode order, `mul_add` accumulation per row), no
+/// per-call allocation.
+fn eval_extrapolated_into(
+    node: &ModeSet,
+    abs: usize,
+    dt: f64,
+    weights: &mut Vec<hpc_linalg::c64>,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.resize(node.modes.rows(), 0.0);
+    if node.n_modes() == 0 || abs < node.start {
+        return;
+    }
+    let t_rel = (abs - node.start) as f64 * dt;
+    weights.clear();
+    weights.extend(
+        node.omegas
+            .iter()
+            .zip(&node.amplitudes)
+            .map(|(&w, &a)| (w * t_rel).exp() * a),
+    );
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = node.modes.row(i);
+        let mut acc = hpc_linalg::c64::ZERO;
+        for (&phi, &w) in row.iter().zip(weights.iter()) {
+            acc = acc.mul_add(phi, w);
+        }
+        *o = acc.re;
+    }
+}
+
+/// True when the `n_new == 0` drift scan may be skipped outright: extending
+/// the root window rewrites only `ModeSet::window`, which
+/// [`ModeSet::eval_extrapolated`] ignores, so the scan subtracts each
+/// reconstruction column from a bitwise-identical copy of itself — every term
+/// is `x − x`, which is exactly `+0.0` whenever `x` is finite, and the
+/// accumulated drift is exactly `+0.0`. The guard proves every intermediate
+/// of the evaluation stays finite by bounding the mode-weight magnitudes over
+/// the scanned time range; any non-finite input (where `x − x` would be NaN)
+/// makes it return `false` and the caller falls back to the mirrored legacy
+/// scan.
+fn drift_scan_is_provably_zero(
+    node: &ModeSet,
+    old_sub_cols: usize,
+    root_step: usize,
+    dt: f64,
+) -> bool {
+    if node.n_modes() == 0 || old_sub_cols == 0 {
+        return true;
+    }
+    let last_abs = (old_sub_cols - 1) * root_step;
+    if last_abs < node.start {
+        // Every scanned column predates the window: both evaluations are the
+        // zero vector.
+        return true;
+    }
+    if !dt.is_finite() {
+        return false;
+    }
+    let t_max = (last_abs - node.start) as f64 * dt;
+    if !t_max.is_finite() {
+        return false;
+    }
+    // |exp(ω·t)| = exp(Re(ω)·t) is monotone in t, so its maximum over the
+    // scanned range [0, t_max] sits at an endpoint.
+    let mut weight_bound = 0.0f64;
+    for (w, a) in node.omegas.iter().zip(&node.amplitudes) {
+        if !(w.re.is_finite() && w.im.is_finite() && a.re.is_finite() && a.im.is_finite()) {
+            return false;
+        }
+        let growth = (w.re * t_max).max(0.0).exp();
+        let wb = growth * (a.re.abs() + a.im.abs());
+        if !wb.is_finite() {
+            return false;
+        }
+        weight_bound = weight_bound.max(wb);
+    }
+    let mut mode_bound = 0.0f64;
+    for i in 0..node.modes.rows() {
+        for m in node.modes.row(i) {
+            if !(m.re.is_finite() && m.im.is_finite()) {
+                return false;
+            }
+            mode_bound = mode_bound.max(m.re.abs() + m.im.abs());
+        }
+    }
+    // Headroom factor 16 covers the re/im cross terms of the complex
+    // accumulation; staying far below f64::MAX rules out overflow anywhere
+    // in the mul_add chain.
+    let acc_bound = 16.0 * node.n_modes() as f64 * mode_bound * weight_bound;
+    acc_bound.is_finite() && acc_bound < 1e300
+}
+
+impl IMrDmd {
+    /// The streaming SVD, borrowed for the engine's batched projection pass.
+    pub(crate) fn isvd_ref(&self) -> &IncrementalSvd {
+        &self.isvd
+    }
+
+    /// Faults recorded since index `n`, for the engine's report assembly.
+    pub(crate) fn faults_since(&self, n: usize) -> Vec<FitFault> {
+        self.faults[n.min(self.faults.len())..].to_vec()
+    }
+
+    /// Stage 1 — mirrors `partial_fit_inner` step (1) up to (but excluding)
+    /// the ISVD update: bookkeeping, the decimated block, and the shifted
+    /// `X` block. The basis projection `d` is sized here and filled by the
+    /// engine's batched pass.
+    pub(crate) fn engine_begin(&mut self, batch: &Mat) -> EngineRound {
+        debug_assert_eq!(batch.rows(), self.p);
+        let t1 = batch.cols();
+        let t_old = self.t_total;
+        let t_new = t_old + t1;
+        let faults_before = self.faults.len();
+        let mut new_cols: Vec<usize> = Vec::new();
+        if t1 > 0 {
+            while self.next_sub_abs < t_new {
+                new_cols.push(self.next_sub_abs - t_old);
+                self.next_sub_abs += self.root_step;
+            }
+        }
+        let n_new = new_cols.len();
+        let old_sub_cols = self.sub_data.cols();
+        let (block, x_block) = if n_new > 0 {
+            let mut block = Mat::zeros(self.p, n_new);
+            for (k, &c) in new_cols.iter().enumerate() {
+                block.set_col(k, &batch.col(c));
+            }
+            let prev_last = self.sub_data.col(old_sub_cols - 1);
+            let mut x_block = Mat::zeros(self.p, n_new);
+            x_block.set_col(0, &prev_last);
+            for k in 0..n_new - 1 {
+                x_block.set_col(k + 1, &block.col(k));
+            }
+            (block, x_block)
+        } else {
+            (Mat::zeros(self.p, 0), Mat::zeros(self.p, 0))
+        };
+        let d = Mat::zeros(self.isvd.rank(), n_new);
+        EngineRound {
+            t1,
+            t_new,
+            n_new,
+            old_sub_cols,
+            faults_before,
+            root_failed: false,
+            block,
+            x_block,
+            d,
+            old_root: None,
+            root_stage: None,
+            drift: 0.0,
+        }
+    }
+
+    /// Stage 3 — folds the batch-computed projection into the streaming SVD
+    /// and appends the decimated block, mirroring the `n_new > 0` arm of
+    /// step (1).
+    pub(crate) fn engine_fold(&mut self, r: &EngineRound) {
+        if r.n_new == 0 {
+            return;
+        }
+        // A drift breach is recorded, not fatal — exactly as in the legacy
+        // path.
+        if let Err(e) = self.isvd.try_update_with_projection(&r.x_block, &r.d) {
+            self.isvd_drift_breaches += 1;
+            self.last_error = Some(e.to_string());
+        }
+        self.sub_data = self.sub_data.hstack(&r.block);
+    }
+
+    /// Stage 4 — mirrors step (2) up to the point where the root fit owes
+    /// its `B = Y·vs` product: displaces the root, rank-resolves the fit,
+    /// and either completes it (rank 0), defers it into `root_stage`, or
+    /// degrades on a prepare error.
+    pub(crate) fn engine_root_begin(&mut self, r: &mut EngineRound) {
+        if r.n_new == 0 {
+            // No decimated column crossed the root step: the legacy path
+            // clones the root to window-extend it, then drift-scans the
+            // extension against the original — provably `+0.0` when the
+            // evaluation stays finite. Skip both; `old_root` stays `None`,
+            // so `engine_drift` degenerates to the same `drift = 0.0`.
+            if drift_scan_is_provably_zero(
+                &self.root,
+                r.old_sub_cols,
+                self.root_step,
+                self.cfg.mr.dt,
+            ) {
+                self.root.window = r.t_new;
+                return;
+            }
+            // Non-finite modes (NaN drift in the legacy scan): mirror the
+            // legacy clone + scan exactly.
+            let old_root =
+                std::mem::replace(&mut self.root, empty_root(self.p, r.t_new, self.root_step));
+            self.root = extend_window(old_root.clone(), r.t_new);
+            r.old_root = Some(old_root);
+            return;
+        }
+        let old_root =
+            std::mem::replace(&mut self.root, empty_root(self.p, r.t_new, self.root_step));
+        let n_sub = self.sub_data.cols();
+        let y = self.sub_data.cols_range(1, n_sub);
+        let dmd_cfg = DmdConfig {
+            dt: self.cfg.mr.dt * self.root_step as f64,
+            rank: self.cfg.mr.rank,
+        };
+        match Dmd::try_prepare_parts(self.isvd.u(), self.isvd.s(), self.isvd.v(), &y, &dmd_cfg) {
+            Ok(crate::dmd::DmdPrep::Done(dmd)) => {
+                let (root, stats) = self.root_from_dmd(dmd, r.t_new);
+                self.engine_root_success(root, stats);
+            }
+            Ok(crate::dmd::DmdPrep::Plan(plan)) => {
+                let b = Mat::zeros(y.rows(), plan.u.cols());
+                r.root_stage = Some(RootStage { plan, y, b });
+            }
+            Err(e) => {
+                r.root_failed = true;
+                self.engine_root_failure(e, r.t_new, &old_root);
+            }
+        }
+        r.old_root = Some(old_root);
+    }
+
+    /// Stage 6 — completes a deferred root solve from the batch-computed
+    /// product, mirroring the success/failure arms of step (2).
+    pub(crate) fn engine_root_finish(&mut self, r: &mut EngineRound) {
+        let Some(stage) = r.root_stage.take() else {
+            return;
+        };
+        match Dmd::try_finish(&stage.plan, &stage.b, &self.sub_data) {
+            Ok(dmd) => {
+                let (root, stats) = self.root_from_dmd(dmd, r.t_new);
+                self.engine_root_success(root, stats);
+            }
+            Err(e) => {
+                r.root_failed = true;
+                if let Some(old_root) = &r.old_root {
+                    self.engine_root_failure(e, r.t_new, old_root);
+                }
+            }
+        }
+    }
+
+    /// Success arm of the root solve — mirror of the `Ok` arm in
+    /// `partial_fit_inner` step (2).
+    fn engine_root_success(&mut self, root: ModeSet, stats: EigStats) {
+        self.last_eig_iterations = stats.iterations;
+        self.last_eig_restarts = stats.restarts;
+        self.root_fail_streak = 0;
+        self.root_health = SubtreeHealth::Healthy;
+        self.root = root;
+    }
+
+    /// Failure arm of the root solve — mirror of the `Err` arm in
+    /// `partial_fit_inner` step (2): the previous root stays in service,
+    /// window-extended and marked degraded (stale after
+    /// [`ROOT_STALE_AFTER`] consecutive failures).
+    fn engine_root_failure(&mut self, e: CoreError, t_new: usize, old_root: &ModeSet) {
+        self.root_fail_streak += 1;
+        let cause = e.to_string();
+        self.last_error = Some(cause.clone());
+        let since = match &self.root_health {
+            SubtreeHealth::Degraded { since, .. } | SubtreeHealth::Stale { since, .. } => *since,
+            SubtreeHealth::Healthy => t_new,
+        };
+        self.root_health = if self.root_fail_streak >= ROOT_STALE_AFTER {
+            SubtreeHealth::Stale { since, cause }
+        } else {
+            SubtreeHealth::Degraded { since, cause }
+        };
+        self.root = extend_window(old_root.clone(), t_new);
+    }
+
+    /// Stage 7 — mirrors step (5): the root-reconstruction drift over the
+    /// old decimated timeline, evaluated into the engine's reusable scratch
+    /// instead of per-column allocations. Arithmetic and accumulation order
+    /// are identical to `root_drift`.
+    pub(crate) fn engine_drift(&mut self, r: &mut EngineRound, s: &mut DriftScratch) {
+        let dt = self.cfg.mr.dt;
+        let mut acc = 0.0f64;
+        if let Some(old_root) = &r.old_root {
+            for k in 0..r.old_sub_cols {
+                let abs = k * self.root_step;
+                eval_extrapolated_into(&self.root, abs, dt, &mut s.new_w, &mut s.new_col);
+                eval_extrapolated_into(old_root, abs, dt, &mut s.old_w, &mut s.old_col);
+                acc += s
+                    .new_col
+                    .iter()
+                    .zip(&s.old_col)
+                    .map(|(&a, &b)| {
+                        let d = a - b;
+                        d * d
+                    })
+                    .sum::<f64>();
+            }
+        }
+        let drift = acc.sqrt();
+        r.drift = drift;
+        self.drift_log.push(drift);
+        if let Some(th) = self.cfg.drift_threshold {
+            if drift > th {
+                self.stale = true;
+            }
+        }
+    }
+
+    /// Stage 8 — mirrors steps (3)+(4) and the report assembly: history,
+    /// pending-window accumulation and flush, optional auto-refresh.
+    pub(crate) fn engine_tail(&mut self, batch: &Mat, r: &EngineRound) -> PartialFitReport {
+        self.t_total = r.t_new;
+        if let Some(h) = &mut self.history {
+            *h = h.hstack(batch);
+        }
+        let mut new_modes = 0usize;
+        if self.cfg.mr.max_levels >= 2 {
+            self.pending = if self.pending.cols() == 0 {
+                batch.clone()
+            } else {
+                self.pending.hstack(batch)
+            };
+            if self.pending.cols() >= self.cfg.mr.min_window {
+                new_modes = self.flush_pending_window();
+            }
+        }
+        if self.stale && self.cfg.auto_refresh && self.history.is_some() {
+            self.refresh_subtrees();
+        }
+        PartialFitReport {
+            batch_len: r.t1,
+            new_root_cols: r.n_new,
+            drift: r.drift,
+            stale: self.stale,
+            new_subtree_modes: new_modes,
+            pending: self.pending.cols(),
+            new_faults: self.faults.len().saturating_sub(r.faults_before)
+                + usize::from(r.root_failed),
+        }
+    }
+
+    /// The empty-batch round report — mirror of the `t1 == 0` early return
+    /// of `partial_fit_inner` (no drift sample, no root extension).
+    pub(crate) fn engine_empty_report(&self) -> PartialFitReport {
+        PartialFitReport {
+            batch_len: 0,
+            new_root_cols: 0,
+            drift: 0.0,
+            stale: self.stale,
+            new_subtree_modes: 0,
+            pending: self.pending.cols(),
+            new_faults: 0,
+        }
+    }
+}
+
 /// Spawns a background thread that refits the decomposition from history;
 /// poll [`AsyncRefit::try_take`] and swap the result in when ready.
 ///
@@ -1131,8 +1553,75 @@ fn extend_window(mut node: ModeSet, window: usize) -> ModeSet {
 mod tests {
     use super::*;
     use crate::dmd::RankSelection;
+    use hpc_linalg::c64;
 
     const TAU: f64 = std::f64::consts::TAU;
+
+    fn mode_set(omega: c64, amp: c64, mode: c64) -> ModeSet {
+        ModeSet {
+            level: 1,
+            start: 0,
+            window: 32,
+            step: 2,
+            row_offset: 0,
+            modes: hpc_linalg::CMat::from_fn(3, 1, |_, _| mode),
+            lambdas: vec![c64::ONE],
+            omegas: vec![omega],
+            amplitudes: vec![amp],
+        }
+    }
+
+    #[test]
+    fn drift_skip_guard_accepts_finite_and_rejects_pathological_roots() {
+        let c = |re: f64, im: f64| c64 { re, im };
+        // Ordinary finite modes: the window-extension scan is provably zero.
+        assert!(drift_scan_is_provably_zero(
+            &mode_set(c(-0.1, 2.0), c(1.0, 0.5), c(0.3, -0.2)),
+            20,
+            2,
+            0.5
+        ));
+        // Zero modes / zero columns are trivially zero.
+        assert!(drift_scan_is_provably_zero(
+            &empty_root(3, 32, 2),
+            20,
+            2,
+            0.5
+        ));
+        assert!(drift_scan_is_provably_zero(
+            &mode_set(c(0.0, 1.0), c(1.0, 0.0), c(1.0, 0.0)),
+            0,
+            2,
+            0.5
+        ));
+        // NaN anywhere means the legacy scan yields NaN, not zero: refuse.
+        assert!(!drift_scan_is_provably_zero(
+            &mode_set(c(f64::NAN, 0.0), c(1.0, 0.0), c(1.0, 0.0)),
+            20,
+            2,
+            0.5
+        ));
+        assert!(!drift_scan_is_provably_zero(
+            &mode_set(c(0.0, 1.0), c(1.0, 0.0), c(f64::NAN, 0.0)),
+            20,
+            2,
+            0.5
+        ));
+        // Growth that overflows exp() over the scanned range: refuse.
+        assert!(!drift_scan_is_provably_zero(
+            &mode_set(c(100.0, 0.0), c(1.0, 0.0), c(1.0, 0.0)),
+            20,
+            2,
+            0.5
+        ));
+        // Magnitudes that could overflow the accumulation: refuse.
+        assert!(!drift_scan_is_provably_zero(
+            &mode_set(c(0.0, 1.0), c(1e200, 0.0), c(1e200, 0.0)),
+            20,
+            2,
+            0.5
+        ));
+    }
 
     fn stream_data(p: usize, t: usize, dt: f64) -> Mat {
         Mat::from_fn(p, t, |i, j| {

@@ -42,6 +42,7 @@ pub mod baseline;
 pub mod checkpoint;
 pub mod compression;
 pub mod dmd;
+pub mod engine;
 pub mod error;
 pub mod health;
 pub mod imrdmd;
@@ -64,6 +65,7 @@ pub mod prelude {
     };
     pub use crate::compression::{compression_report, CompressionReport};
     pub use crate::dmd::{sparse_amplitudes, Dmd, DmdConfig, DmdConfigBuilder, RankSelection};
+    pub use crate::engine::{Engine, ExecPlan, FleetJob, KernelOp};
     pub use crate::error::CoreError;
     pub use crate::health::{FitFault, HealthSnapshot, LevelHealth, SolverStats, SubtreeHealth};
     #[allow(deprecated)]

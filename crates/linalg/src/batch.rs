@@ -1,0 +1,443 @@
+//! Cross-tree batched kernel execution.
+//!
+//! A fleet of small per-rack trees is dominated by thousands of tiny
+//! GEMM/QR/ISVD calls that each pay dispatch, packing, scratch-acquisition
+//! and instrumentation overhead — the regime the paper's per-rack and
+//! per-cabinet incremental trees produce at Polaris scale. This module is
+//! the amortisation layer: callers describe kernel work as plain data
+//! ([`GemmOp`], [`IsvdProjectOp`]) and submit whole slices of it at once.
+//! [`gemm_batch`] buckets ops by shape, reuses one pair of packing buffers
+//! across each same-shape group, skips per-call span/counter recording (one
+//! aggregate update per batch), and dispatches through the same register-
+//! tiled micro-kernels as [`gemm`](crate::gemm::gemm).
+//!
+//! ## Determinism
+//!
+//! Batching never changes results. Each op is computed independently with
+//! the exact arithmetic of a standalone [`gemm`](crate::gemm::gemm) call
+//! (which is itself bitwise-identical at every thread count), the borrow
+//! checker rules out any op reading another op's output within a batch, and
+//! grouping is a stable sort on shape — so the per-op results are
+//! independent of submission order, group membership, and batch boundaries.
+
+use crate::gemm::{gemm_one_of_batch, Trans};
+use crate::isvd::IncrementalSvd;
+use crate::mat::Mat;
+use crate::obs::{BATCH_BYPASS, BATCH_GROUPS, BATCH_OPS_PER_GROUP, GEMM_CALLS, GEMM_FLOPS};
+use crate::pool::WorkerPool;
+use crate::qr::{qr, Qr};
+use crate::workspace::{give_vec, take_vec};
+
+/// One planned `C ← α·op(A)·op(B) + β·C`, the data-object form of a
+/// [`gemm`](crate::gemm::gemm) call.
+pub struct GemmOp<'a> {
+    /// Scale on the product.
+    pub alpha: f64,
+    /// Left operand.
+    pub a: &'a Mat,
+    /// Whether `a` enters transposed.
+    pub ta: Trans,
+    /// Right operand.
+    pub b: &'a Mat,
+    /// Whether `b` enters transposed.
+    pub tb: Trans,
+    /// Scale on the existing output (applied exactly once per element).
+    pub beta: f64,
+    /// Output, shaped `op(A).rows × op(B).cols`.
+    pub c: &'a mut Mat,
+}
+
+impl GemmOp<'_> {
+    /// Logical `(m, k, n)` of the product — the grouping key (packing-buffer
+    /// sizes depend only on these, so transposes coalesce freely).
+    fn shape(&self) -> (usize, usize, usize) {
+        let (m, k) = match self.ta {
+            Trans::No => (self.a.rows(), self.a.cols()),
+            Trans::Yes => (self.a.cols(), self.a.rows()),
+        };
+        let n = match self.tb {
+            Trans::No => self.b.cols(),
+            Trans::Yes => self.b.rows(),
+        };
+        (m, k, n)
+    }
+}
+
+/// Executes a batch of GEMMs, grouped by `(m, k, n)`.
+///
+/// Per-op results are bitwise-identical to calling
+/// [`gemm`](crate::gemm::gemm) on each op individually, in any order, at any
+/// thread count. `gemm.calls` / `gemm.flops` are credited in one aggregate
+/// update; `batch.groups`, `batch.ops_per_group` and `batch.bypass` record
+/// how well the batch coalesced.
+pub fn gemm_batch(ops: &mut [GemmOp<'_>]) {
+    if ops.is_empty() {
+        return;
+    }
+    let mut flops = 0u64;
+    for op in ops.iter() {
+        let (m, k, n) = op.shape();
+        flops = flops.saturating_add(
+            2u64.saturating_mul(m as u64)
+                .saturating_mul(k as u64)
+                .saturating_mul(n as u64),
+        );
+    }
+    GEMM_CALLS.add(ops.len() as u64);
+    GEMM_FLOPS.add(flops);
+
+    // Stable sort by shape: same-shape ops become contiguous runs while ops
+    // inside a group keep their submission order.
+    let mut order: Vec<usize> = (0..ops.len()).collect();
+    order.sort_by_key(|&i| ops[i].shape());
+
+    let mut bpack = take_vec(0);
+    let mut apack = take_vec(0);
+    let mut at = 0;
+    while at < order.len() {
+        let key = ops[order[at]].shape();
+        let mut end = at + 1;
+        while end < order.len() && ops[order[end]].shape() == key {
+            end += 1;
+        }
+        BATCH_GROUPS.inc();
+        BATCH_OPS_PER_GROUP.record((end - at) as u64);
+        if end - at == 1 {
+            BATCH_BYPASS.inc();
+        }
+        for &i in &order[at..end] {
+            let op = &mut ops[i];
+            gemm_one_of_batch(
+                op.alpha, op.a, op.ta, op.b, op.tb, op.beta, op.c, &mut bpack, &mut apack,
+            );
+        }
+        at = end;
+    }
+    give_vec(apack);
+    give_vec(bpack);
+}
+
+/// [`gemm_batch`] with shape groups fanned out over an existing permit
+/// [`WorkerPool`].
+///
+/// Each same-shape run is claimed whole by one worker, which reuses its own
+/// thread-local packing buffers across the run — so per-op results stay
+/// bitwise-identical to standalone [`gemm`](crate::gemm::gemm) calls
+/// regardless of which worker executes which group or how many threads the
+/// pool holds. The op slice is reordered (stable, by shape) as a side
+/// effect; outputs are reached through each op's `c` borrow, so callers are
+/// unaffected. A single-thread pool degenerates to [`gemm_batch`].
+pub fn gemm_batch_pooled(ops: &mut [GemmOp<'_>], pool: &WorkerPool) {
+    if ops.is_empty() {
+        return;
+    }
+    let mut flops = 0u64;
+    for op in ops.iter() {
+        let (m, k, n) = op.shape();
+        flops = flops.saturating_add(
+            2u64.saturating_mul(m as u64)
+                .saturating_mul(k as u64)
+                .saturating_mul(n as u64),
+        );
+    }
+    GEMM_CALLS.add(ops.len() as u64);
+    GEMM_FLOPS.add(flops);
+
+    ops.sort_by_key(GemmOp::shape);
+    let mut runs: Vec<&mut [GemmOp<'_>]> = Vec::new();
+    let mut rest: &mut [GemmOp<'_>] = ops;
+    while !rest.is_empty() {
+        let key = rest[0].shape();
+        let len = rest.iter().take_while(|op| op.shape() == key).count();
+        let (run, tail) = rest.split_at_mut(len);
+        runs.push(run);
+        rest = tail;
+    }
+    pool.for_each(&mut runs, &|run: &mut &mut [GemmOp<'_>]| {
+        BATCH_GROUPS.inc();
+        BATCH_OPS_PER_GROUP.record(run.len() as u64);
+        if run.len() == 1 {
+            BATCH_BYPASS.inc();
+        }
+        let mut bpack = take_vec(0);
+        let mut apack = take_vec(0);
+        for op in run.iter_mut() {
+            gemm_one_of_batch(
+                op.alpha, op.a, op.ta, op.b, op.tb, op.beta, op.c, &mut bpack, &mut apack,
+            );
+        }
+        give_vec(apack);
+        give_vec(bpack);
+    });
+}
+
+/// Factorises a batch of matrices, in submission order, crediting the batch
+/// coalescing metrics per shape group. Each factorisation is bitwise
+/// identical to a standalone [`qr`] call.
+pub fn qr_batch(mats: &[&Mat]) -> Vec<Qr> {
+    if mats.is_empty() {
+        return Vec::new();
+    }
+    let mut shapes: Vec<(usize, usize)> = mats.iter().map(|m| m.shape()).collect();
+    shapes.sort_unstable();
+    let mut at = 0;
+    while at < shapes.len() {
+        let mut end = at + 1;
+        while end < shapes.len() && shapes[end] == shapes[at] {
+            end += 1;
+        }
+        BATCH_GROUPS.inc();
+        BATCH_OPS_PER_GROUP.record((end - at) as u64);
+        if end - at == 1 {
+            BATCH_BYPASS.inc();
+        }
+        at = end;
+    }
+    // `qr` records its own span and call counter per factorisation.
+    mats.iter().map(|m| qr(m)).collect()
+}
+
+/// One planned incremental-SVD basis projection `out ← Uᵀ·block` — the
+/// front half of a Brand update, split out so a fleet of updates can share
+/// one batched GEMM pass before each tree folds its projection in with
+/// [`IncrementalSvd::try_update_with_projection`].
+pub struct IsvdProjectOp<'a> {
+    /// The factorisation whose left basis projects the block.
+    pub isvd: &'a IncrementalSvd,
+    /// The new columns to absorb (`m × c`, `m` matching the stream).
+    pub block: &'a Mat,
+    /// Receives `Uᵀ·block`; must be `rank × c`.
+    pub out: &'a mut Mat,
+}
+
+/// Computes every projection in one batched GEMM pass (same-rank trees
+/// coalesce into shared packing groups).
+pub fn isvd_project_batch(jobs: &mut [IsvdProjectOp<'_>]) {
+    let mut ops: Vec<GemmOp<'_>> = jobs
+        .iter_mut()
+        .map(|j| GemmOp {
+            alpha: 1.0,
+            a: j.isvd.u(),
+            ta: Trans::Yes,
+            b: j.block,
+            tb: Trans::No,
+            beta: 0.0,
+            c: &mut *j.out,
+        })
+        .collect();
+    gemm_batch(&mut ops);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+
+    fn mat(m: usize, n: usize, seed: usize) -> Mat {
+        Mat::from_fn(m, n, |i, j| {
+            ((i * 31 + j * 17 + seed * 7) % 23) as f64 / 7.0 - 1.5
+        })
+    }
+
+    #[test]
+    fn batched_matches_individual_gemm_bitwise() {
+        // Mixed shapes, transposes and β values: batching must reproduce the
+        // standalone kernel bit for bit, in scrambled submission order.
+        let specs: Vec<(usize, usize, usize, Trans, Trans, f64, f64)> = vec![
+            (6, 9, 4, Trans::No, Trans::No, 1.0, 0.0),
+            (40, 12, 33, Trans::No, Trans::No, 0.5, 1.0),
+            (6, 9, 4, Trans::Yes, Trans::No, -1.0, 1.0),
+            (6, 9, 4, Trans::No, Trans::Yes, 2.0, 0.25),
+            (40, 12, 33, Trans::No, Trans::No, 1.0, 0.0),
+            (6, 9, 4, Trans::No, Trans::No, 1.0, 0.0),
+            (1, 1, 1, Trans::No, Trans::No, 3.0, 0.0),
+        ];
+        let inputs: Vec<(Mat, Mat, Mat)> = specs
+            .iter()
+            .enumerate()
+            .map(|(s, &(m, k, n, ta, tb, _, _))| {
+                let a = match ta {
+                    Trans::No => mat(m, k, s),
+                    Trans::Yes => mat(k, m, s),
+                };
+                let b = match tb {
+                    Trans::No => mat(k, n, s + 100),
+                    Trans::Yes => mat(n, k, s + 100),
+                };
+                let c = mat(m, n, s + 200);
+                (a, b, c)
+            })
+            .collect();
+        let mut want: Vec<Mat> = Vec::new();
+        for (s, &(_, _, _, ta, tb, alpha, beta)) in specs.iter().enumerate() {
+            let (a, b, c) = &inputs[s];
+            let mut out = c.clone();
+            gemm(alpha, a, ta, b, tb, beta, &mut out);
+            want.push(out);
+        }
+        let mut got: Vec<Mat> = inputs.iter().map(|(_, _, c)| c.clone()).collect();
+        let mut ops: Vec<GemmOp<'_>> = Vec::new();
+        for (s, slot) in got.iter_mut().enumerate() {
+            let (m, k, n, ta, tb, alpha, beta) = specs[s];
+            let _ = (m, k, n);
+            ops.push(GemmOp {
+                alpha,
+                a: &inputs[s].0,
+                ta,
+                b: &inputs[s].1,
+                tb,
+                beta,
+                c: slot,
+            });
+        }
+        // Scramble submission order; results must not care.
+        ops.reverse();
+        gemm_batch(&mut ops);
+        drop(ops);
+        for (s, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.as_slice(), w.as_slice(), "op {s}");
+        }
+    }
+
+    #[test]
+    fn batch_metrics_count_groups_and_bypass() {
+        crate::obs::BATCH_GROUPS.reset();
+        crate::obs::BATCH_BYPASS.reset();
+        crate::obs::BATCH_OPS_PER_GROUP.reset();
+        let a1 = mat(5, 7, 1);
+        let b1 = mat(7, 3, 2);
+        let a2 = mat(5, 7, 3);
+        let b2 = mat(7, 3, 4);
+        let a3 = mat(9, 2, 5);
+        let b3 = mat(2, 4, 6);
+        let mut c1 = Mat::zeros(5, 3);
+        let mut c2 = Mat::zeros(5, 3);
+        let mut c3 = Mat::zeros(9, 4);
+        let mut ops = vec![
+            GemmOp {
+                alpha: 1.0,
+                a: &a1,
+                ta: Trans::No,
+                b: &b1,
+                tb: Trans::No,
+                beta: 0.0,
+                c: &mut c1,
+            },
+            GemmOp {
+                alpha: 1.0,
+                a: &a3,
+                ta: Trans::No,
+                b: &b3,
+                tb: Trans::No,
+                beta: 0.0,
+                c: &mut c3,
+            },
+            GemmOp {
+                alpha: 1.0,
+                a: &a2,
+                ta: Trans::No,
+                b: &b2,
+                tb: Trans::No,
+                beta: 0.0,
+                c: &mut c2,
+            },
+        ];
+        gemm_batch(&mut ops);
+        if cfg!(feature = "obs") {
+            assert_eq!(crate::obs::BATCH_GROUPS.value(), 2, "two shape groups");
+            assert_eq!(crate::obs::BATCH_BYPASS.value(), 1, "9x2x4 ran alone");
+            let h = crate::obs::BATCH_OPS_PER_GROUP.snapshot();
+            assert_eq!(h.count, 2);
+            assert_eq!(h.sum_ns, 3, "three ops total across the groups");
+        }
+    }
+
+    #[test]
+    fn pooled_batch_matches_serial_batch_bitwise() {
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let specs: Vec<(usize, usize, usize)> =
+                vec![(6, 9, 4), (40, 12, 33), (6, 9, 4), (9, 2, 4), (6, 9, 4)];
+            let inputs: Vec<(Mat, Mat)> = specs
+                .iter()
+                .enumerate()
+                .map(|(s, &(m, k, n))| (mat(m, k, s), mat(k, n, s + 50)))
+                .collect();
+            let mut want: Vec<Mat> = Vec::new();
+            for (s, &(m, _, n)) in specs.iter().enumerate() {
+                let mut out = Mat::zeros(m, n);
+                gemm(
+                    1.0,
+                    &inputs[s].0,
+                    Trans::No,
+                    &inputs[s].1,
+                    Trans::No,
+                    0.0,
+                    &mut out,
+                );
+                want.push(out);
+            }
+            let mut got: Vec<Mat> = specs.iter().map(|&(m, _, n)| Mat::zeros(m, n)).collect();
+            let mut ops: Vec<GemmOp<'_>> = Vec::new();
+            for (s, slot) in got.iter_mut().enumerate() {
+                ops.push(GemmOp {
+                    alpha: 1.0,
+                    a: &inputs[s].0,
+                    ta: Trans::No,
+                    b: &inputs[s].1,
+                    tb: Trans::No,
+                    beta: 0.0,
+                    c: slot,
+                });
+            }
+            gemm_batch_pooled(&mut ops, &pool);
+            drop(ops);
+            for (s, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.as_slice(), w.as_slice(), "op {s} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn isvd_projection_batch_matches_serial_projection() {
+        let data = Mat::from_fn(12, 30, |i, j| ((i + 2 * j) as f64 * 0.13).sin());
+        let isvd = IncrementalSvd::new(&data.cols_range(0, 20), 6);
+        let block_a = data.cols_range(20, 25);
+        let block_b = data.cols_range(25, 30);
+        let q = isvd.rank();
+        let mut out_a = Mat::zeros(q, 5);
+        let mut out_b = Mat::zeros(q, 5);
+        let mut jobs = vec![
+            IsvdProjectOp {
+                isvd: &isvd,
+                block: &block_a,
+                out: &mut out_a,
+            },
+            IsvdProjectOp {
+                isvd: &isvd,
+                block: &block_b,
+                out: &mut out_b,
+            },
+        ];
+        isvd_project_batch(&mut jobs);
+        drop(jobs);
+        let want_a = isvd.u().t_matmul(&block_a);
+        let want_b = isvd.u().t_matmul(&block_b);
+        assert_eq!(out_a.as_slice(), want_a.as_slice());
+        assert_eq!(out_b.as_slice(), want_b.as_slice());
+    }
+
+    #[test]
+    fn qr_batch_matches_standalone() {
+        let m1 = mat(10, 4, 9);
+        let m2 = mat(10, 4, 11);
+        let m3 = mat(6, 6, 13);
+        let got = qr_batch(&[&m1, &m2, &m3]);
+        for (g, src) in got.iter().zip([&m1, &m2, &m3]) {
+            let solo = qr(src);
+            assert_eq!(g.q.as_slice(), solo.q.as_slice());
+            assert_eq!(g.r.as_slice(), solo.r.as_slice());
+        }
+        assert!(qr_batch(&[]).is_empty());
+    }
+}

@@ -64,6 +64,10 @@ const PAR_FLOP_THRESHOLD: usize = 4_000_000;
 /// Minimum C rows each spawned worker should own; below this the fork
 /// overhead beats the kernel time.
 const MIN_ROWS_PER_THREAD: usize = 32;
+/// Largest `m`/`n` extent taken by the small-shape fast path, which skips
+/// the pack/block machinery entirely (fleets of small per-rack trees issue
+/// thousands of such calls per round; packing overhead dominates there).
+pub const SMALL_DIM: usize = 32;
 
 /// Whether an operand enters the product as itself or transposed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -78,16 +82,16 @@ pub enum Trans {
 /// `Trans::Yes` is expressed by swapping the strides, so packing reads the
 /// transpose in place.
 #[derive(Clone, Copy)]
-struct View<'a> {
+pub(crate) struct View<'a> {
     data: &'a [f64],
-    rows: usize,
-    cols: usize,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
     rs: usize,
     cs: usize,
 }
 
 impl<'a> View<'a> {
-    fn of(m: &'a Mat, t: Trans) -> View<'a> {
+    pub(crate) fn of(m: &'a Mat, t: Trans) -> View<'a> {
         match t {
             Trans::No => View {
                 data: m.as_slice(),
@@ -194,6 +198,10 @@ pub fn gemm_threaded(
 /// *which thread* fills which rows, never the per-element arithmetic.
 fn gemm_split(threads: usize, alpha: f64, a: View<'_>, b: View<'_>, beta: f64, c: &mut Mat) {
     let (m, n) = (a.rows, b.cols);
+    if is_small(m, a.cols, n) {
+        gemm_small(alpha, a, b, beta, c.as_mut_slice(), n);
+        return;
+    }
     if threads <= 1 || m < 2 * MR {
         gemm_serial(alpha, a, b, beta, c.as_mut_slice(), 0, m, n);
         return;
@@ -219,11 +227,50 @@ fn gemm_split(threads: usize, alpha: f64, a: View<'_>, b: View<'_>, beta: f64, c
     });
 }
 
+/// Whether a shape takes the small-shape fast path: a single depth block
+/// (`k ≤ KC`, so β is never split across block bumps) and an output tile
+/// small enough that pack/scratch overhead dominates the arithmetic.
+#[inline(always)]
+pub(crate) fn is_small(m: usize, k: usize, n: usize) -> bool {
+    k <= KC && m <= SMALL_DIM && n <= SMALL_DIM
+}
+
+/// Direct small-shape kernel: per output element one scalar chain in
+/// strictly increasing `k`, then the same masked `α/β` combine as
+/// [`write_back_tile`].
+///
+/// Bitwise-identical to the packed path for every shape it accepts: with
+/// `k ≤ KC` there is exactly one depth block, so the packed micro-kernels
+/// (scalar and AVX2 alike — separate mul/add, never FMA) also accumulate
+/// each `C[i][j]` as one unsplit ascending-`k` chain and apply `α`/`β`
+/// once. Padding lanes never reach write-back, so skipping them here
+/// changes nothing.
+fn gemm_small(alpha: f64, a: View<'_>, b: View<'_>, beta: f64, cdst: &mut [f64], ldc: usize) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    for i in 0..m {
+        let crow = &mut cdst[i * ldc..][..n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += a.at(i, p) * b.at(p, j);
+            }
+            if beta == 0.0 {
+                *cv = alpha * s;
+            } else if beta == 1.0 {
+                *cv += alpha * s;
+            } else {
+                *cv = beta * *cv + alpha * s;
+            }
+        }
+    }
+}
+
 /// Serial blocked GEMM over rows `[row0, row0 + mrows)` of the logical
 /// product, writing into `cdst` (row-major, leading dimension `n`,
-/// starting at logical row `row0`). Detects the widest SIMD micro-kernel
-/// the CPU supports once per call; every path performs identical
-/// arithmetic.
+/// starting at logical row `row0`). Packing buffers come from the
+/// per-thread scratch pool; the batch executor uses
+/// [`gemm_serial_into`] directly to reuse one pair of buffers across a
+/// whole same-shape group.
 #[allow(clippy::too_many_arguments)]
 fn gemm_serial(
     alpha: f64,
@@ -235,6 +282,36 @@ fn gemm_serial(
     mrows: usize,
     n: usize,
 ) {
+    if mrows == 0 {
+        return;
+    }
+    let k = a.cols;
+    let mut bpack = take_vec(KC.min(k) * NC.min(n.next_multiple_of(NR)));
+    let mut apack = take_vec(KC.min(k) * MC.min(mrows.next_multiple_of(MR)));
+    gemm_serial_into(
+        alpha, a, b, beta, cdst, row0, mrows, n, &mut bpack, &mut apack,
+    );
+    give_vec(apack);
+    give_vec(bpack);
+}
+
+/// The packed-kernel body of [`gemm_serial`], with caller-provided packing
+/// buffers (each must be at least the size [`gemm_serial`] takes). Detects
+/// the widest SIMD micro-kernel the CPU supports once per call; every path
+/// performs identical arithmetic.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_serial_into(
+    alpha: f64,
+    a: View<'_>,
+    b: View<'_>,
+    beta: f64,
+    cdst: &mut [f64],
+    row0: usize,
+    mrows: usize,
+    n: usize,
+    bpack: &mut [f64],
+    apack: &mut [f64],
+) {
     #[cfg(target_arch = "x86_64")]
     let avx2 = std::arch::is_x86_feature_detected!("avx2");
     #[cfg(not(target_arch = "x86_64"))]
@@ -243,28 +320,24 @@ fn gemm_serial(
         return;
     }
     let k = a.cols;
-    let mut bpack = take_vec(KC.min(k) * NC.min(n.next_multiple_of(NR)));
-    let mut apack = take_vec(KC.min(k) * MC.min(mrows.next_multiple_of(MR)));
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         let ncp = nc.next_multiple_of(NR);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            pack_b(b, pc, kc, jc, nc, ncp, &mut bpack);
+            pack_b(b, pc, kc, jc, nc, ncp, bpack);
             // β is applied exactly once per element, on its first depth block.
             let beta_eff = if pc == 0 { beta } else { 1.0 };
             for ic in (0..mrows).step_by(MC) {
                 let mc = MC.min(mrows - ic);
                 let mcp = mc.next_multiple_of(MR);
-                pack_a(a, row0 + ic, mc, mcp, pc, kc, &mut apack);
+                pack_a(a, row0 + ic, mc, mcp, pc, kc, apack);
                 macro_kernel(
-                    alpha, &apack, &bpack, beta_eff, cdst, ic, mc, mcp, jc, nc, ncp, n, kc, avx2,
+                    alpha, apack, bpack, beta_eff, cdst, ic, mc, mcp, jc, nc, ncp, n, kc, avx2,
                 );
             }
         }
     }
-    give_vec(apack);
-    give_vec(bpack);
 }
 
 /// Packs `B[pc..pc+kc, jc..jc+nc]` into `ncp / NR` column panels, each laid
@@ -491,6 +564,54 @@ fn write_back_tile(
             }
         }
     }
+}
+
+/// One op of a same-shape batch: [`gemm`]'s arithmetic (bitwise-identical
+/// at every thread count, including this single-threaded dispatch) without
+/// the per-call span/counter recording or pool negotiation, and with the
+/// packing buffers provided by the caller so one pair is reused across the
+/// whole group. Small shapes fall through to [`gemm_small`] directly.
+///
+/// # Panics
+/// Panics if the operand shapes are inconsistent (same contract as
+/// [`gemm`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_one_of_batch(
+    alpha: f64,
+    a: &Mat,
+    ta: Trans,
+    b: &Mat,
+    tb: Trans,
+    beta: f64,
+    c: &mut Mat,
+    bpack: &mut Vec<f64>,
+    apack: &mut Vec<f64>,
+) {
+    let av = View::of(a, ta);
+    let bv = View::of(b, tb);
+    let (m, k, n) = (av.rows, av.cols, bv.cols);
+    assert_eq!(k, bv.rows, "gemm inner dimensions must agree");
+    assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == 0.0 {
+        scale_slice(c.as_mut_slice(), beta);
+        return;
+    }
+    if is_small(m, k, n) {
+        gemm_small(alpha, av, bv, beta, c.as_mut_slice(), n);
+        return;
+    }
+    let blen = KC.min(k) * NC.min(n.next_multiple_of(NR));
+    let alen = KC.min(k) * MC.min(m.next_multiple_of(MR));
+    if bpack.len() < blen {
+        bpack.resize(blen, 0.0);
+    }
+    if apack.len() < alen {
+        apack.resize(alen, 0.0);
+    }
+    gemm_serial_into(alpha, av, bv, beta, c.as_mut_slice(), 0, m, n, bpack, apack);
 }
 
 /// `y ← α·op(A)·x + β·y` — the `n = 1` column of the kernel layer.
@@ -881,6 +1002,46 @@ mod tests {
             gemm_threaded(t, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
             assert_eq!(c.as_slice(), reference.as_slice(), "threads={t}");
         }
+    }
+
+    #[test]
+    fn small_shape_fast_path_is_bitwise_naive() {
+        // Shapes on the fast path (m, n ≤ SMALL_DIM, k ≤ KC) take a direct
+        // per-element ascending-k chain — exactly the naive oracle — so the
+        // comparison is bitwise, not approximate. Straddle the threshold to
+        // pin the boundary, and cross thread counts to show the path is
+        // taken identically everywhere.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 7, 3),
+            (SMALL_DIM, KC, SMALL_DIM),
+            (SMALL_DIM - 1, 40, SMALL_DIM),
+            (16, 48, 6),
+        ] {
+            let a = Mat::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 23) as f64 / 7.0 - 1.0);
+            let b = Mat::from_fn(k, n, |i, j| ((i * 13 + j * 29) % 19) as f64 / 5.0 - 2.0);
+            for beta in [0.0, 1.0, 0.5] {
+                let c0 = Mat::from_fn(m, n, |i, j| (i * 3 + j) as f64 * 0.125 - 1.0);
+                let want = naive(0.75, &a, Trans::No, &b, Trans::No, beta, &c0);
+                let mut c = c0.clone();
+                gemm(0.75, &a, Trans::No, &b, Trans::No, beta, &mut c);
+                assert_eq!(c.as_slice(), want.as_slice(), "{m}x{k}x{n} beta={beta}");
+                for t in [1usize, 2, 4] {
+                    let mut ct = c0.clone();
+                    gemm_threaded(t, 0.75, &a, Trans::No, &b, Trans::No, beta, &mut ct);
+                    assert_eq!(ct.as_slice(), c.as_slice(), "{m}x{k}x{n} threads={t}");
+                }
+            }
+        }
+        // Just past the threshold the packed path runs; results must agree
+        // with the oracle to rounding either way.
+        let (m, k, n) = (SMALL_DIM + 1, 20, SMALL_DIM + 1);
+        let a = Mat::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 13) as f64 - 6.0);
+        let b = Mat::from_fn(k, n, |i, j| ((i * 5 + j) % 9) as f64 - 4.0);
+        let mut c = Mat::zeros(m, n);
+        let want = naive(1.0, &a, Trans::No, &b, Trans::No, 0.0, &c);
+        gemm(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
+        assert!(rel_err(&c, &want) < 1e-13);
     }
 
     #[test]

@@ -492,6 +492,25 @@ pub static ISVD_UPDATES: Counter =
 pub static ISVD_UPDATE_NS: Histogram =
     Histogram::new("isvd.update_ns", "Wall time per incremental-SVD update");
 
+/// Same-shape kernel groups dispatched by the batch executor
+/// ([`crate::batch::gemm_batch`]).
+pub static BATCH_GROUPS: Counter = Counter::new(
+    "batch.groups",
+    "Same-shape kernel groups dispatched by the batch executor",
+);
+/// Batched ops that ran without a same-shape partner (singleton groups) —
+/// a high ratio of bypass to groups means the fleet's shapes are too
+/// heterogeneous to coalesce.
+pub static BATCH_BYPASS: Counter = Counter::new(
+    "batch.bypass",
+    "Batch ops dispatched alone (no same-shape partner)",
+);
+/// Ops per dispatched batch group. This histogram counts *ops*, not
+/// nanoseconds: `count` is the number of groups and `sum` the total ops,
+/// so `sum / count` is the mean coalescing factor.
+pub static BATCH_OPS_PER_GROUP: Histogram =
+    Histogram::new("batch.ops_per_group", "Ops per same-shape batch group");
+
 /// Fork-join scopes opened by the worker pool.
 pub static POOL_FORKS: Counter =
     Counter::new("pool.forks", "Fork-join scopes opened by the worker pool");
@@ -504,7 +523,7 @@ pub static POOL_THREADS: Gauge = Gauge::new("pool.threads", "Process-wide worker
 
 /// Captures every metric of this crate, in fixed catalogue order.
 pub fn collect() -> Vec<MetricRecord> {
-    let counters: [&Counter; 11] = [
+    let counters: [&Counter; 13] = [
         &GEMM_CALLS,
         &GEMM_FLOPS,
         &QR_CALLS,
@@ -515,6 +534,8 @@ pub fn collect() -> Vec<MetricRecord> {
         &EIG_ESCALATIONS,
         &EIG_FAILURES,
         &ISVD_UPDATES,
+        &BATCH_GROUPS,
+        &BATCH_BYPASS,
         &POOL_FORKS,
     ];
     let mut out = Vec::new();
@@ -535,7 +556,14 @@ pub fn collect() -> Vec<MetricRecord> {
         help: POOL_THREADS.help,
         value: MetricValue::Gauge(POOL_THREADS.value()),
     });
-    for h in [&GEMM_NS, &QR_NS, &SVD_NS, &EIG_NS, &ISVD_UPDATE_NS] {
+    for h in [
+        &GEMM_NS,
+        &QR_NS,
+        &SVD_NS,
+        &EIG_NS,
+        &ISVD_UPDATE_NS,
+        &BATCH_OPS_PER_GROUP,
+    ] {
         out.push(MetricRecord {
             name: h.name,
             help: h.help,
@@ -558,13 +586,22 @@ pub fn reset() {
         &EIG_ESCALATIONS,
         &EIG_FAILURES,
         &ISVD_UPDATES,
+        &BATCH_GROUPS,
+        &BATCH_BYPASS,
         &POOL_FORKS,
         &POOL_TASKS,
     ] {
         c.reset();
     }
     POOL_THREADS.reset();
-    for h in [&GEMM_NS, &QR_NS, &SVD_NS, &EIG_NS, &ISVD_UPDATE_NS] {
+    for h in [
+        &GEMM_NS,
+        &QR_NS,
+        &SVD_NS,
+        &EIG_NS,
+        &ISVD_UPDATE_NS,
+        &BATCH_OPS_PER_GROUP,
+    ] {
         h.reset();
     }
 }

@@ -196,6 +196,47 @@ proptest! {
     }
 
     #[test]
+    fn small_path_threshold_matches_naive(
+        mi in 0usize..4,
+        ki in 0usize..4,
+        ni in 0usize..4,
+        seed in 0u64..1000,
+        combo in 0usize..4,
+        scales in (0usize..4, 0usize..3),
+    ) {
+        // Shapes straddling the small-shape fast path's thresholds
+        // (SMALL_DIM = 32 on m/n, KC = 256 on k): every combination sits
+        // just inside, exactly on, or just outside the cutover, so the
+        // direct register-tiled path and the pack/block path are both hit
+        // and both must agree with the oracle.
+        let m = [1usize, 31, 32, 33][mi];
+        let k = [1usize, 255, 256, 257][ki];
+        let n = [2usize, 31, 32, 33][ni];
+        let (ta, tb) = [
+            (Trans::No, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::No),
+            (Trans::Yes, Trans::Yes),
+        ][combo];
+        let alpha = [1.0, -1.0, 0.5, 2.0][scales.0];
+        let beta = [0.0, 1.0, -0.5][scales.1];
+        let a = match ta {
+            Trans::No => fill(m, k, seed),
+            Trans::Yes => fill(k, m, seed),
+        };
+        let b = match tb {
+            Trans::No => fill(k, n, seed + 1),
+            Trans::Yes => fill(n, k, seed + 1),
+        };
+        let c0 = fill(m, n, seed + 2);
+        let mut want = c0.clone();
+        naive_gemm(alpha, &a, ta, &b, tb, beta, &mut want);
+        let mut got = c0.clone();
+        gemm(alpha, &a, ta, &b, tb, beta, &mut got);
+        prop_assert!(rel_dist(&want, &got) <= 1e-12, "({m},{k},{n}) {ta:?}/{tb:?}");
+    }
+
+    #[test]
     fn random_shapes_are_bitwise_stable_across_threads(
         m in 1usize..=96,
         k in 1usize..=48,

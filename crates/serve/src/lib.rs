@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod gate;
 pub mod http;
 pub mod manager;
 pub mod obs;
@@ -36,6 +37,7 @@ pub mod server;
 pub mod shard;
 
 pub use error::ServeError;
+pub use gate::EngineGate;
 pub use http::{HttpError, HttpLimits, Request, Response};
 pub use manager::{lock_shard, ShardCell, ShardManager};
 pub use server::{ServeConfig, Server, ServerHandle};

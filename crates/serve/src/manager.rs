@@ -83,10 +83,17 @@ impl ShardManager {
         self.shards.write().unwrap_or_else(|p| p.into_inner())
     }
 
-    fn update_gauges(map: &BTreeMap<String, ShardCell>) {
-        obs::SHARDS.set(map.len() as f64);
-        let corrupt = map
-            .values()
+    /// Refreshes the shard gauges without stalling tenant traffic: the
+    /// shard handles are snapshotted under a brief map read lock, the lock
+    /// is released, and only then is each shard's state inspected (one
+    /// short per-shard lock at a time). Holding the map lock while locking
+    /// every shard — as a naive scrape would — blocks `shard_or_create`,
+    /// and with it every ingest, for the duration of the walk.
+    pub fn refresh_gauges(&self) {
+        let cells: Vec<ShardCell> = self.read_map().values().cloned().collect();
+        obs::SHARDS.set(cells.len() as f64);
+        let corrupt = cells
+            .iter()
             .filter(|c| lock_shard(c).state() == crate::shard::ShardState::Corrupt)
             .count();
         obs::SHARDS_CORRUPT.set(corrupt as f64);
@@ -126,7 +133,8 @@ impl ShardManager {
             };
             map.insert(tenant, Arc::new(Mutex::new(shard)));
         }
-        Self::update_gauges(&map);
+        drop(map);
+        self.refresh_gauges();
         (restored, corrupt)
     }
 
@@ -155,7 +163,9 @@ impl ShardManager {
             self.checkpointer_for(tenant),
         )));
         map.insert(tenant.to_string(), cell.clone());
-        Self::update_gauges(&map);
+        // Only the cheap count gauge under the write lock; the corrupt-state
+        // walk (which locks every shard) never runs while the map is held.
+        obs::SHARDS.set(map.len() as f64);
         Ok(cell)
     }
 

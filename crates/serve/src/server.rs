@@ -44,6 +44,7 @@ use imrdmd::{mode_spectrum, GapPolicy, IMrDmdConfig};
 use serde::Serialize;
 
 use crate::error::ServeError;
+use crate::gate::EngineGate;
 use crate::http::{read_request, HttpLimits, Request, Response};
 use crate::manager::{lock_shard, ShardManager};
 use crate::obs;
@@ -89,6 +90,7 @@ impl Default for ServeConfig {
 #[derive(Debug)]
 struct ServerState {
     manager: ShardManager,
+    gate: EngineGate,
     limits: HttpLimits,
     read_timeout: Duration,
     max_connections: usize,
@@ -158,6 +160,7 @@ impl Server {
         let (restored, corrupt) = manager.restore();
         let state = Arc::new(ServerState {
             manager,
+            gate: EngineGate::new(),
             limits: cfg.limits,
             read_timeout: cfg.read_timeout,
             max_connections: cfg.max_connections.max(1),
@@ -276,7 +279,12 @@ fn dispatch(state: &ServerState, req: &Request) -> Result<Response, ServeError> 
                 format!("{{\"status\":\"ok\",\"shards\":{}}}", tenants.len()),
             ))
         }
-        ("GET", ["metrics"]) => Ok(Response::text(200, obs::fleet_snapshot().to_prometheus())),
+        ("GET", ["metrics"]) => {
+            // Refresh shard gauges from a snapshot of the handles (brief map
+            // read lock), then format — a slow scrape never stalls ingest.
+            state.manager.refresh_gauges();
+            Ok(Response::text(200, obs::fleet_snapshot().to_prometheus()))
+        }
         ("GET", ["v1", "tenants"]) => Ok(json_response(&state.manager.tenants())),
         ("POST", ["v1", tenant, "ingest"]) => ingest(state, tenant, req),
         ("GET", ["v1", tenant, "health"]) => {
@@ -353,9 +361,12 @@ fn parse_query_usize(req: &Request, name: &str) -> Result<Option<usize>, ServeEr
 fn ingest(state: &ServerState, tenant: &str, req: &Request) -> Result<Response, ServeError> {
     let (batch, first_step) = parse_batch(req)?;
     let cell = state.manager.shard_or_create(tenant)?;
-    let mut shard = lock_shard(&cell);
-    let reply: IngestReply = shard.ingest(
-        &batch,
+    // Through the flat-combining gate: concurrent tenants' rounds coalesce
+    // into one batched engine wave (bitwise-identical to per-shard ingest).
+    let _span = obs::INGEST_NS.span();
+    let reply: IngestReply = state.gate.submit(
+        cell,
+        batch,
         first_step,
         state.manager.model_config(),
         state.manager.gap_policy(),

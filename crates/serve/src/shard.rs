@@ -194,13 +194,39 @@ impl Shard {
         cfg: &IMrDmdConfig,
         policy: GapPolicy,
     ) -> Result<IngestReply, ServeError> {
+        let _span = obs::INGEST_NS.span();
+        if let Some(reply) = self.ingest_prepare(batch, first_step, cfg, policy)? {
+            return Ok(reply);
+        }
+        // Warm round, outside an engine wave: the single-tree path.
+        let round = match self.round_parts() {
+            Some((model, guard)) => model.try_partial_fit(batch, guard),
+            None => {
+                return Err(ServeError::UnknownTenant(self.tenant.clone()));
+            }
+        };
+        self.ingest_finish(batch.cols(), round)
+    }
+
+    /// Pre-round half of [`Shard::ingest`]: corrupt/ordering validation and
+    /// the cold-start fit. Returns `Ok(Some(reply))` when the batch
+    /// cold-started the shard (fully absorbed, nothing left to do) and
+    /// `Ok(None)` when the shard is warm — the caller then runs the round
+    /// (directly or inside an engine wave) and settles it with
+    /// [`Shard::ingest_finish`].
+    pub fn ingest_prepare(
+        &mut self,
+        batch: &Mat,
+        first_step: Option<usize>,
+        cfg: &IMrDmdConfig,
+        policy: GapPolicy,
+    ) -> Result<Option<IngestReply>, ServeError> {
         if let Some(cause) = &self.corrupt_cause {
             return Err(ServeError::ShardCorrupt {
                 tenant: self.tenant.clone(),
                 cause: cause.clone(),
             });
         }
-        let _span = obs::INGEST_NS.span();
         let steps_now = self.model.as_ref().map_or(0, |m| m.n_steps());
         if let Some(got) = first_step {
             if got != steps_now {
@@ -210,8 +236,7 @@ impl Shard {
                 });
             }
         }
-
-        let reply = match &mut self.model {
+        match &mut self.model {
             None => {
                 if batch.cols() < 2 {
                     return Err(ServeError::BadBody(format!(
@@ -226,34 +251,62 @@ impl Shard {
                 self.model = Some(model);
                 self.guard = Some(guard);
                 self.rounds = 1;
-                IngestReply {
+                let reply = IngestReply {
                     tenant: self.tenant.clone(),
                     round: 1,
                     steps,
                     cold_start: true,
                     report: None,
-                }
+                };
+                self.absorb_bookkeeping(batch.cols());
+                Ok(Some(reply))
             }
-            Some(model) => {
-                let guard = self
-                    .guard
+            Some(_) => {
+                // Materialise the guard now so the engine wave can borrow
+                // model and guard together.
+                self.guard
                     .get_or_insert_with(|| IngestGuard::new(policy, batch.rows()));
-                let report = model.try_partial_fit(batch, guard)?;
-                self.rounds += 1;
-                IngestReply {
-                    tenant: self.tenant.clone(),
-                    round: self.rounds,
-                    steps: model.n_steps(),
-                    cold_start: false,
-                    report: Some(report),
-                }
+                Ok(None)
             }
-        };
+        }
+    }
 
-        obs::INGEST_BATCHES.inc();
-        obs::INGEST_SNAPSHOTS.add(batch.cols() as u64);
-        self.tick_checkpoint();
+    /// The warm shard's model and guard, borrowed together for an engine
+    /// fleet round. `None` until the shard has cold-started.
+    pub fn round_parts(&mut self) -> Option<(&mut IMrDmd, &mut IngestGuard)> {
+        match (&mut self.model, &mut self.guard) {
+            (Some(m), Some(g)) => Some((m, g)),
+            _ => None,
+        }
+    }
+
+    /// Post-round half of [`Shard::ingest`]: settles a warm round's
+    /// [`RoundReport`] (however it was executed) into the reply, the round
+    /// counter, the ingest counters, and the checkpoint schedule.
+    pub fn ingest_finish(
+        &mut self,
+        batch_cols: usize,
+        round: Result<RoundReport, imrdmd::CoreError>,
+    ) -> Result<IngestReply, ServeError> {
+        let report = round?;
+        self.rounds += 1;
+        let reply = IngestReply {
+            tenant: self.tenant.clone(),
+            round: self.rounds,
+            steps: self.model.as_ref().map_or(0, |m| m.n_steps()),
+            cold_start: false,
+            report: Some(report),
+        };
+        self.absorb_bookkeeping(batch_cols);
         Ok(reply)
+    }
+
+    /// Shared tail of every successful absorb: ingest counters and the
+    /// checkpoint tick.
+    fn absorb_bookkeeping(&mut self, batch_cols: usize) {
+        obs::INGEST_BATCHES.inc();
+        obs::INGEST_SNAPSHOTS.add(batch_cols as u64);
+        self.tick_checkpoint();
     }
 
     /// Advances the checkpoint schedule. A failed write is *not* an

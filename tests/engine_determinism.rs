@@ -1,0 +1,172 @@
+//! Engine determinism suite (ISSUE PR 7, satellite 4).
+//!
+//! The batched execution engine promises that *how* a fleet round is
+//! executed — how many shards the fleet is split into, how many worker
+//! threads the kernel batches dispatch over, and in what order jobs are
+//! submitted within a wave — changes wall-clock time only. Every tree's
+//! serialized state must be bit-for-bit identical to the legacy
+//! one-tree-at-a-time `try_partial_fit` reference, and the per-round
+//! ok/err pattern must match too. The streams are corrupted by the
+//! telemetry [`FaultInjector`] (NaN runs, dropped samples, dead sensors,
+//! rank-collapsing pathological batches) so the invariance holds on the
+//! degraded paths, not just the happy path.
+
+use mrdmd_suite::prelude::*;
+
+/// Trees in the fleet — sized so shard counts {1, 8, 64} all divide it.
+const TREES: usize = 64;
+/// Sensors per tree.
+const ROWS: usize = 6;
+/// Snapshots in each tree's initial fit.
+const FIT_COLS: usize = 32;
+/// Snapshots per batch per round.
+const BATCH_COLS: usize = 3;
+/// Streaming rounds per configuration.
+const ROUNDS: usize = 6;
+
+fn signal(tree: usize, t0: usize, cols: usize) -> Mat {
+    Mat::from_fn(ROWS, cols, |i, j| {
+        let t = (t0 + j) as f64 * 0.6;
+        (0.04 * t + tree as f64 * 0.31).sin() * ((i + 1) as f64 * 0.5).cos()
+            + 0.25 * (0.8 * t + i as f64 * 0.9).sin()
+    })
+}
+
+fn cfg() -> IMrDmdConfig {
+    IMrDmdConfig {
+        mr: MrDmdConfig {
+            max_levels: 2,
+            max_cycles: 2,
+            rank: RankSelection::Fixed(4),
+            min_window: 8,
+            n_threads: 1,
+            ..MrDmdConfig::default()
+        },
+        isvd_max_rank: 6,
+        drift_threshold: None,
+        keep_history: false,
+        auto_refresh: false,
+    }
+}
+
+/// Each tree's batches, run through the fault injector: the same corrupted
+/// stream (ground truth fixed per seed) feeds every execution strategy.
+/// Returns the batches and how many pathological/NaN-bearing injections
+/// landed, so the test can assert it exercised the degraded paths.
+fn corrupted_batches(tree: usize) -> (Vec<Mat>, usize) {
+    let clean: Vec<Mat> = (0..ROUNDS)
+        .map(|r| signal(tree, FIT_COLS + r * BATCH_COLS, BATCH_COLS))
+        .collect();
+    let fc = FaultConfig {
+        seed: 9000 + tree as u64,
+        drop_prob: 0.02,
+        nan_run_prob: 0.4,
+        nan_run_max_len: 2,
+        sensor_dropout_prob: 0.2,
+        duplicate_prob: 0.0,
+        pathological_prob: 0.35,
+    };
+    let mut inj = FaultInjector::new(clean.into_iter(), fc);
+    let batches: Vec<Mat> = (&mut inj).collect();
+    (batches, inj.events().len())
+}
+
+/// A deterministic permutation of `0..n` (stride walk; `n` here is always a
+/// power of two, so any odd stride is coprime) — shuffled job submission
+/// order without depending on an RNG.
+fn permuted(n: usize, seed: usize) -> Vec<usize> {
+    let stride = [1usize, 7, 13, 29, 37][seed % 5];
+    (0..n).map(|k| (k * stride + seed) % n).collect()
+}
+
+fn state_json(tree: &IMrDmd) -> String {
+    serde_json::to_string(tree).expect("serialize tree")
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)] // rounds index a per-tree × per-round grid
+fn engine_state_is_invariant_to_sharding_threads_and_order() {
+    let c = cfg();
+    let init: Vec<IMrDmd> = (0..TREES)
+        .map(|k| IMrDmd::fit(&signal(k, 0, FIT_COLS), &c))
+        .collect();
+    let mut injected = 0usize;
+    let batches: Vec<Vec<Mat>> = (0..TREES)
+        .map(|k| {
+            let (b, events) = corrupted_batches(k);
+            injected += events;
+            assert_eq!(b.len(), ROUNDS);
+            b
+        })
+        .collect();
+    assert!(
+        injected > TREES,
+        "test premise: the injector corrupted the streams ({injected} events)"
+    );
+
+    // Legacy reference: guarded per-tree rounds, sequential, in tree order.
+    let mut reference = init.clone();
+    let mut ref_guards: Vec<IngestGuard> = (0..TREES)
+        .map(|_| IngestGuard::new(GapPolicy::HoldLast, ROWS))
+        .collect();
+    let mut ref_ok = vec![Vec::new(); TREES];
+    for r in 0..ROUNDS {
+        for k in 0..TREES {
+            let res = reference[k].try_partial_fit(&batches[k][r], &mut ref_guards[k]);
+            ref_ok[k].push(res.is_ok());
+        }
+    }
+    let want: Vec<String> = reference.iter().map(state_json).collect();
+
+    for shards in [1usize, 8, 64] {
+        for threads in [1usize, 2, 4] {
+            let mut fleet = init.clone();
+            let mut guards: Vec<IngestGuard> = (0..TREES)
+                .map(|_| IngestGuard::new(GapPolicy::HoldLast, ROWS))
+                .collect();
+            let mut engine = Engine::with_threads(threads);
+            let mut got_ok = vec![Vec::new(); TREES];
+            let group = TREES / shards;
+            for r in 0..ROUNDS {
+                for (s, (trees, gs)) in fleet
+                    .chunks_mut(group)
+                    .zip(guards.chunks_mut(group))
+                    .enumerate()
+                {
+                    // Shuffle submission order within the wave; the schedule
+                    // varies with round, shard, and configuration.
+                    let order = permuted(trees.len(), r * 31 + s * 7 + shards + threads);
+                    let mut slots: Vec<Option<(&mut IMrDmd, &mut IngestGuard)>> =
+                        trees.iter_mut().zip(gs.iter_mut()).map(Some).collect();
+                    let mut jobs: Vec<FleetJob<'_>> = Vec::with_capacity(order.len());
+                    let mut job_tree: Vec<usize> = Vec::with_capacity(order.len());
+                    for &i in &order {
+                        let (tree, guard) = slots[i].take().expect("permutation is a bijection");
+                        job_tree.push(s * group + i);
+                        jobs.push(FleetJob {
+                            tree,
+                            batch: &batches[s * group + i][r],
+                            guard: Some(guard),
+                        });
+                    }
+                    let results = engine.run_fleet(&mut jobs);
+                    drop(jobs);
+                    for (j, res) in results.iter().enumerate() {
+                        got_ok[job_tree[j]].push(res.is_ok());
+                    }
+                }
+            }
+            for k in 0..TREES {
+                assert_eq!(
+                    got_ok[k], ref_ok[k],
+                    "round outcomes diverged: shards={shards} threads={threads} tree={k}"
+                );
+                assert_eq!(
+                    state_json(&fleet[k]),
+                    want[k],
+                    "state diverged: shards={shards} threads={threads} tree={k}"
+                );
+            }
+        }
+    }
+}
