@@ -20,6 +20,7 @@ fn bench_dmd(c: &mut Criterion) {
                     &DmdConfig {
                         dt: scenario.dt(),
                         rank: RankSelection::Svht,
+                        ..Default::default()
                     },
                 ))
             });

@@ -31,6 +31,7 @@ fn main() {
             &imrdmd::dmd::DmdConfig {
                 dt: cfg.mr.dt * step as f64,
                 rank: cfg.mr.rank,
+                ..Default::default()
             },
         );
         println!("  root dmd {:?} rank {}", t0.elapsed(), dmd.rank());

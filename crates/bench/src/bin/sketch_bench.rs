@@ -1,0 +1,204 @@
+//! `sketch_bench` — `FitStrategy::Sketched` vs `FitStrategy::Exact` on the
+//! paper's tall telemetry windows (Theta-class 4392-sensor and
+//! Polaris-class 5824-sensor slices, P ≫ T).
+//!
+//! Both strategies run the same end-to-end `Dmd::try_fit` under adaptive
+//! (SVHT) rank selection: the exact path pays a full SVD of the window,
+//! the sketched path a seeded randomized range-finder at the fixed probe
+//! width. The speedup only counts when the sketch also meets its accuracy
+//! budget: the rank-`k` reconstruction error of the randomized
+//! factorisation must stay within `SKETCH_BENCH_MAX_ERR_RATIO` (default
+//! 1.25×) of the optimal rank-`k` truncation on every shape. Writes
+//! `BENCH_sketch.json` and exits nonzero below the speedup floor (default
+//! 1.5×, override with `SKETCH_BENCH_MIN_SPEEDUP`) or on any accuracy
+//! breach.
+//!
+//! ```text
+//! cargo run --release -p mrdmd-bench --bin sketch_bench [-- --out BENCH_sketch.json]
+//! ```
+
+use std::time::Instant;
+
+use hpc_linalg::{svd, svd_sketched, Mat, DEFAULT_SKETCH_SEED};
+use imrdmd::dmd::{Dmd, DmdConfig, FitStrategy, RankSelection, SKETCH_DEFAULT_PROBE};
+
+/// Timed fits per strategy per shape.
+const REPS: usize = 5;
+/// Untimed warm-up fits per strategy per shape.
+const WARMUP: usize = 1;
+/// Oversampling columns beyond the probe width.
+const OVERSAMPLE: usize = 8;
+/// Power iterations sharpening the randomized range.
+const POWER_ITERS: usize = 2;
+
+/// The paper's tall-window regimes: (label, sensors P, snapshots T).
+const SHAPES: &[(&str, usize, usize)] = &[
+    ("theta_window_4392x300", 4392, 300),
+    ("polaris_window_5824x256", 5824, 256),
+];
+
+/// Synthetic telemetry: a handful of coherent spatio-temporal modes (the
+/// low-rank structure mrDMD exploits) over a small broadband floor, so SVHT
+/// retains a modest rank and the exact tail is non-trivial.
+fn telemetry(p: usize, t: usize, seed: usize) -> Mat {
+    const MODES: usize = 12;
+    Mat::from_fn(p, t, |i, j| {
+        let tt = j as f64 * 0.05;
+        let mut v = 0.0;
+        for m in 0..MODES {
+            let f = 0.2 + m as f64 * 0.31;
+            let spatial = ((i * (m + 2) + seed) as f64 * 0.013).sin();
+            v += spatial * (f * tt + m as f64).sin() / (1.0 + m as f64);
+        }
+        v + 1e-3 * (((i * 73 + j * 131 + seed * 17) % 997) as f64 / 997.0 - 0.5)
+    })
+}
+
+/// Wall seconds for `reps` fits under `strategy`, after `WARMUP` untimed
+/// fits.
+fn time_fits(data: &Mat, cfg: &DmdConfig, reps: usize) -> f64 {
+    for _ in 0..WARMUP {
+        assert!(Dmd::try_fit(data, cfg).is_ok(), "warm-up fit failed");
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        let d = Dmd::try_fit(data, cfg).expect("timed fit failed");
+        assert!(d.rank() > 0, "degenerate fit");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+struct ShapeResult {
+    label: &'static str,
+    p: usize,
+    t: usize,
+    exact_s: f64,
+    sketched_s: f64,
+    speedup: f64,
+    exact_rel_err: f64,
+    sketched_rel_err: f64,
+    err_ratio: f64,
+    accuracy_pass: bool,
+}
+
+fn main() {
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_sketch.json".to_string())
+    };
+    let min_speedup: f64 = std::env::var("SKETCH_BENCH_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+    let max_err_ratio: f64 = std::env::var("SKETCH_BENCH_MAX_ERR_RATIO")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.25);
+
+    let exact_cfg = DmdConfig {
+        dt: 1.0,
+        rank: RankSelection::Svht,
+        strategy: FitStrategy::Exact,
+    };
+    let sketched_cfg = DmdConfig {
+        dt: 1.0,
+        rank: RankSelection::Svht,
+        strategy: FitStrategy::Sketched {
+            rank_oversample: OVERSAMPLE,
+            power_iters: POWER_ITERS,
+            seed: DEFAULT_SKETCH_SEED,
+        },
+    };
+
+    let mut results: Vec<ShapeResult> = Vec::new();
+    for (s, &(label, p, t)) in SHAPES.iter().enumerate() {
+        let data = telemetry(p, t, s + 1);
+
+        // Accuracy budget at the sketch's probe width: the randomized
+        // rank-k factorisation vs the optimal rank-k truncation.
+        let k = SKETCH_DEFAULT_PROBE.min(p.min(t));
+        let norm = data.fro_norm().max(1e-300);
+        let full = svd(&data);
+        let exact_rel_err = full.truncate(k).reconstruct().fro_dist(&data) / norm;
+        let sk = svd_sketched(&data, k, OVERSAMPLE, POWER_ITERS, DEFAULT_SKETCH_SEED);
+        let sketched_rel_err = sk.reconstruct().fro_dist(&data) / norm;
+        let err_ratio = sketched_rel_err / exact_rel_err.max(1e-300);
+        let accuracy_pass = err_ratio <= max_err_ratio || sketched_rel_err <= 1e-10;
+
+        // Interleave the two strategies rep by rep so host noise lands on
+        // both sides alike.
+        let (mut exact_s, mut sketched_s) = (0.0f64, 0.0f64);
+        for _ in 0..REPS {
+            exact_s += time_fits(&data, &exact_cfg, 1);
+            sketched_s += time_fits(&data, &sketched_cfg, 1);
+        }
+        let speedup = exact_s / sketched_s;
+
+        println!(
+            "{label}: exact {exact_s:.3} s, sketched {sketched_s:.3} s -> {speedup:.2}x \
+             (err {sketched_rel_err:.3e} vs optimal {exact_rel_err:.3e}, ratio {err_ratio:.3})"
+        );
+        results.push(ShapeResult {
+            label,
+            p,
+            t,
+            exact_s,
+            sketched_s,
+            speedup,
+            exact_rel_err,
+            sketched_rel_err,
+            err_ratio,
+            accuracy_pass,
+        });
+    }
+
+    let all_accurate = results.iter().all(|r| r.accuracy_pass);
+    let all_fast = results.iter().all(|r| r.speedup >= min_speedup);
+    let pass = all_accurate && all_fast;
+
+    let mut shapes_json = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            shapes_json.push_str(",\n");
+        }
+        shapes_json.push_str(&format!(
+            "    {{\n      \"shape\": \"{}\",\n      \"rows\": {},\n      \"cols\": {},\n      \
+             \"reps\": {REPS},\n      \"exact_wall_s\": {:.4},\n      \
+             \"sketched_wall_s\": {:.4},\n      \"speedup\": {:.3},\n      \
+             \"optimal_rank_k_rel_err\": {:.6e},\n      \"sketched_rel_err\": {:.6e},\n      \
+             \"err_ratio\": {:.4},\n      \"accuracy_pass\": {}\n    }}",
+            r.label,
+            r.p,
+            r.t,
+            r.exact_s,
+            r.sketched_s,
+            r.speedup,
+            r.exact_rel_err,
+            r.sketched_rel_err,
+            r.err_ratio,
+            r.accuracy_pass,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"sketch_bench\",\n  \"probe_rank\": {SKETCH_DEFAULT_PROBE},\n  \
+         \"oversample\": {OVERSAMPLE},\n  \"power_iters\": {POWER_ITERS},\n  \
+         \"seed\": {DEFAULT_SKETCH_SEED},\n  \"min_speedup\": {min_speedup},\n  \
+         \"max_err_ratio\": {max_err_ratio},\n  \"shapes\": [\n{shapes_json}\n  ],\n  \
+         \"pass\": {pass}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("sketch_bench: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "sketch_bench: {} shapes, floor {min_speedup}x, err budget {max_err_ratio}x: {}",
+        results.len(),
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,11 @@ pub enum Command {
         max_cycles: usize,
         /// Worker threads (0 = auto, 1 = serial).
         threads: usize,
+        /// Root fit strategy (`exact` or `sketched`).
+        fit_strategy: String,
+        /// Seed for the sketched strategy's randomized probe (fixed
+        /// default when omitted).
+        sketch_seed: Option<u64>,
         /// Output model JSON path.
         model: PathBuf,
     },
@@ -92,6 +97,10 @@ pub enum Command {
         threads: usize,
         /// Gap repair policy (`reject`, `hold`, `interpolate`, `mask`).
         gap_policy: String,
+        /// Root fit strategy (`exact` or `sketched`).
+        fit_strategy: String,
+        /// Seed for the sketched strategy's randomized probe.
+        sketch_seed: Option<u64>,
         /// Directory for periodic checkpoints (enables checkpointing).
         checkpoint_dir: Option<PathBuf>,
         /// Checkpoint every N chunks (default 1).
@@ -117,6 +126,10 @@ pub enum Command {
         threads: usize,
         /// Gap repair policy (`reject`, `hold`, `interpolate`, `mask`).
         gap_policy: String,
+        /// Root fit strategy (`exact` or `sketched`) for every tenant shard.
+        fit_strategy: String,
+        /// Seed for the sketched strategy's randomized probe.
+        sketch_seed: Option<u64>,
         /// Shared checkpoint directory (shard-namespaced files); enables
         /// crash recovery.
         checkpoint_dir: Option<PathBuf>,
@@ -138,6 +151,10 @@ pub enum Command {
         levels: usize,
         /// Snapshots per ingest batch.
         chunk: usize,
+        /// Root fit strategy (`exact` or `sketched`).
+        fit_strategy: String,
+        /// Seed for the sketched strategy's randomized probe.
+        sketch_seed: Option<u64>,
         /// Output format: `json` or `prom`.
         format: String,
     },
@@ -146,7 +163,8 @@ pub enum Command {
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info|health|stream|serve|metrics> [--flag value]...
   synth   --nodes N --steps T [--seed S] --out FILE.csv
-  fit     --input FILE.csv --dt SECONDS [--levels L] [--max-cycles C] [--threads N] --model FILE.json
+  fit     --input FILE.csv --dt SECONDS [--levels L] [--max-cycles C] [--threads N]
+          [--fit-strategy exact|sketched] [--sketch-seed S] --model FILE.json
   update  --model FILE.json --input FILE.csv [--model-out FILE.json] [--threads N]
   analyze --model FILE.json --input FILE.csv [--band-lo X --band-hi Y]
   render  --model FILE.json --input FILE.csv --layout \"SPEC\" --out FILE.svg
@@ -154,11 +172,14 @@ pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info
   health  --model FILE.json
   stream  --input FILE.csv --dt SECONDS --model FILE.json [--chunk N] [--levels L] [--threads N]
           [--gap-policy reject|hold|interpolate|mask]
+          [--fit-strategy exact|sketched] [--sketch-seed S]
           [--checkpoint-dir DIR] [--checkpoint-every K] [--resume] [--metrics-every N]
   serve   --addr HOST:PORT --dt SECONDS [--levels L] [--threads N]
           [--gap-policy reject|hold|interpolate|mask]
+          [--fit-strategy exact|sketched] [--sketch-seed S]
           [--checkpoint-dir DIR] [--checkpoint-every K] [--max-body-mb M] [--max-tenants N]
-  metrics --input FILE.csv --dt SECONDS [--levels L] [--chunk N] [--format json|prom]";
+  metrics --input FILE.csv --dt SECONDS [--levels L] [--chunk N]
+          [--fit-strategy exact|sketched] [--sketch-seed S] [--format json|prom]";
 
 /// Flags that take no value: their presence means `true`.
 const BOOL_FLAGS: &[&str] = &["resume"];
@@ -208,6 +229,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             })
             .transpose()
     };
+    let strategy = || {
+        flags
+            .get("fit-strategy")
+            .cloned()
+            .unwrap_or_else(|| "exact".to_string())
+    };
+    let sketch_seed = || -> Result<Option<u64>, CliError> {
+        flags
+            .get("sketch-seed")
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| CliError("--sketch-seed must be an integer".into()))
+    };
     match cmd.as_str() {
         "synth" => Ok(Command::Synth {
             nodes: int("nodes")?,
@@ -241,6 +275,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .transpose()
                 .map_err(|_| CliError("--threads must be an integer".into()))?
                 .unwrap_or(0),
+            fit_strategy: strategy(),
+            sketch_seed: sketch_seed()?,
             model: get("model")?.into(),
         }),
         "update" => Ok(Command::Update {
@@ -296,6 +332,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .get("gap-policy")
                 .cloned()
                 .unwrap_or_else(|| "reject".to_string()),
+            fit_strategy: strategy(),
+            sketch_seed: sketch_seed()?,
             checkpoint_dir: flags.get("checkpoint-dir").map(PathBuf::from),
             checkpoint_every: flags
                 .get("checkpoint-every")
@@ -331,6 +369,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .get("gap-policy")
                 .cloned()
                 .unwrap_or_else(|| "interpolate".to_string()),
+            fit_strategy: strategy(),
+            sketch_seed: sketch_seed()?,
             checkpoint_dir: flags.get("checkpoint-dir").map(PathBuf::from),
             checkpoint_every: flags
                 .get("checkpoint-every")
@@ -366,6 +406,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .transpose()
                 .map_err(|_| CliError("--chunk must be an integer".into()))?
                 .unwrap_or(64),
+            fit_strategy: strategy(),
+            sketch_seed: sketch_seed()?,
             format: flags
                 .get("format")
                 .cloned()
@@ -397,6 +439,8 @@ mod tests {
                 levels: 5,
                 max_cycles: 2,
                 threads: 4,
+                fit_strategy: "exact".into(),
+                sketch_seed: None,
                 model: "m.json".into()
             }
         );
@@ -494,6 +538,8 @@ mod tests {
                 levels: 6,
                 threads: 0,
                 gap_policy: "reject".into(),
+                fit_strategy: "exact".into(),
+                sketch_seed: None,
                 checkpoint_dir: None,
                 checkpoint_every: 1,
                 resume: false,
@@ -513,6 +559,8 @@ mod tests {
                 dt: 20.0,
                 levels: 6,
                 chunk: 64,
+                fit_strategy: "exact".into(),
+                sketch_seed: None,
                 format: "json".into(),
             }
         );
@@ -533,6 +581,32 @@ mod tests {
             _ => panic!("wrong variant"),
         }
         assert!(parse_args(&argv("metrics --input a.csv")).is_err());
+    }
+
+    #[test]
+    fn fit_strategy_flags_parse() {
+        let c = parse_args(&argv(
+            "fit --input a.csv --dt 1 --fit-strategy sketched --sketch-seed 7 --model m.json",
+        ))
+        .unwrap();
+        match c {
+            Command::Fit {
+                fit_strategy,
+                sketch_seed,
+                ..
+            } => {
+                assert_eq!(fit_strategy, "sketched");
+                assert_eq!(sketch_seed, Some(7));
+            }
+            _ => panic!("wrong variant"),
+        }
+        assert!(
+            parse_args(&argv(
+                "fit --input a.csv --dt 1 --sketch-seed x --model m.json"
+            ))
+            .is_err(),
+            "--sketch-seed must be an integer"
+        );
     }
 
     #[test]
@@ -598,6 +672,8 @@ mod tests {
                 levels: 6,
                 threads: 0,
                 gap_policy: "interpolate".into(),
+                fit_strategy: "exact".into(),
+                sketch_seed: None,
                 checkpoint_dir: None,
                 checkpoint_every: 1,
                 max_body_mb: 32,

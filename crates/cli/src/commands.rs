@@ -28,8 +28,19 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             levels,
             max_cycles,
             threads,
+            fit_strategy,
+            sketch_seed,
             model,
-        } => fit(input, *dt, *levels, *max_cycles, *threads, model),
+        } => fit(FitOpts {
+            input,
+            dt: *dt,
+            levels: *levels,
+            max_cycles: *max_cycles,
+            threads: *threads,
+            fit_strategy,
+            sketch_seed: *sketch_seed,
+            model,
+        }),
         Command::Update {
             model,
             input,
@@ -57,6 +68,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             levels,
             threads,
             gap_policy,
+            fit_strategy,
+            sketch_seed,
             checkpoint_dir,
             checkpoint_every,
             resume,
@@ -69,6 +82,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             levels: *levels,
             threads: *threads,
             gap_policy,
+            fit_strategy,
+            sketch_seed: *sketch_seed,
             checkpoint_dir: checkpoint_dir.as_deref(),
             checkpoint_every: *checkpoint_every,
             resume: *resume,
@@ -81,6 +96,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             levels,
             threads,
             gap_policy,
+            fit_strategy,
+            sketch_seed,
             checkpoint_dir,
             checkpoint_every,
             max_body_mb,
@@ -91,6 +108,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             levels: *levels,
             threads: *threads,
             gap_policy,
+            fit_strategy,
+            sketch_seed: *sketch_seed,
             checkpoint_dir: checkpoint_dir.as_deref(),
             checkpoint_every: *checkpoint_every,
             max_body_mb: *max_body_mb,
@@ -101,9 +120,23 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             dt,
             levels,
             chunk,
+            fit_strategy,
+            sketch_seed,
             format,
-        } => metrics(input, *dt, *levels, *chunk, format),
+        } => metrics(input, *dt, *levels, *chunk, fit_strategy, *sketch_seed, format),
     }
+}
+
+/// Borrowed view of [`Command::Fit`]'s flags.
+struct FitOpts<'a> {
+    input: &'a Path,
+    dt: f64,
+    levels: usize,
+    max_cycles: usize,
+    threads: usize,
+    fit_strategy: &'a str,
+    sketch_seed: Option<u64>,
+    model: &'a Path,
 }
 
 /// Borrowed view of [`Command::Stream`]'s flags, so the implementation
@@ -115,6 +148,8 @@ struct StreamOpts<'a> {
     levels: usize,
     threads: usize,
     gap_policy: &'a str,
+    fit_strategy: &'a str,
+    sketch_seed: Option<u64>,
     checkpoint_dir: Option<&'a Path>,
     checkpoint_every: usize,
     resume: bool,
@@ -129,6 +164,8 @@ struct ServeOpts<'a> {
     levels: usize,
     threads: usize,
     gap_policy: &'a str,
+    fit_strategy: &'a str,
+    sketch_seed: Option<u64>,
     checkpoint_dir: Option<&'a Path>,
     checkpoint_every: usize,
     max_body_mb: usize,
@@ -147,8 +184,9 @@ fn bind_server(o: &ServeOpts<'_>) -> Result<(imrdmd_serve::Server, usize, usize)
     }
     let policy = GapPolicy::parse(o.gap_policy)
         .ok_or_else(|| CliError(format!("unknown --gap-policy `{}`", o.gap_policy)))?;
+    let strategy = parse_fit_strategy(o.fit_strategy, o.sketch_seed)?;
     let cfg = imrdmd_serve::ServeConfig {
-        model: stream_config(o.dt, o.levels, 2, o.threads)?,
+        model: stream_config(o.dt, o.levels, 2, o.threads, strategy)?,
         policy,
         checkpoint_dir: o.checkpoint_dir.map(Path::to_path_buf),
         checkpoint_every: o.checkpoint_every.max(1),
@@ -177,6 +215,24 @@ fn serve(o: ServeOpts<'_>) -> Result<String, CliError> {
     ))
 }
 
+/// Maps the `--fit-strategy`/`--sketch-seed` flags onto [`FitStrategy`].
+/// `sketched` uses the library's standard oversampling and power-iteration
+/// budget with a fixed default seed, so runs stay reproducible unless a
+/// seed is given explicitly.
+fn parse_fit_strategy(name: &str, sketch_seed: Option<u64>) -> Result<FitStrategy, CliError> {
+    match name {
+        "exact" => Ok(FitStrategy::Exact),
+        "sketched" => Ok(FitStrategy::Sketched {
+            rank_oversample: 8,
+            power_iters: 2,
+            seed: sketch_seed.unwrap_or(hpc_linalg::DEFAULT_SKETCH_SEED),
+        }),
+        other => Err(CliError(format!(
+            "unknown --fit-strategy `{other}` (expected exact or sketched)"
+        ))),
+    }
+}
+
 /// The streaming configuration every CSV-driven command uses, built (and
 /// therefore validated) through the builder-first API.
 fn stream_config(
@@ -184,6 +240,7 @@ fn stream_config(
     levels: usize,
     max_cycles: usize,
     threads: usize,
+    strategy: FitStrategy,
 ) -> Result<IMrDmdConfig, CliError> {
     let mr = MrDmdConfig::builder()
         .dt(dt)
@@ -191,6 +248,7 @@ fn stream_config(
         .max_cycles(max_cycles.max(1))
         .rank(RankSelection::Svht)
         .n_threads(threads)
+        .fit_strategy(strategy)
         .build()?;
     Ok(IMrDmdConfig::builder().mr(mr).build()?)
 }
@@ -233,28 +291,22 @@ fn synth(nodes: usize, steps: usize, seed: u64, out: &Path) -> Result<String, Cl
     ))
 }
 
-fn fit(
-    input: &Path,
-    dt: f64,
-    levels: usize,
-    max_cycles: usize,
-    threads: usize,
-    model_path: &Path,
-) -> Result<String, CliError> {
-    if dt <= 0.0 {
+fn fit(o: FitOpts<'_>) -> Result<String, CliError> {
+    if o.dt <= 0.0 {
         return Err(CliError("--dt must be positive".into()));
     }
-    let data = load_csv(input)?;
-    let cfg = stream_config(dt, levels, max_cycles, threads)?;
+    let data = load_csv(o.input)?;
+    let strategy = parse_fit_strategy(o.fit_strategy, o.sketch_seed)?;
+    let cfg = stream_config(o.dt, o.levels, o.max_cycles, o.threads, strategy)?;
     let model = IMrDmd::fit(&data, &cfg);
-    save_model(model_path, &model)?;
+    save_model(o.model, &model)?;
     Ok(format!(
         "fitted {} series × {} snapshots: {} modes across {} levels → {}",
         model.n_rows(),
         model.n_steps(),
         model.n_modes(),
         model.depth(),
-        model_path.display()
+        o.model.display()
     ))
 }
 
@@ -412,6 +464,7 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
     if o.resume && o.checkpoint_dir.is_none() {
         return Err(CliError("--resume needs --checkpoint-dir".into()));
     }
+    let strategy = parse_fit_strategy(o.fit_strategy, o.sketch_seed)?;
     let data = load_csv(o.input)?;
     let total = data.cols();
 
@@ -468,7 +521,7 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
                 // First chunk: repair it stand-alone, then cold-start.
                 let (clean, rep) = guard.repair(&batch)?;
                 repairs.merge(&rep);
-                let cfg = stream_config(o.dt, o.levels, 2, o.threads)?;
+                let cfg = stream_config(o.dt, o.levels, 2, o.threads, strategy)?;
                 model = Some(IMrDmd::fit(clean.as_ref().unwrap_or(&batch), &cfg));
             }
             Some(m) => {
@@ -533,6 +586,8 @@ fn metrics(
     dt: f64,
     levels: usize,
     chunk: usize,
+    fit_strategy: &str,
+    sketch_seed: Option<u64>,
     format: &str,
 ) -> Result<String, CliError> {
     if dt <= 0.0 {
@@ -551,8 +606,9 @@ fn metrics(
     if total < 2 {
         return Err(CliError("metrics needs at least two snapshots".into()));
     }
+    let strategy = parse_fit_strategy(fit_strategy, sketch_seed)?;
     imrdmd::obs::reset();
-    let cfg = stream_config(dt, levels, 2, 0)?;
+    let cfg = stream_config(dt, levels, 2, 0, strategy)?;
     let first = chunk.min(total);
     let mut model = IMrDmd::fit(&data.cols_range(0, first), &cfg);
     let mut engine = Engine::with_threads(1);
@@ -812,10 +868,51 @@ mod tests {
             levels: 3,
             max_cycles: 2,
             threads: 0,
+            fit_strategy: "exact".into(),
+            sketch_seed: None,
             model: tmp("m.json"),
         })
         .unwrap_err();
         assert!(err.0.contains("cannot open"));
+    }
+
+    #[test]
+    fn fit_strategy_sketched_is_seed_reproducible() {
+        let csv = tmp("sketched.csv");
+        let m1 = tmp("sketched1.json");
+        let m2 = tmp("sketched2.json");
+        run(&parse_args(&argv(&format!(
+            "synth --nodes 16 --steps 400 --seed 11 --out {}",
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+        // Two sketched fits with the same seed write identical models.
+        for m in [&m1, &m2] {
+            let r = run(&parse_args(&argv(&format!(
+                "fit --input {} --dt 20 --levels 4 --fit-strategy sketched \
+                 --sketch-seed 5 --model {}",
+                csv.display(),
+                m.display()
+            )))
+            .unwrap())
+            .unwrap();
+            assert!(r.contains("fitted 16 series"), "{r}");
+        }
+        assert_eq!(
+            fs::read_to_string(&m1).unwrap(),
+            fs::read_to_string(&m2).unwrap(),
+            "sketched fit must be seed-reproducible"
+        );
+        // Unknown strategies are a clean error.
+        let err = run(&parse_args(&argv(&format!(
+            "fit --input {} --dt 20 --fit-strategy frob --model {}",
+            csv.display(),
+            m1.display()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("unknown --fit-strategy"), "{err}");
     }
 
     #[test]
@@ -1012,6 +1109,8 @@ mod tests {
             levels: 4,
             threads: 1,
             gap_policy: "interpolate",
+            fit_strategy: "exact",
+            sketch_seed: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
             max_body_mb: 32,
@@ -1026,6 +1125,8 @@ mod tests {
             levels: 4,
             threads: 1,
             gap_policy: "yolo",
+            fit_strategy: "exact",
+            sketch_seed: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
             max_body_mb: 32,
@@ -1045,6 +1146,8 @@ mod tests {
             levels: 4,
             threads: 1,
             gap_policy: "interpolate",
+            fit_strategy: "exact",
+            sketch_seed: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
             max_body_mb: 4,

@@ -227,6 +227,7 @@ mod tests {
                 min_window: 16,
                 max_window_growth: 1e3,
                 n_threads: 0,
+                ..MrDmdConfig::default()
             },
         )
     }

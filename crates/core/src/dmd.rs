@@ -9,8 +9,8 @@
 
 use crate::error::CoreError;
 use hpc_linalg::{
-    c64, lstsq_complex, svd_truncated, svht_rank, try_eig_real, try_lstsq_complex, CMat, EigStats,
-    Mat, Svd,
+    c64, lstsq_complex, svd_sketched, svd_truncated, svht_rank, try_eig_real, try_lstsq_complex,
+    CMat, EigStats, Mat, Svd,
 };
 use serde::{Deserialize, Serialize};
 
@@ -111,6 +111,143 @@ impl<'de> serde::de::Deserialize<'de> for RankSelection {
     }
 }
 
+/// How the snapshot SVD underlying a fit is computed.
+///
+/// `Exact` routes through the historical one-sided Jacobi path and is
+/// bitwise-identical to the solver before this enum existed. `Sketched`
+/// replaces the dense SVD with a seeded randomized range-finder
+/// ([`hpc_linalg::svd_sketched`] for one-shot fits,
+/// [`hpc_linalg::SketchSvd`] for streams, where the probed basis is reused
+/// and incrementally refreshed across `partial_fit` rounds instead of
+/// re-drawn per fit) — see DESIGN.md "Fit strategies" for when it pays off
+/// and the accuracy budget it is tested against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub enum FitStrategy {
+    /// Exact truncated SVD (one-sided Jacobi) — the historical default.
+    #[default]
+    Exact,
+    /// Seeded randomized range-finder sketch (Halko et al.; Erichson et
+    /// al.'s randomized DMD).
+    Sketched {
+        /// Extra probe columns beyond the retained rank (Halko's `p`;
+        /// 5–10 is standard — must be in `1..=64`).
+        rank_oversample: usize,
+        /// Subspace (power) iterations sharpening the probe against slow
+        /// spectral decay (must be `≤ 8`; 1–2 is standard).
+        power_iters: usize,
+        /// Probe seed: fits are deterministic for a fixed seed at any
+        /// thread count. Derived per-node via [`FitStrategy::for_node`].
+        seed: u64,
+    },
+}
+
+impl FitStrategy {
+    /// Checks the variant's parameter domain: a `Sketched` oversample must
+    /// lie in `1..=64` and `power_iters` in `0..=8`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if let FitStrategy::Sketched {
+            rank_oversample,
+            power_iters,
+            ..
+        } = *self
+        {
+            if rank_oversample == 0 || rank_oversample > 64 {
+                return Err(CoreError::InvalidConfig {
+                    what: format!("sketch rank_oversample must be in 1..=64, got {rank_oversample}"),
+                });
+            }
+            if power_iters > 8 {
+                return Err(CoreError::InvalidConfig {
+                    what: format!("sketch power_iters must be at most 8, got {power_iters}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Derives the strategy for one tree node: `Sketched` seeds are mixed
+    /// with a position-derived salt (splitmix64 finalizer) so sibling nodes
+    /// draw decorrelated probes, while staying independent of thread count
+    /// and traversal order. `Exact` is returned unchanged.
+    #[must_use]
+    pub fn for_node(self, salt: u64) -> FitStrategy {
+        match self {
+            FitStrategy::Exact => FitStrategy::Exact,
+            FitStrategy::Sketched {
+                rank_oversample,
+                power_iters,
+                seed,
+            } => FitStrategy::Sketched {
+                rank_oversample,
+                power_iters,
+                seed: mix_seed(seed, salt),
+            },
+        }
+    }
+}
+
+/// splitmix64 finalizer over `seed ⊕ golden·salt`: cheap, stateless, and
+/// avalanching, so adjacent window positions land on unrelated probes.
+fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// Manual impl for two reasons (mirroring `RankSelection`): the derive
+// cannot attach validation, and a checkpoint written before this field
+// existed deserializes its absence (`Null`) as the historical `Exact`
+// behaviour instead of erroring.
+impl<'de> serde::de::Deserialize<'de> for FitStrategy {
+    fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        #[derive(Deserialize)]
+        struct SketchedPayload {
+            rank_oversample: usize,
+            power_iters: usize,
+            seed: u64,
+        }
+        let strat = match deserializer.take_content()? {
+            // Absent field in a pre-strategy checkpoint.
+            serde::Content::Null => FitStrategy::Exact,
+            serde::Content::Str(s) if s == "Exact" => FitStrategy::Exact,
+            serde::Content::Map(mut m) if m.len() == 1 => {
+                let (key, payload) = m.remove(0);
+                match key.as_str() {
+                    "Sketched" => {
+                        let p = serde::from_content::<SketchedPayload, D::Error>(payload)?;
+                        FitStrategy::Sketched {
+                            rank_oversample: p.rank_oversample,
+                            power_iters: p.power_iters,
+                            seed: p.seed,
+                        }
+                    }
+                    other => {
+                        return Err(D::Error::custom(format!(
+                            "unknown variant `{other}` of FitStrategy"
+                        )))
+                    }
+                }
+            }
+            other => {
+                return Err(D::Error::custom(format!(
+                    "expected a FitStrategy variant, found {other:?}"
+                )))
+            }
+        };
+        strat.validate().map_err(D::Error::custom)?;
+        Ok(strat)
+    }
+}
+
+/// Default probe rank for a `Sketched` fit under a spectrum-adaptive rank
+/// rule (`Svht` / `Energy`): the rule needs a spectrum to threshold, but
+/// probing at the full `min(P, T)` would forfeit the sketch's speedup, so
+/// the probe is capped here (matching the incremental path's default
+/// `isvd_max_rank` headroom). `Fixed(r)` probes at `r` exactly.
+pub const SKETCH_DEFAULT_PROBE: usize = 48;
+
 /// Configuration for a single DMD fit.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct DmdConfig {
@@ -118,6 +255,9 @@ pub struct DmdConfig {
     pub dt: f64,
     /// Truncation rule for the snapshot SVD.
     pub rank: RankSelection,
+    /// How the snapshot SVD is computed (absent in old checkpoints ⇒
+    /// [`FitStrategy::Exact`]).
+    pub strategy: FitStrategy,
 }
 
 impl Default for DmdConfig {
@@ -125,6 +265,7 @@ impl Default for DmdConfig {
         DmdConfig {
             dt: 1.0,
             rank: RankSelection::Svht,
+            strategy: FitStrategy::Exact,
         }
     }
 }
@@ -143,7 +284,8 @@ impl DmdConfig {
                 ),
             });
         }
-        self.rank.validate()
+        self.rank.validate()?;
+        self.strategy.validate()
     }
 
     /// Builder-first construction: every field defaults as in
@@ -186,6 +328,13 @@ impl DmdConfigBuilder {
     #[must_use]
     pub fn rank(mut self, rank: RankSelection) -> Self {
         self.cfg.rank = rank;
+        self
+    }
+
+    /// How the snapshot SVD is computed.
+    #[must_use]
+    pub fn fit_strategy(mut self, strategy: FitStrategy) -> Self {
+        self.cfg.strategy = strategy;
         self
     }
 
@@ -248,7 +397,8 @@ impl Dmd {
     /// let data = Mat::from_fn(16, 300, |i, j| {
     ///     (std::f64::consts::TAU * 2.0 * j as f64 * dt + i as f64 * 0.2).sin()
     /// });
-    /// let dmd = Dmd::fit(&data, &DmdConfig { dt, rank: RankSelection::Fixed(2) });
+    /// let cfg = DmdConfig { dt, rank: RankSelection::Fixed(2), ..DmdConfig::default() };
+    /// let dmd = Dmd::fit(&data, &cfg);
     /// let f = dmd.frequencies();
     /// assert!((f[0] - 2.0).abs() < 0.05);
     /// ```
@@ -271,12 +421,31 @@ impl Dmd {
         let t = data.cols();
         let x = data.cols_range(0, t - 1);
         let y = data.cols_range(1, t);
-        // Oversize the probe a little so SVHT has spectrum to threshold.
-        let probe = match cfg.rank {
-            RankSelection::Fixed(r) => r,
-            _ => x.rows().min(x.cols()),
+        let svd_x = match cfg.strategy {
+            FitStrategy::Exact => {
+                // Oversize the probe a little so SVHT has spectrum to
+                // threshold.
+                let probe = match cfg.rank {
+                    RankSelection::Fixed(r) => r,
+                    _ => x.rows().min(x.cols()),
+                };
+                svd_truncated(&x, probe.max(1))
+            }
+            FitStrategy::Sketched {
+                rank_oversample,
+                power_iters,
+                seed,
+            } => {
+                // Adaptive rank rules threshold within the sketched
+                // spectrum, probed at the bounded default instead of the
+                // full min-dimension (see `SKETCH_DEFAULT_PROBE`).
+                let probe = match cfg.rank {
+                    RankSelection::Fixed(r) => r,
+                    _ => SKETCH_DEFAULT_PROBE.min(x.rows().min(x.cols())),
+                };
+                svd_sketched(&x, probe.max(1), rank_oversample, power_iters, seed)
+            }
         };
-        let svd_x = svd_truncated(&x, probe.max(1));
         Self::try_from_svd(&svd_x, &y, data, cfg)
     }
 
@@ -557,6 +726,7 @@ mod tests {
             &DmdConfig {
                 dt,
                 rank: RankSelection::Fixed(4),
+                ..DmdConfig::default()
             },
         );
         let mut freqs = dmd.frequencies();
@@ -577,6 +747,7 @@ mod tests {
             &DmdConfig {
                 dt,
                 rank: RankSelection::Fixed(4),
+                ..DmdConfig::default()
             },
         );
         for &l in &dmd.lambdas {
@@ -593,6 +764,7 @@ mod tests {
             &DmdConfig {
                 dt,
                 rank: RankSelection::Fixed(4),
+                ..DmdConfig::default()
             },
         );
         let rec = dmd.reconstruct(256);
@@ -612,6 +784,7 @@ mod tests {
             &DmdConfig {
                 dt,
                 rank: RankSelection::Fixed(1),
+                ..DmdConfig::default()
             },
         );
         assert_eq!(dmd.rank(), 1);
@@ -643,6 +816,7 @@ mod tests {
             &DmdConfig {
                 dt,
                 rank: RankSelection::Svht,
+                ..DmdConfig::default()
             },
         );
         // Two oscillators = 4 complex modes; SVHT should land close.
@@ -670,7 +844,8 @@ mod tests {
         }
         assert!(DmdConfig {
             dt: 0.0,
-            rank: RankSelection::Svht
+            rank: RankSelection::Svht,
+            ..DmdConfig::default()
         }
         .validate()
         .is_err());
@@ -685,11 +860,52 @@ mod tests {
     }
 
     #[test]
+    fn fit_strategy_wire_boundary_and_validation() {
+        // Old checkpoints carry no `strategy` field: a config without one
+        // must load as `Exact` (the bitwise-compatible default).
+        let legacy: DmdConfig = serde_json::from_str("{\"dt\":1.0,\"rank\":\"Svht\"}").unwrap();
+        assert_eq!(legacy.strategy, FitStrategy::Exact);
+        let unit: FitStrategy = serde_json::from_str("\"Exact\"").unwrap();
+        assert_eq!(unit, FitStrategy::Exact);
+        // Sketched round-trips through the wire format losslessly.
+        let sk = FitStrategy::Sketched {
+            rank_oversample: 8,
+            power_iters: 2,
+            seed: 0x5eed_cafe,
+        };
+        let wire = serde_json::to_string(&sk).unwrap();
+        let back: FitStrategy = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back, sk);
+        // The wire boundary enforces the same budget as the builder.
+        let bad = "{\"Sketched\":{\"rank_oversample\":0,\"power_iters\":1,\"seed\":7}}";
+        assert!(serde_json::from_str::<FitStrategy>(bad).is_err());
+        let bad = "{\"Sketched\":{\"rank_oversample\":8,\"power_iters\":9,\"seed\":7}}";
+        assert!(serde_json::from_str::<FitStrategy>(bad).is_err());
+        // validate() rejects out-of-budget parameters directly too.
+        assert!(FitStrategy::Sketched {
+            rank_oversample: 70,
+            power_iters: 1,
+            seed: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(FitStrategy::Exact.validate().is_ok());
+        // Per-node seed mixing: distinct salts give distinct seeds, the same
+        // salt is reproducible, and Exact is a fixed point.
+        let a = sk.for_node(1);
+        let b = sk.for_node(2);
+        assert_ne!(a, b);
+        assert_eq!(a, sk.for_node(1));
+        assert_eq!(FitStrategy::Exact.for_node(99), FitStrategy::Exact);
+    }
+
+    #[test]
     fn try_fit_reports_invalid_config_as_error() {
         let data = Mat::from_fn(4, 16, |i, j| ((i + j) as f64 * 0.3).sin());
         let bad = DmdConfig {
             dt: 1.0,
             rank: RankSelection::Energy(7.0),
+            ..DmdConfig::default()
         };
         match Dmd::try_fit(&data, &bad) {
             Err(CoreError::InvalidConfig { what }) => assert!(what.contains("energy fraction")),
@@ -698,6 +914,7 @@ mod tests {
         let good = DmdConfig {
             dt: 1.0,
             rank: RankSelection::Fixed(2),
+            ..DmdConfig::default()
         };
         let d = Dmd::try_fit(&data, &good).expect("healthy fit");
         assert!(d.rank() <= 2);
@@ -712,6 +929,7 @@ mod tests {
             &DmdConfig {
                 dt,
                 rank: RankSelection::Fixed(4),
+                ..DmdConfig::default()
             },
         );
         let rec0 = dmd.reconstruct_at(&[0.0]);
@@ -734,6 +952,7 @@ mod tests {
             &DmdConfig {
                 dt,
                 rank: RankSelection::Fixed(4),
+                ..DmdConfig::default()
             },
         );
         let x0 = data.col(0);
@@ -767,6 +986,7 @@ mod tests {
             &DmdConfig {
                 dt,
                 rank: RankSelection::Fixed(2),
+                ..DmdConfig::default()
             },
         );
         let a = sparse_amplitudes(&dmd.modes, &data.col(0), 1e12, 50);

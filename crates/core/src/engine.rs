@@ -200,7 +200,8 @@ impl Engine {
         }
         mark("begin", &mut marks);
 
-        // Stage 2: every tree's basis projection `d ← Uᵀ·x_block`, bucketed
+        // Stage 2: every tree's basis projection `d ← Uᵀ·x_block` (`Qᵀ` for
+        // sketched trees — `root_basis` picks the active factor), bucketed
         // by shape and dispatched as one batched pass over the pool.
         {
             let mut ops: Vec<GemmOp<'_>> = Vec::new();
@@ -218,7 +219,7 @@ impl Engine {
                 });
                 ops.push(GemmOp {
                     alpha: 1.0,
-                    a: job.tree.isvd_ref().u(),
+                    a: job.tree.root_basis(),
                     ta: Trans::Yes,
                     b: &*x_block,
                     tb: Trans::No,
@@ -360,6 +361,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dmd::FitStrategy;
     use crate::imrdmd::IMrDmdConfig;
     use crate::ingest::GapPolicy;
     use crate::mrdmd::MrDmdConfig;
@@ -446,6 +448,75 @@ mod tests {
                         state_json(tree),
                         *w,
                         "state diverged: round {round} tree {s} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_sketched_round_is_bitwise_identical_to_legacy() {
+        // Same fleet/round structure as the exact-strategy test, but every
+        // tree runs `FitStrategy::Sketched`: the engine's batched Qᵀ·X
+        // projection plus `absorb_projected` fold must be bit-identical to
+        // the legacy per-tree `absorb` path at every shard/thread count.
+        let shapes = [(8usize, 3usize, 4usize), (12, 3, 6), (8, 2, 4)];
+        for threads in [1usize, 2, 4] {
+            let mut legacy: Vec<IMrDmd> = Vec::new();
+            let mut batched: Vec<IMrDmd> = Vec::new();
+            for (s, &(p, levels, win)) in shapes.iter().enumerate() {
+                let mut cfg = fleet_cfg(levels, win);
+                cfg.mr.strategy = FitStrategy::Sketched {
+                    rank_oversample: 4,
+                    power_iters: 1,
+                    seed: 41 + s as u64,
+                };
+                let data = signal(p, 60, s);
+                legacy.push(IMrDmd::fit(&data, &cfg));
+                batched.push(IMrDmd::fit(&data, &cfg));
+            }
+            let mut engine = Engine::with_threads(threads);
+            for round in 0..4 {
+                let batches: Vec<Mat> = shapes
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &(p, _, _))| {
+                        // Tree 1 sits out round 2 (empty batch).
+                        let len = if s == 1 && round == 2 {
+                            0
+                        } else {
+                            5 + s + round
+                        };
+                        signal(p, len, s + 10 * (round + 1))
+                    })
+                    .collect();
+                let want: Vec<String> = legacy
+                    .iter_mut()
+                    .zip(&batches)
+                    .map(|(tree, b)| {
+                        tree.partial_fit(b);
+                        state_json(tree)
+                    })
+                    .collect();
+                let mut jobs: Vec<FleetJob<'_>> = batched
+                    .iter_mut()
+                    .zip(&batches)
+                    .map(|(tree, b)| FleetJob {
+                        tree,
+                        batch: b,
+                        guard: None,
+                    })
+                    .collect();
+                let reports = engine.run_fleet(&mut jobs);
+                drop(jobs);
+                for (s, r) in reports.iter().enumerate() {
+                    assert!(r.is_ok(), "round {round} tree {s}: {r:?}");
+                }
+                for (s, (tree, w)) in batched.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        state_json(tree),
+                        *w,
+                        "sketched state diverged: round {round} tree {s} threads {threads}"
                     );
                 }
             }

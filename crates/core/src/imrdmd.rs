@@ -23,13 +23,13 @@
 //! by the accumulated history — the property behind Table I's flat
 //! "Partial Fit" column.
 
-use crate::dmd::{Dmd, DmdConfig};
+use crate::dmd::{Dmd, DmdConfig, FitStrategy};
 use crate::error::CoreError;
 use crate::health::{FitFault, HealthSnapshot, LevelHealth, SolverStats, SubtreeHealth};
 use crate::ingest::{IngestGuard, RepairReport};
 use crate::mrdmd::{fit_halves, fit_tree, reconstruct_nodes, ModeSet, MrDmd, MrDmdConfig};
 use hpc_linalg::pool::WorkerPool;
-use hpc_linalg::{EigStats, IncrementalSvd, Mat};
+use hpc_linalg::{EigStats, IncrementalSvd, Mat, SketchSvd};
 use serde::{Deserialize, Serialize};
 
 /// Consecutive failed root solves after which the retained root modes are
@@ -266,8 +266,16 @@ pub struct IMrDmd {
     /// Absolute index of the next decimated column to capture.
     next_sub_abs: usize,
     /// Streaming SVD of the decimated stream minus its last column (the `X`
-    /// matrix of the root DMD pair).
+    /// matrix of the root DMD pair). Under `FitStrategy::Sketched` this is a
+    /// rank-1 placeholder that is never updated — `sketch` carries the root
+    /// factorisation instead.
     isvd: IncrementalSvd,
+    /// Streaming randomized sketch of the same `X` stream, present exactly
+    /// when the configured strategy is `Sketched` (absent in checkpoints
+    /// written before fit strategies existed). Its probed range basis is
+    /// reused and residual-refreshed across `partial_fit` rounds instead of
+    /// re-drawn per fit — the tentpole invariant of the sketched path.
+    sketch: Option<SketchSvd>,
     /// Level-1 slow modes over `[0, t_total)`.
     root: ModeSet,
     /// Levels ≥ 2 (old nodes level-shifted, plus per-batch new subtrees).
@@ -313,7 +321,25 @@ impl IMrDmd {
             "decimated root stream needs at least two columns"
         );
         let x = sub.cols_range(0, n_sub - 1);
-        let isvd = IncrementalSvd::new(&x, cfg.isvd_max_rank.max(1));
+        let (isvd, sketch) = match cfg.mr.strategy {
+            FitStrategy::Exact => (IncrementalSvd::new(&x, cfg.isvd_max_rank.max(1)), None),
+            FitStrategy::Sketched {
+                rank_oversample,
+                power_iters,
+                seed,
+            } => {
+                let sk = SketchSvd::new(
+                    &x,
+                    cfg.isvd_max_rank.max(1),
+                    rank_oversample,
+                    power_iters,
+                    seed,
+                );
+                // Rank-1 placeholder (O(P) state, never updated): keeps the
+                // field non-optional so the exact path is untouched.
+                (IncrementalSvd::new(&x.cols_range(0, 1), 1), Some(sk))
+            }
+        };
         let mut state = IMrDmd {
             cfg: *cfg,
             p,
@@ -322,6 +348,7 @@ impl IMrDmd {
             sub_data: sub,
             next_sub_abs: n_sub * root_step,
             isvd,
+            sketch,
             root: empty_root(p, t, root_step),
             subnodes: Vec::new(),
             drift_log: Vec::new(),
@@ -393,8 +420,13 @@ impl IMrDmd {
         let dmd_cfg = DmdConfig {
             dt: self.cfg.mr.dt * self.root_step as f64,
             rank: self.cfg.mr.rank,
+            strategy: self.cfg.mr.strategy,
         };
-        let dmd = Dmd::try_from_svd(&self.isvd.to_svd(), &y, &self.sub_data, &dmd_cfg)?;
+        let root_svd = match &self.sketch {
+            Some(sk) => sk.to_svd(),
+            None => self.isvd.to_svd(),
+        };
+        let dmd = Dmd::try_from_svd(&root_svd, &y, &self.sub_data, &dmd_cfg)?;
         Ok(self.root_from_dmd(dmd, window))
     }
 
@@ -517,8 +549,12 @@ impl IMrDmd {
                 x_block.set_col(k + 1, &block.col(k));
             }
             // A drift breach is recorded, not fatal: the update is already
-            // applied and the repair pass has done what it could.
-            if let Err(e) = self.isvd.try_update(&x_block) {
+            // applied and the repair pass has done what it could. The
+            // sketched path refreshes its reused basis instead (infallible —
+            // residual directions are folded in, never drifted past).
+            if let Some(sk) = &mut self.sketch {
+                sk.absorb(&x_block);
+            } else if let Err(e) = self.isvd.try_update(&x_block) {
                 self.isvd_drift_breaches += 1;
                 self.last_error = Some(e.to_string());
             }
@@ -828,7 +864,10 @@ impl IMrDmd {
 
     /// Rank of the streaming root SVD.
     pub fn root_rank(&self) -> usize {
-        self.isvd.rank()
+        match &self.sketch {
+            Some(sk) => sk.rank(),
+            None => self.isvd.rank(),
+        }
     }
 
     /// Reconstructs the denoised signal over absolute snapshots `[t0, t1)`.
@@ -960,9 +999,31 @@ impl IMrDmd {
         let new_sub = new_rows.subsample_cols(self.root_step);
         debug_assert_eq!(new_sub.cols(), self.sub_data.cols());
         let n_sub = self.sub_data.cols();
-        self.isvd.update_rows(&new_sub.cols_range(0, n_sub - 1));
+        if self.sketch.is_none() {
+            self.isvd.update_rows(&new_sub.cols_range(0, n_sub - 1));
+        }
         self.sub_data = self.sub_data.vstack(&new_sub);
         self.p = p_old + r;
+        // Row additions change the probe dimension itself, so the sketched
+        // basis cannot be patched incrementally: re-probe from the retained
+        // decimated stream (cheap next to the per-round absorbs it replaces).
+        if let Some(sk) = &mut self.sketch {
+            if let FitStrategy::Sketched {
+                rank_oversample,
+                power_iters,
+                seed,
+            } = self.cfg.mr.strategy
+            {
+                let x = self.sub_data.cols_range(0, n_sub - 1);
+                *sk = SketchSvd::new(
+                    &x,
+                    self.cfg.isvd_max_rank.max(1),
+                    rank_oversample,
+                    power_iters,
+                    seed,
+                );
+            }
+        }
         // Root modes now cover all rows.
         match self.try_solve_root(self.t_total) {
             Ok((root, stats)) => {
@@ -1227,9 +1288,22 @@ fn drift_scan_is_provably_zero(
 }
 
 impl IMrDmd {
-    /// The streaming SVD, borrowed for the engine's batched projection pass.
-    pub(crate) fn isvd_ref(&self) -> &IncrementalSvd {
-        &self.isvd
+    /// The active root basis the engine's batched projection pass multiplies
+    /// against: the sketch's reused range basis under `Sketched`, the
+    /// streaming SVD's left factor otherwise.
+    pub(crate) fn root_basis(&self) -> &Mat {
+        match &self.sketch {
+            Some(sk) => sk.basis(),
+            None => self.isvd.u(),
+        }
+    }
+
+    /// The streaming sketch behind the root fit, when the tree was built
+    /// with [`FitStrategy::Sketched`]. Test-only introspection hook for the
+    /// basis-reuse invariant.
+    #[cfg(test)]
+    pub(crate) fn sketch_state(&self) -> Option<&SketchSvd> {
+        self.sketch.as_ref()
     }
 
     /// Faults recorded since index `n`, for the engine's report assembly.
@@ -1271,7 +1345,7 @@ impl IMrDmd {
         } else {
             (Mat::zeros(self.p, 0), Mat::zeros(self.p, 0))
         };
-        let d = Mat::zeros(self.isvd.rank(), n_new);
+        let d = Mat::zeros(self.root_basis().cols(), n_new);
         EngineRound {
             t1,
             t_new,
@@ -1296,8 +1370,11 @@ impl IMrDmd {
             return;
         }
         // A drift breach is recorded, not fatal — exactly as in the legacy
-        // path.
-        if let Err(e) = self.isvd.try_update_with_projection(&r.x_block, &r.d) {
+        // path. The sketched arm folds the batch-computed projection into
+        // the reused basis, bitwise-identical to a standalone absorb.
+        if let Some(sk) = &mut self.sketch {
+            sk.absorb_projected(&r.x_block, &r.d);
+        } else if let Err(e) = self.isvd.try_update_with_projection(&r.x_block, &r.d) {
             self.isvd_drift_breaches += 1;
             self.last_error = Some(e.to_string());
         }
@@ -1339,8 +1416,16 @@ impl IMrDmd {
         let dmd_cfg = DmdConfig {
             dt: self.cfg.mr.dt * self.root_step as f64,
             rank: self.cfg.mr.rank,
+            strategy: self.cfg.mr.strategy,
         };
-        match Dmd::try_prepare_parts(self.isvd.u(), self.isvd.s(), self.isvd.v(), &y, &dmd_cfg) {
+        let prep = match &self.sketch {
+            Some(sk) => {
+                let f = sk.to_svd();
+                Dmd::try_prepare(&f, &y, &dmd_cfg)
+            }
+            None => Dmd::try_prepare_parts(self.isvd.u(), self.isvd.s(), self.isvd.v(), &y, &dmd_cfg),
+        };
+        match prep {
             Ok(crate::dmd::DmdPrep::Done(dmd)) => {
                 let (root, stats) = self.root_from_dmd(dmd, r.t_new);
                 self.engine_root_success(root, stats);
@@ -1644,12 +1729,113 @@ mod tests {
                 min_window: 16,
                 max_window_growth: 1e3,
                 n_threads: 0,
+                ..MrDmdConfig::default()
             },
             isvd_max_rank: 24,
             drift_threshold: None,
             keep_history: true,
             auto_refresh: false,
         }
+    }
+
+    fn sketched(mut c: IMrDmdConfig, seed: u64) -> IMrDmdConfig {
+        c.mr.strategy = FitStrategy::Sketched {
+            rank_oversample: 4,
+            power_iters: 1,
+            seed,
+        };
+        c
+    }
+
+    #[test]
+    fn sketched_stream_is_bitwise_deterministic_across_thread_counts() {
+        // The sketched path must be exactly reproducible at any worker
+        // count: the probe is seeded and every product routes through the
+        // deterministic GEMM. Stream two batches and compare the full
+        // serialized state bit for bit (after normalising the one config
+        // field that legitimately differs).
+        let dt = 0.5;
+        let data = stream_data(24, 200, dt);
+        let mut states: Vec<String> = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let mut c = sketched(cfg(dt), 1234);
+            c.mr.n_threads = threads;
+            let mut tree = IMrDmd::fit(&data.cols_range(0, 120), &c);
+            tree.partial_fit(&data.cols_range(120, 160));
+            tree.partial_fit(&data.cols_range(160, 200));
+            tree.set_n_threads(0);
+            states.push(serde_json::to_string(&tree).unwrap_or_default());
+        }
+        assert!(!states[0].is_empty());
+        for (i, s) in states.iter().enumerate().skip(1) {
+            assert_eq!(*s, states[0], "thread count #{i} diverged");
+        }
+    }
+
+    #[test]
+    fn sketched_stream_reuses_and_refreshes_one_probe() {
+        // The tentpole invariant: one cold-start probe at fit, zero
+        // re-probes across partial_fit rounds (refreshes are residual-driven
+        // basis growth, not fresh Gaussian draws).
+        let dt = 0.5;
+        // Wide enough that the cold start takes the genuine probe branch
+        // (l = isvd_max_rank + oversample must undercut the block shape).
+        let data = stream_data(80, 240, dt);
+        let mut c = sketched(cfg(dt), 9);
+        // Keep the probe width under the cold-start block's column count so
+        // the genuine randomized branch runs (not the small-shape fallback).
+        c.isvd_max_rank = 8;
+        let mut tree = IMrDmd::fit(&data.cols_range(0, 120), &c);
+        let sk = tree.sketch_state().unwrap();
+        assert_eq!(sk.probes_drawn(), 1, "cold start draws exactly one probe");
+        let cap = sk.basis_cap();
+        for k in 0..4 {
+            tree.partial_fit(&data.cols_range(120 + 30 * k, 150 + 30 * k));
+        }
+        let sk = tree.sketch_state().unwrap();
+        assert_eq!(sk.probes_drawn(), 1, "partial_fit must not re-probe");
+        assert!(
+            sk.basis_cols() >= 1 && sk.basis_cols() <= cap,
+            "refreshed basis stays within the compression cap"
+        );
+        assert!(tree.root_rank() > 0);
+    }
+
+    #[test]
+    fn sketched_root_tracks_exact_frequencies() {
+        // Accuracy on the pipeline level: the sketched root recovers the
+        // same dominant frequencies as the exact path on planted dynamics.
+        let dt = 0.5;
+        let data = stream_data(24, 200, dt);
+        let exact = IMrDmd::fit(&data, &cfg(dt));
+        let sk = IMrDmd::fit(&data, &sketched(cfg(dt), 77));
+        let fe = exact.root().frequencies();
+        let fs = sk.root().frequencies();
+        assert!(!fe.is_empty() && !fs.is_empty(), "{fe:?} vs {fs:?}");
+        for a in &fe {
+            let close = fs.iter().any(|b| (a - b).abs() < 1e-6 + 0.05 * a.abs());
+            assert!(close, "exact frequency {a} unmatched: {fe:?} vs {fs:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_without_strategy_fields_loads_as_exact() {
+        // A checkpoint written before fit strategies existed has neither the
+        // `sketch` state nor the `strategy` config field: both must
+        // deserialize to the historical exact behaviour, bit for bit.
+        let dt = 0.5;
+        let data = stream_data(12, 80, dt);
+        let tree = IMrDmd::fit(&data, &cfg(dt));
+        let json = serde_json::to_string(&tree).unwrap_or_default();
+        let legacy = json
+            .replace(",\"strategy\":\"Exact\"", "")
+            .replace(",\"sketch\":null", "");
+        assert_ne!(legacy, json, "surgery must remove both new fields");
+        let back: IMrDmd = match serde_json::from_str(&legacy) {
+            Ok(t) => t,
+            Err(e) => panic!("legacy checkpoint rejected: {e}"),
+        };
+        assert_eq!(serde_json::to_string(&back).unwrap_or_default(), json);
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub mod prelude {
         CheckpointError, Checkpointer,
     };
     pub use crate::compression::{compression_report, CompressionReport};
-    pub use crate::dmd::{sparse_amplitudes, Dmd, DmdConfig, DmdConfigBuilder, RankSelection};
+    pub use crate::dmd::{
+        sparse_amplitudes, Dmd, DmdConfig, DmdConfigBuilder, FitStrategy, RankSelection,
+    };
     pub use crate::engine::{Engine, ExecPlan, FleetJob, KernelOp};
     pub use crate::error::CoreError;
     pub use crate::health::{FitFault, HealthSnapshot, LevelHealth, SolverStats, SubtreeHealth};

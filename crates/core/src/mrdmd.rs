@@ -9,7 +9,7 @@
 //! timeline; summing every node's slow-mode reconstruction over its window
 //! reproduces the signal minus the high-frequency noise floor (Eqs. 7–8).
 
-use crate::dmd::{Dmd, DmdConfig, RankSelection};
+use crate::dmd::{Dmd, DmdConfig, FitStrategy, RankSelection};
 use crate::error::CoreError;
 use crate::health::FitFault;
 use hpc_linalg::pool::WorkerPool;
@@ -49,6 +49,12 @@ pub struct MrDmdConfig {
     /// bitwise-identical at every setting — the pool only moves independent
     /// subtrees and row blocks between threads, never reorders arithmetic.
     pub n_threads: usize,
+    /// How every per-node snapshot SVD is computed (absent in old
+    /// checkpoints ⇒ [`FitStrategy::Exact`]). Under `Sketched`, each tree
+    /// node mixes the configured seed with its absolute window position
+    /// ([`FitStrategy::for_node`]) so sibling probes decorrelate while
+    /// results stay bitwise-deterministic at any thread count.
+    pub strategy: FitStrategy,
 }
 
 impl Default for MrDmdConfig {
@@ -62,6 +68,7 @@ impl Default for MrDmdConfig {
             min_window: 16,
             max_window_growth: 1e3,
             n_threads: 0,
+            strategy: FitStrategy::Exact,
         }
     }
 }
@@ -124,7 +131,8 @@ impl MrDmdConfig {
                 self.max_window_growth
             ));
         }
-        self.rank.validate()
+        self.rank.validate()?;
+        self.strategy.validate()
     }
 
     /// Builder-first construction; [`MrDmdConfigBuilder::build`] runs
@@ -197,6 +205,13 @@ impl MrDmdConfigBuilder {
     #[must_use]
     pub fn n_threads(mut self, n_threads: usize) -> Self {
         self.cfg.n_threads = n_threads;
+        self
+    }
+
+    /// How every per-node snapshot SVD is computed.
+    #[must_use]
+    pub fn fit_strategy(mut self, strategy: FitStrategy) -> Self {
+        self.cfg.strategy = strategy;
         self
     }
 
@@ -586,9 +601,13 @@ pub(crate) fn fit_tree(
     let step = cfg.subsample_step(w);
     let sub = work.subsample_cols_range(lo, hi, step);
     if sub.cols() >= 2 {
+        // Salt from the node's absolute position (level, start, width):
+        // independent of traversal order and thread count, unique per node.
+        let salt = ((level as u64) << 48) ^ ((start_abs as u64) << 16) ^ w as u64;
         let dmd_cfg = DmdConfig {
             dt: cfg.dt * step as f64,
             rank: cfg.rank,
+            strategy: cfg.strategy.for_node(salt),
         };
         match Dmd::try_fit(&sub, &dmd_cfg) {
             Ok(dmd) => {
@@ -771,6 +790,7 @@ mod tests {
             min_window: 16,
             max_window_growth: 1e3,
             n_threads: 0,
+            strategy: FitStrategy::Exact,
         }
     }
 

@@ -30,7 +30,7 @@ proptest! {
         noise in 0.0f64..0.02,
     ) {
         let data = signal(16, 400, f1, f1 * 3.0, noise, phase);
-        let dmd = Dmd::fit(&data, &DmdConfig { dt: 1.0, rank: RankSelection::Fixed(4) });
+        let dmd = Dmd::fit(&data, &DmdConfig { dt: 1.0, rank: RankSelection::Fixed(4), ..DmdConfig::default() });
         let freqs = dmd.frequencies();
         let hit = freqs.iter().any(|&f| (f - f1).abs() < 0.15 * f1 + 1e-3);
         prop_assert!(hit, "planted {f1}, got {freqs:?}");

@@ -228,6 +228,38 @@ pub fn isvd_project_batch(jobs: &mut [IsvdProjectOp<'_>]) {
     gemm_batch(&mut ops);
 }
 
+/// One planned sketch-basis projection `out ← Qᵀ·block` — the front half of
+/// a [`SketchSvd`](crate::sketch::SketchSvd) absorb, split out so a fleet of
+/// sketched trees can share one batched GEMM pass before each folds its
+/// projection in with
+/// [`SketchSvd::absorb_projected`](crate::sketch::SketchSvd::absorb_projected).
+pub struct SketchProjectOp<'a> {
+    /// The sketch whose range basis projects the block.
+    pub sketch: &'a crate::sketch::SketchSvd,
+    /// The new columns to absorb (`m × c`, `m` matching the stream).
+    pub block: &'a Mat,
+    /// Receives `Qᵀ·block`; must be `basis_cols × c`.
+    pub out: &'a mut Mat,
+}
+
+/// Computes every sketch projection in one batched GEMM pass (same-width
+/// bases coalesce into shared packing groups).
+pub fn sketch_project_batch(jobs: &mut [SketchProjectOp<'_>]) {
+    let mut ops: Vec<GemmOp<'_>> = jobs
+        .iter_mut()
+        .map(|j| GemmOp {
+            alpha: 1.0,
+            a: j.sketch.basis(),
+            ta: Trans::Yes,
+            b: j.block,
+            tb: Trans::No,
+            beta: 0.0,
+            c: &mut *j.out,
+        })
+        .collect();
+    gemm_batch(&mut ops);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

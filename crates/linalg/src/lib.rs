@@ -19,6 +19,9 @@
 //! - [`eig`]: complex Schur-based eigendecomposition for the projected
 //!   DMD operator,
 //! - [`isvd`]: the Brand/Kühl incremental SVD that makes mrDMD streamable,
+//! - [`mod@sketch`]: the streaming randomized range sketch behind the
+//!   `Sketched` fit strategy (seeded probe, basis reuse with residual
+//!   refresh, TSQR range-finding for tall panels),
 //! - [`mod@pool`]: a permit-based scoped fork-join worker pool with a
 //!   process-wide thread budget shared with the matmul kernel,
 //! - [`mod@obs`]: the observability substrate (sharded counters, gauges,
@@ -43,12 +46,14 @@ pub mod mat;
 pub mod obs;
 pub mod pool;
 pub mod qr;
+pub mod sketch;
 pub mod svd;
 pub mod svht;
 pub mod workspace;
 
 pub use batch::{
-    gemm_batch, gemm_batch_pooled, isvd_project_batch, qr_batch, GemmOp, IsvdProjectOp,
+    gemm_batch, gemm_batch_pooled, isvd_project_batch, qr_batch, sketch_project_batch, GemmOp,
+    IsvdProjectOp, SketchProjectOp,
 };
 pub use cmat::CMat;
 pub use complex::c64;
@@ -62,7 +67,12 @@ pub use mat::Mat;
 pub use obs::Observer;
 pub use pool::{max_threads, WorkerPool};
 pub use qr::{
-    lstsq, orthonormal_complement, orthonormal_complement_rows, qr, solve_upper_triangular, Qr,
+    lstsq, orthonormal_complement, orthonormal_complement_rows, qr, solve_upper_triangular, tsqr,
+    Qr,
 };
-pub use svd::{svd, svd_randomized, svd_truncated, svd_with_stats, try_svd, Svd, SvdStats};
+pub use sketch::SketchSvd;
+pub use svd::{
+    svd, svd_randomized, svd_sketched, svd_truncated, svd_truncated_seeded, svd_with_stats,
+    try_svd, Svd, SvdStats, DEFAULT_SKETCH_SEED,
+};
 pub use svht::{svht_rank, svht_rank_known_noise};

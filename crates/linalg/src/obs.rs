@@ -511,6 +511,27 @@ pub static BATCH_BYPASS: Counter = Counter::new(
 pub static BATCH_OPS_PER_GROUP: Histogram =
     Histogram::new("batch.ops_per_group", "Ops per same-shape batch group");
 
+/// Sketched truncated-SVD fits (the `FitStrategy::Sketched` kernel; exact
+/// fallbacks for probes as wide as the matrix do not count).
+pub static SKETCH_FITS: Counter = Counter::new("sketch.fits", "Sketched truncated-SVD fits");
+/// Gaussian range-finder probes drawn (one per sketched fit plus one per
+/// streaming-sketch cold start; basis reuse keeps this far below fits×rounds).
+pub static SKETCH_PROBES: Counter =
+    Counter::new("sketch.probes", "Gaussian range-finder probes drawn");
+/// Streaming-sketch basis refreshes: rounds whose residual forced new
+/// directions into the reused range basis.
+pub static SKETCH_REFRESHES: Counter = Counter::new(
+    "sketch.refreshes",
+    "Streaming-sketch basis augmentations (residual directions added)",
+);
+/// Streaming-sketch basis compressions back under the rank cap.
+pub static SKETCH_COMPRESSIONS: Counter = Counter::new(
+    "sketch.compressions",
+    "Streaming-sketch basis compressions back under the rank cap",
+);
+/// Wall time per sketched SVD fit (probe, power iterations, projected solve).
+pub static SKETCH_NS: Histogram = Histogram::new("sketch.ns", "Wall time per sketched SVD fit");
+
 /// Fork-join scopes opened by the worker pool.
 pub static POOL_FORKS: Counter =
     Counter::new("pool.forks", "Fork-join scopes opened by the worker pool");
@@ -523,7 +544,7 @@ pub static POOL_THREADS: Gauge = Gauge::new("pool.threads", "Process-wide worker
 
 /// Captures every metric of this crate, in fixed catalogue order.
 pub fn collect() -> Vec<MetricRecord> {
-    let counters: [&Counter; 13] = [
+    let counters: [&Counter; 17] = [
         &GEMM_CALLS,
         &GEMM_FLOPS,
         &QR_CALLS,
@@ -534,6 +555,10 @@ pub fn collect() -> Vec<MetricRecord> {
         &EIG_ESCALATIONS,
         &EIG_FAILURES,
         &ISVD_UPDATES,
+        &SKETCH_FITS,
+        &SKETCH_PROBES,
+        &SKETCH_REFRESHES,
+        &SKETCH_COMPRESSIONS,
         &BATCH_GROUPS,
         &BATCH_BYPASS,
         &POOL_FORKS,
@@ -560,6 +585,7 @@ pub fn collect() -> Vec<MetricRecord> {
         &GEMM_NS,
         &QR_NS,
         &SVD_NS,
+        &SKETCH_NS,
         &EIG_NS,
         &ISVD_UPDATE_NS,
         &BATCH_OPS_PER_GROUP,
@@ -586,6 +612,10 @@ pub fn reset() {
         &EIG_ESCALATIONS,
         &EIG_FAILURES,
         &ISVD_UPDATES,
+        &SKETCH_FITS,
+        &SKETCH_PROBES,
+        &SKETCH_REFRESHES,
+        &SKETCH_COMPRESSIONS,
         &BATCH_GROUPS,
         &BATCH_BYPASS,
         &POOL_FORKS,
@@ -598,6 +628,7 @@ pub fn reset() {
         &GEMM_NS,
         &QR_NS,
         &SVD_NS,
+        &SKETCH_NS,
         &EIG_NS,
         &ISVD_UPDATE_NS,
         &BATCH_OPS_PER_GROUP,

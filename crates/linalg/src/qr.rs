@@ -105,6 +105,83 @@ pub fn qr(a: &Mat) -> Qr {
     Qr { q, r: r_out }
 }
 
+/// Minimum rows before [`tsqr`] splits into panels at all; below this a
+/// single Householder pass wins on overhead.
+const TSQR_MIN_ROWS: usize = 256;
+
+/// Tall-skinny QR (single-level "communication-avoiding" TSQR) for `m ≫ n`
+/// panels — the shape the paper's P≫T snapshot windows hand the randomized
+/// range finder (e.g. Polaris 5,824 sensors × a few dozen probe columns).
+///
+/// The rows are cut into fixed-size panels (geometry depends only on the
+/// matrix shape, never on the worker budget, so results are bitwise-stable
+/// at any thread count), each panel is QR-factorised independently — fanned
+/// over the worker pool — and the stacked `R` factors are merged by one
+/// small QR. `Q = diag(Q₀…Q_{p-1}) · Q_stack` is assembled per panel.
+/// Falls back to the plain Householder [`qr`] when fewer than two panels
+/// result.
+pub fn tsqr(a: &Mat) -> Qr {
+    tsqr_with_pool(a, &crate::pool::WorkerPool::new(0))
+}
+
+/// [`tsqr`] fanning its panel factorisations over a caller-supplied pool
+/// (the panel geometry is unchanged, so any pool yields identical bits).
+pub(crate) fn tsqr_with_pool(a: &Mat, pool: &crate::pool::WorkerPool) -> Qr {
+    let m = a.rows();
+    let n = a.cols();
+    // Panels tall enough that each panel QR stays compute-bound: 4n rows
+    // minimum, and never below the split floor.
+    let panel_rows = (4 * n).max(TSQR_MIN_ROWS);
+    if n == 0 || m < 2 * panel_rows {
+        return qr(a);
+    }
+    let _span = crate::obs::QR_NS.span();
+    crate::obs::QR_CALLS.inc();
+    // The last panel absorbs the remainder so every panel keeps ≥ 4n rows
+    // (a short tail panel would make its R factor under-determined).
+    let n_panels = m / panel_rows;
+    // Stage 1: independent panel factorisations, results in submission order.
+    let mut panels: Vec<(usize, usize, Option<Qr>)> = (0..n_panels)
+        .map(|p| {
+            let hi = if p + 1 == n_panels {
+                m
+            } else {
+                (p + 1) * panel_rows
+            };
+            (p * panel_rows, hi, None)
+        })
+        .collect();
+    pool.for_each(&mut panels, &|(lo, hi, slot)| {
+        *slot = Some(qr(&a.rows_range(*lo, *hi)));
+    });
+    // Stage 2: stack the p·n × n tower of R factors and QR it once.
+    let mut stack = Mat::zeros(n_panels * n, n);
+    for (p, (_, _, slot)) in panels.iter().enumerate() {
+        if let Some(f) = slot {
+            for i in 0..f.r.rows().min(n) {
+                for j in 0..n {
+                    stack[(p * n + i, j)] = f.r[(i, j)];
+                }
+            }
+        }
+    }
+    let merge = qr(&stack);
+    // Stage 3: Q = diag(Q₀…Q_{p-1}) · Q_stack — each panel multiplies its own
+    // n×n block of the merge Q and writes a disjoint row range of the result.
+    let mut q = Mat::zeros(m, n);
+    for (p, (lo, hi, slot)) in panels.iter().enumerate() {
+        if let Some(f) = slot {
+            let qk = f.q.matmul(&merge.q.rows_range(p * n, (p + 1) * n));
+            for (ii, i) in (*lo..*hi).enumerate() {
+                for j in 0..n {
+                    q[(i, j)] = qk[(ii, j)];
+                }
+            }
+        }
+    }
+    Qr { q, r: merge.r }
+}
+
 /// Solves the least-squares problem `min ‖a·x − b‖₂` for each column of `b`
 /// via QR. `a` must have full column rank and `m ≥ n`.
 pub fn lstsq(a: &Mat, b: &Mat) -> Mat {
@@ -331,5 +408,43 @@ mod tests {
         let a = Mat::from_fn(5, 2, |i, _| i as f64);
         let f = qr(&a);
         assert!(f.q.matmul(&f.r).fro_dist(&a) < 1e-12);
+    }
+
+    #[test]
+    fn tsqr_factorises_tall_panels() {
+        // 1500 × 7: several 256-row panels plus a remainder tail.
+        let a = Mat::from_fn(1500, 7, |i, j| ((i * 13 + j * 5) % 23) as f64 - 11.0);
+        let f = tsqr(&a);
+        assert_eq!(f.q.shape(), (1500, 7));
+        assert_eq!(f.r.shape(), (7, 7));
+        assert!(f.q.matmul(&f.r).fro_dist(&a) < 1e-9);
+        assert!(orthonormality_error(&f.q) < 1e-10);
+        for i in 0..7 {
+            for j in 0..i {
+                assert_eq!(f.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tsqr_falls_back_below_two_panels() {
+        // 100 rows < 2 × 256-row panels: must be plain qr, bitwise.
+        let a = Mat::from_fn(100, 5, |i, j| ((i + 2 * j) % 9) as f64 - 4.0);
+        let t = tsqr(&a);
+        let p = qr(&a);
+        assert_eq!(t.q.as_slice(), p.q.as_slice());
+        assert_eq!(t.r.as_slice(), p.r.as_slice());
+    }
+
+    #[test]
+    fn tsqr_is_bitwise_stable_across_pool_sizes() {
+        let a = Mat::from_fn(2048, 6, |i, j| ((i * 7 + j * 3) % 31) as f64 * 0.25 - 3.0);
+        let serial = tsqr_with_pool(&a, &crate::pool::WorkerPool::serial());
+        for threads in [2usize, 4, 8] {
+            let pool = crate::pool::WorkerPool::new(threads);
+            let f = tsqr_with_pool(&a, &pool);
+            assert_eq!(f.q.as_slice(), serial.q.as_slice(), "threads {threads}");
+            assert_eq!(f.r.as_slice(), serial.r.as_slice(), "threads {threads}");
+        }
     }
 }

@@ -354,14 +354,14 @@ pub fn svd_randomized(
             v: Mat::zeros(n, 0),
         };
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gauss = GaussianSource::new(seed);
     // Gaussian probe Ω (n × l).
-    let omega = Mat::from_fn(n, l, |_, _| gaussian(&mut rng));
-    let mut q = qr(&a.matmul(&omega)).q; // m × l
+    let omega = Mat::from_fn(n, l, |_, _| gauss.next());
+    let mut q = range_qr(&a.matmul(&omega)); // m × l
     for _ in 0..power_iters {
         let z = a.t_matmul(&q); // n × l
-        let qz = qr(&z).q;
-        q = qr(&a.matmul(&qz)).q;
+        let qz = range_qr(&z);
+        q = range_qr(&a.matmul(&qz));
     }
     // Project: B = Qᵀ A  (l × n); exact SVD of small B.
     let b = q.t_matmul(a);
@@ -375,26 +375,117 @@ pub fn svd_randomized(
     .truncate(k)
 }
 
+/// Oversampling applied by the [`svd_truncated`] dispatcher's randomized path.
+const DEFAULT_OVERSAMPLE: usize = 8;
+/// Subspace (power) iterations of the dispatcher's randomized path.
+const DEFAULT_POWER_ITERS: usize = 2;
+
+/// Fixed probe seed used when the caller does not thread one through
+/// ([`svd_truncated`]). Kept stable so the determinism suites keep their
+/// bit-exact baselines; call sites with per-fit seeds (the `Sketched` fit
+/// strategy, per-node tree fits) use [`svd_truncated_seeded`] /
+/// [`svd_sketched`] so repeated fits stop drawing the same probe matrix.
+pub const DEFAULT_SKETCH_SEED: u64 = 0x5eed_cafe;
+
 /// Truncated SVD that picks the cheapest correct algorithm: exact Jacobi when
 /// the target rank is a large fraction of the matrix, randomized otherwise.
+/// Uses the fixed [`DEFAULT_SKETCH_SEED`]; callers holding their own seed
+/// should prefer [`svd_truncated_seeded`] to decorrelate repeated probes.
 pub fn svd_truncated(a: &Mat, rank: usize) -> Svd {
+    svd_truncated_seeded(a, rank, DEFAULT_SKETCH_SEED)
+}
+
+/// [`svd_truncated`] with the probe seed threaded through from the caller.
+pub fn svd_truncated_seeded(a: &Mat, rank: usize, seed: u64) -> Svd {
     let min_dim = a.rows().min(a.cols());
     let rank = rank.min(min_dim);
-    // Randomized pays off once the requested rank is well under the ambient
-    // dimension; the 2× guard keeps the oversampled probe within bounds.
-    if rank + 10 < min_dim / 2 && min_dim > 64 {
-        svd_randomized(a, rank, 8, 2, 0x5eed_cafe)
+    // Randomized pays off once the oversampled probe is well under the
+    // ambient dimension. The guard is derived from the probe width
+    // l = k + oversample actually used below, so "the 2× guard keeps the
+    // probe within bounds" holds by construction instead of comparing an
+    // unrelated `rank + 10`.
+    let l = rank + DEFAULT_OVERSAMPLE;
+    if 2 * l < min_dim && min_dim > 64 {
+        svd_randomized(a, rank, DEFAULT_OVERSAMPLE, DEFAULT_POWER_ITERS, seed)
     } else {
         svd(a).truncate(rank)
     }
 }
 
-fn gaussian(rng: &mut StdRng) -> f64 {
-    // Box–Muller; two uniforms → one normal (the partner is discarded, which
-    // is fine at this call volume).
-    let u1: f64 = rng.random::<f64>().max(1e-12);
-    let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+/// Sketched truncated SVD — the kernel behind `FitStrategy::Sketched`.
+///
+/// Identical factorisation scheme to [`svd_randomized`] (Gaussian probe,
+/// optional subspace iterations, exact SVD of the small projected `B`), but
+/// instrumented under the `sketch.*` metrics and falling back to the exact
+/// Jacobi path whenever the probe `l = rank + oversample` would not actually
+/// be smaller than the matrix, so callers can request it unconditionally.
+/// Tall panels are orthonormalised through the TSQR path (see
+/// [`crate::qr::tsqr`]), the shape the paper's P≫T windows produce.
+pub fn svd_sketched(
+    a: &Mat,
+    rank: usize,
+    oversample: usize,
+    power_iters: usize,
+    seed: u64,
+) -> Svd {
+    let min_dim = a.rows().min(a.cols());
+    let k = rank.min(min_dim);
+    let l = k + oversample.max(1);
+    if l >= min_dim || min_dim <= 16 {
+        // Sketching cannot shrink the problem: exact is both faster and tight.
+        return svd(a).truncate(k);
+    }
+    let _span = crate::obs::SKETCH_NS.span();
+    crate::obs::SKETCH_FITS.inc();
+    crate::obs::SKETCH_PROBES.inc();
+    svd_randomized(a, k, oversample.max(1), power_iters, seed)
+}
+
+/// Orthonormalises a range-finder panel: TSQR for tall-skinny shapes, plain
+/// Householder otherwise. Both produce a thin Q with orthonormal columns.
+fn range_qr(y: &Mat) -> Mat {
+    if y.rows() >= 4 * y.cols().max(1) {
+        crate::qr::tsqr(y).q
+    } else {
+        qr(y).q
+    }
+}
+
+/// Seeded standard-normal source (Box–Muller over the vendored [`StdRng`]).
+///
+/// Emits **both** members of each generated pair — the seed code discarded
+/// the sine partner, doubling the uniform draws for every `n × l` probe —
+/// and rejects `u1 == 0` by redrawing (probability 2⁻⁵³ per draw) instead of
+/// clamping with `max(1e-12)`, which truncated the tail asymmetrically.
+pub(crate) struct GaussianSource {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl GaussianSource {
+    /// A source with its own deterministic stream.
+    pub(crate) fn new(seed: u64) -> GaussianSource {
+        GaussianSource {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// The next standard-normal sample.
+    pub(crate) fn next(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        let mut u1: f64 = self.rng.random();
+        while u1 == 0.0 {
+            u1 = self.rng.random();
+        }
+        let u2: f64 = self.rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (std::f64::consts::TAU * u2).sin_cos();
+        self.spare = Some(r * sin);
+        r * cos
+    }
 }
 
 #[cfg(test)]
@@ -518,6 +609,81 @@ mod tests {
         let exact = svd(&a).truncate(5);
         for k in 0..5 {
             assert!((t1.s[k] - exact.s[k]).abs() < 1e-6 * exact.s[0]);
+        }
+    }
+
+    #[test]
+    fn seeded_truncation_decorrelates_probes_but_agrees_on_values() {
+        // Different seeds must draw different probe matrices (the seed code
+        // hard-coded one seed for every call site), yet both land on the
+        // same singular values of this well-separated spectrum.
+        let u = Mat::from_fn(90, 4, |i, j| ((i * (j + 2)) as f64 * 0.11).sin());
+        let v = Mat::from_fn(80, 4, |i, j| ((i + 3 * j) as f64 * 0.07).cos());
+        let a = u.matmul(&v.transpose());
+        let s1 = svd_truncated_seeded(&a, 4, 1);
+        let s2 = svd_truncated_seeded(&a, 4, 2);
+        let def = svd_truncated(&a, 4);
+        for k in 0..4 {
+            assert!((s1.s[k] - s2.s[k]).abs() < 1e-8 * s1.s[0].max(1.0));
+            assert!((s1.s[k] - def.s[k]).abs() < 1e-8 * s1.s[0].max(1.0));
+        }
+        // The bases themselves differ (different probes): at least one entry
+        // of U should move by more than roundoff between seeds.
+        let diff = s1.u.fro_dist(&s2.u);
+        assert!(diff > 1e-13, "probes are still correlated: {diff:e}");
+    }
+
+    #[test]
+    fn gaussian_source_emits_both_pair_members() {
+        // Pair caching: draws 2k samples from the uniform stream for 2k
+        // normals, i.e. consecutive samples come in (cos, sin) pairs with a
+        // shared radius r = √(-2 ln u₁): their squared sum is r².
+        let mut g = GaussianSource::new(7);
+        let a = g.next();
+        let b = g.next();
+        let r2 = a * a + b * b;
+        assert!(r2.is_finite() && r2 > 0.0);
+        // Same seed replays the identical stream.
+        let mut h = GaussianSource::new(7);
+        assert_eq!(h.next().to_bits(), a.to_bits());
+        assert_eq!(h.next().to_bits(), b.to_bits());
+        // Moments sanity: mean ≈ 0, variance ≈ 1 over a modest sample.
+        let mut g = GaussianSource::new(1234);
+        let n = 20_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = g.next();
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sketched_matches_exact_on_low_rank_and_falls_back_when_small() {
+        let u = Mat::from_fn(200, 5, |i, j| ((i * (j + 1)) as f64 * 0.05).sin());
+        let v = Mat::from_fn(40, 5, |i, j| ((i + j * j) as f64 * 0.09).cos());
+        let a = u.matmul(&v.transpose()); // tall: 200 × 40, rank 5
+        let exact = svd(&a);
+        let sk = svd_sketched(&a, 5, 8, 2, 99);
+        for k in 0..5 {
+            assert!(
+                (exact.s[k] - sk.s[k]).abs() < 1e-8 * exact.s[0].max(1.0),
+                "σ_{k}: {} vs {}",
+                exact.s[k],
+                sk.s[k]
+            );
+        }
+        assert!(sk.reconstruct().fro_dist(&a) < 1e-7 * a.fro_norm());
+        // Probe as wide as the matrix → exact fallback, bitwise the Jacobi path.
+        let tiny = Mat::from_fn(12, 6, |i, j| ((i * 3 + j) % 5) as f64 - 2.0);
+        let fb = svd_sketched(&tiny, 4, 8, 2, 1);
+        let ex = svd(&tiny).truncate(4);
+        for k in 0..4 {
+            assert_eq!(fb.s[k].to_bits(), ex.s[k].to_bits());
         }
     }
 }

@@ -51,8 +51,60 @@ fn distrib_strategy() -> impl Strategy<Value = (Mat, Mat, Mat)> {
     })
 }
 
+/// Strategy for the sketched-SVD accuracy budget: a (shape, rank,
+/// oversample, power-iteration, seed) grid plus the factor entries of a
+/// planted low-rank matrix.
+#[allow(clippy::type_complexity)]
+fn sketch_case_strategy(
+) -> impl Strategy<Value = (usize, usize, usize, usize, usize, u64, Vec<f64>, Vec<f64>)> {
+    (
+        60..=120usize,
+        40..=80usize,
+        2..=6usize,
+        // Oversample grid {4, 8}.
+        0..=1usize,
+        0..=2usize,
+        0u64..=u64::MAX,
+    )
+        .prop_flat_map(|(m, n, r, os_sel, p, seed)| {
+            let os = if os_sel == 0 { 4 } else { 8 };
+            (
+                proptest::collection::vec(-1.0f64..1.0, m * r),
+                proptest::collection::vec(-1.0f64..1.0, r * n),
+            )
+                .prop_map(move |(b, c)| (m, n, r, os, p, seed, b, c))
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sketched_svd_meets_halko_accuracy_budget(
+        (m, n, r, os, p, seed, bdat, cdat) in sketch_case_strategy()
+    ) {
+        let b = Mat::from_vec(m, r, bdat);
+        let c = Mat::from_vec(r, n, cdat);
+        // Planted rank-r signal plus a small structured noise floor, so the
+        // rank-r tail is non-trivial and the budget multiplier is exercised.
+        let noise = Mat::from_fn(m, n, |i, j| {
+            1e-3 * ((i * 31 + j * 17 + (seed % 97) as usize) as f64).sin()
+        });
+        let a = b.matmul(&c).add(&noise);
+        let f = svd(&a);
+        let k = r.min(f.s.len());
+        let err_k: f64 = f.s[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        let g = svd_sketched(&a, r, os, p, seed);
+        prop_assert!(g.s.len() <= r, "truncation overshoot: {} > {r}", g.s.len());
+        let err_sk = g.reconstruct().fro_dist(&a);
+        // Halko et al. (2011) expectation bound with slack: the tail
+        // multiplier tightens as power iterations sharpen the range.
+        let budget = match p { 0 => 30.0, 1 => 6.0, _ => 4.0 };
+        prop_assert!(
+            err_sk <= budget * err_k + 1e-8 * a.fro_norm().max(1.0),
+            "m={m} n={n} r={r} os={os} p={p}: sketched {err_sk} vs exact tail {err_k}"
+        );
+    }
 
     #[test]
     fn matmul_associativity((a, b, c) in chain_strategy()) {
