@@ -135,10 +135,17 @@ pub enum Command {
         checkpoint_dir: Option<PathBuf>,
         /// Checkpoint every N batches per shard (default 1).
         checkpoint_every: usize,
+        /// Keep the newest K checkpoints per shard (default 3, 0 = all).
+        keep_checkpoints: usize,
+        /// WAL fsync cadence: `none`, `interval`, or `batch` (default
+        /// `interval`).
+        durability: String,
         /// Cap on ingest body size, in MiB (default 32).
         max_body_mb: usize,
         /// Cap on resident tenants (default 4096).
         max_tenants: usize,
+        /// Fleet-wide in-flight ingest budget (default 256).
+        max_inflight: usize,
     },
     /// Stream a snapshot CSV through a fit and print the final metrics
     /// snapshot (JSON or Prometheus text exposition).
@@ -177,7 +184,9 @@ pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info
   serve   --addr HOST:PORT --dt SECONDS [--levels L] [--threads N]
           [--gap-policy reject|hold|interpolate|mask]
           [--fit-strategy exact|sketched] [--sketch-seed S]
-          [--checkpoint-dir DIR] [--checkpoint-every K] [--max-body-mb M] [--max-tenants N]
+          [--checkpoint-dir DIR] [--checkpoint-every K] [--keep-checkpoints K]
+          [--durability none|interval|batch] [--max-body-mb M] [--max-tenants N]
+          [--max-inflight N]
   metrics --input FILE.csv --dt SECONDS [--levels L] [--chunk N]
           [--fit-strategy exact|sketched] [--sketch-seed S] [--format json|prom]";
 
@@ -378,6 +387,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .transpose()
                 .map_err(|_| CliError("--checkpoint-every must be an integer".into()))?
                 .unwrap_or(1),
+            keep_checkpoints: flags
+                .get("keep-checkpoints")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--keep-checkpoints must be an integer".into()))?
+                .unwrap_or(3),
+            durability: flags
+                .get("durability")
+                .cloned()
+                .unwrap_or_else(|| "interval".to_string()),
             max_body_mb: flags
                 .get("max-body-mb")
                 .map(|v| v.parse())
@@ -390,6 +409,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .transpose()
                 .map_err(|_| CliError("--max-tenants must be an integer".into()))?
                 .unwrap_or(4096),
+            max_inflight: flags
+                .get("max-inflight")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| CliError("--max-inflight must be an integer".into()))?
+                .unwrap_or(256),
         }),
         "metrics" => Ok(Command::Metrics {
             input: get("input")?.into(),
@@ -676,14 +701,18 @@ mod tests {
                 sketch_seed: None,
                 checkpoint_dir: None,
                 checkpoint_every: 1,
+                keep_checkpoints: 3,
+                durability: "interval".into(),
                 max_body_mb: 32,
                 max_tenants: 4096,
+                max_inflight: 256,
             }
         );
         let c = parse_args(&argv(
             "serve --addr 0.0.0.0:9100 --dt 1 --levels 4 --threads 2 \
              --gap-policy hold --checkpoint-dir ck --checkpoint-every 8 \
-             --max-body-mb 4 --max-tenants 64",
+             --keep-checkpoints 5 --durability batch \
+             --max-body-mb 4 --max-tenants 64 --max-inflight 16",
         ))
         .unwrap();
         match c {
@@ -693,14 +722,19 @@ mod tests {
                 gap_policy,
                 checkpoint_dir,
                 checkpoint_every,
+                keep_checkpoints,
+                durability,
                 max_body_mb,
                 max_tenants,
+                max_inflight,
                 ..
             } => {
                 assert_eq!((levels, threads), (4, 2));
                 assert_eq!(gap_policy, "hold");
                 assert_eq!(checkpoint_dir, Some("ck".into()));
                 assert_eq!((checkpoint_every, max_body_mb, max_tenants), (8, 4, 64));
+                assert_eq!((keep_checkpoints, max_inflight), (5, 16));
+                assert_eq!(durability, "batch");
             }
             _ => panic!("wrong variant"),
         }

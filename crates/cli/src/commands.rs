@@ -100,8 +100,11 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             sketch_seed,
             checkpoint_dir,
             checkpoint_every,
+            keep_checkpoints,
+            durability,
             max_body_mb,
             max_tenants,
+            max_inflight,
         } => serve(ServeOpts {
             addr,
             dt: *dt,
@@ -112,8 +115,11 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             sketch_seed: *sketch_seed,
             checkpoint_dir: checkpoint_dir.as_deref(),
             checkpoint_every: *checkpoint_every,
+            keep_checkpoints: *keep_checkpoints,
+            durability,
             max_body_mb: *max_body_mb,
             max_tenants: *max_tenants,
+            max_inflight: *max_inflight,
         }),
         Command::Metrics {
             input,
@@ -123,7 +129,15 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             fit_strategy,
             sketch_seed,
             format,
-        } => metrics(input, *dt, *levels, *chunk, fit_strategy, *sketch_seed, format),
+        } => metrics(
+            input,
+            *dt,
+            *levels,
+            *chunk,
+            fit_strategy,
+            *sketch_seed,
+            format,
+        ),
     }
 }
 
@@ -168,8 +182,11 @@ struct ServeOpts<'a> {
     sketch_seed: Option<u64>,
     checkpoint_dir: Option<&'a Path>,
     checkpoint_every: usize,
+    keep_checkpoints: usize,
+    durability: &'a str,
     max_body_mb: usize,
     max_tenants: usize,
+    max_inflight: usize,
 }
 
 /// Validates the flags and binds the daemon without running it, so tests
@@ -185,16 +202,21 @@ fn bind_server(o: &ServeOpts<'_>) -> Result<(imrdmd_serve::Server, usize, usize)
     let policy = GapPolicy::parse(o.gap_policy)
         .ok_or_else(|| CliError(format!("unknown --gap-policy `{}`", o.gap_policy)))?;
     let strategy = parse_fit_strategy(o.fit_strategy, o.sketch_seed)?;
+    let durability = imrdmd::wal::Durability::parse(o.durability)
+        .ok_or_else(|| CliError(format!("unknown --durability `{}`", o.durability)))?;
     let cfg = imrdmd_serve::ServeConfig {
         model: stream_config(o.dt, o.levels, 2, o.threads, strategy)?,
         policy,
         checkpoint_dir: o.checkpoint_dir.map(Path::to_path_buf),
         checkpoint_every: o.checkpoint_every.max(1),
+        keep_checkpoints: o.keep_checkpoints,
+        durability,
         limits: imrdmd_serve::HttpLimits {
             max_body_bytes: o.max_body_mb * 1024 * 1024,
             ..imrdmd_serve::HttpLimits::default()
         },
         max_tenants: o.max_tenants.max(1),
+        max_inflight: o.max_inflight.max(1),
         ..imrdmd_serve::ServeConfig::default()
     };
     imrdmd_serve::Server::bind(o.addr, cfg)
@@ -1113,8 +1135,11 @@ mod tests {
             sketch_seed: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
+            keep_checkpoints: 3,
+            durability: "interval",
             max_body_mb: 32,
             max_tenants: 16,
+            max_inflight: 16,
         })
         .unwrap_err();
         assert!(bad_dt.0.contains("--dt"), "{bad_dt}");
@@ -1129,8 +1154,11 @@ mod tests {
             sketch_seed: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
+            keep_checkpoints: 3,
+            durability: "interval",
             max_body_mb: 32,
             max_tenants: 16,
+            max_inflight: 16,
         })
         .unwrap_err();
         assert!(bad_policy.0.contains("gap-policy"), "{bad_policy}");
@@ -1150,8 +1178,11 @@ mod tests {
             sketch_seed: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
+            keep_checkpoints: 3,
+            durability: "interval",
             max_body_mb: 4,
             max_tenants: 16,
+            max_inflight: 16,
         })
         .unwrap();
         assert_eq!((restored, corrupt), (0, 0));

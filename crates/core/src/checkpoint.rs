@@ -96,6 +96,25 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
+/// Flushes a directory's entry table to stable storage. On POSIX, a
+/// rename is only durable once the *directory* is fsynced — fsyncing the
+/// file alone leaves the new directory entry in the page cache, so a
+/// power loss right after a "successful" save can silently revert it.
+/// Both checkpoint saves and WAL segment creation/truncation route
+/// through this. Non-Unix platforms have no directory-fsync primitive;
+/// there the rename itself is the best available barrier.
+pub(crate) fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
 /// CRC-32 (IEEE 802.3, reflected) of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
     static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
@@ -169,7 +188,13 @@ pub fn save_state_checkpoint<T: serde::Serialize>(
         // under its final name; a crash before this point leaves only the
         // temp file, which restore never looks at.
         f.sync_all()?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        // The rename itself lives in the directory's entry table: without
+        // this fsync a power loss can revert an acked save.
+        match path.parent() {
+            Some(parent) => fsync_dir(parent),
+            None => Ok(()),
+        }
     })();
     if wrote.is_err() {
         // Best effort: do not leave orphan temp files behind on failure.
@@ -339,15 +364,35 @@ pub fn shard_checkpoints(dir: &Path) -> Result<Vec<(String, PathBuf)>, Checkpoin
     Ok(best.into_iter().map(|(s, (_, p))| (s, p)).collect())
 }
 
+/// Every checkpoint for one shard in `dir`, newest first, as
+/// `(steps, path)` pairs. Recovery walks this list until one file
+/// validates: a corrupt newest checkpoint falls back to its retained
+/// predecessor instead of abandoning the shard.
+pub fn shard_checkpoint_history(
+    dir: &Path,
+    shard: &str,
+) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+    let mut v = Vec::new();
+    scan_dir(dir, |s, steps, path| {
+        if s == Some(shard) {
+            v.push((steps, path));
+        }
+    })?;
+    v.sort_by_key(|e| std::cmp::Reverse(e.0));
+    Ok(v)
+}
+
 /// Periodic checkpoint driver: call [`Checkpointer::tick`] once per absorbed
 /// batch and it writes `ckpt-<steps>.ckpt` into the directory every
-/// `every` batches.
+/// `every` batches, pruning all but the newest
+/// [`Checkpointer::with_retention`] files after each write.
 #[derive(Debug)]
 pub struct Checkpointer {
     dir: PathBuf,
     every: usize,
     since: usize,
     shard: Option<String>,
+    keep: usize,
 }
 
 impl Checkpointer {
@@ -361,7 +406,17 @@ impl Checkpointer {
             every: every.max(1),
             since: 0,
             shard: None,
+            keep: 3,
         })
+    }
+
+    /// Sets the keep-last-K retention budget (default 3). After every
+    /// write, all but the newest `keep` checkpoints in this
+    /// checkpointer's namespace are deleted; the file just written is
+    /// always among the survivors. `keep == 0` disables pruning.
+    pub fn with_retention(mut self, keep: usize) -> Checkpointer {
+        self.keep = keep;
+        self
     }
 
     /// A checkpointer whose files are namespaced to one shard
@@ -453,6 +508,48 @@ impl Checkpointer {
     ) -> Result<PathBuf, CheckpointError> {
         let path = self.path_for(steps);
         save_state_checkpoint(state, &path)?;
+        // Retention is best-effort: a failed prune never fails the save
+        // that just succeeded.
+        let _ = self.prune();
         Ok(path)
+    }
+
+    /// Checkpoints in this checkpointer's namespace, newest first.
+    pub fn retained(&self) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+        let mut v = Vec::new();
+        scan_dir(&self.dir, |s, steps, path| {
+            if s == self.shard.as_deref() {
+                v.push((steps, path));
+            }
+        })?;
+        v.sort_by_key(|e| std::cmp::Reverse(e.0));
+        Ok(v)
+    }
+
+    /// Deletes all but the newest `keep` checkpoints in this namespace
+    /// (never the newest — the file most recently written) and returns
+    /// the steps of the oldest *surviving* checkpoint, which is the floor
+    /// a WAL can truncate to while every retained checkpoint stays a
+    /// valid replay base. No-op (returning the current floor) when
+    /// retention is disabled or nothing is due.
+    pub fn prune(&self) -> Result<Option<u64>, CheckpointError> {
+        let files = self.retained()?;
+        if files.is_empty() {
+            return Ok(None);
+        }
+        if self.keep == 0 || files.len() <= self.keep {
+            return Ok(files.last().map(|(s, _)| *s));
+        }
+        let mut pruned = false;
+        for (_, path) in &files[self.keep..] {
+            if std::fs::remove_file(path).is_ok() {
+                crate::obs::CHECKPOINT_PRUNED.inc();
+                pruned = true;
+            }
+        }
+        if pruned {
+            let _ = fsync_dir(&self.dir);
+        }
+        Ok(files.get(self.keep - 1).map(|(s, _)| *s))
     }
 }

@@ -153,7 +153,9 @@ impl FitStrategy {
         {
             if rank_oversample == 0 || rank_oversample > 64 {
                 return Err(CoreError::InvalidConfig {
-                    what: format!("sketch rank_oversample must be in 1..=64, got {rank_oversample}"),
+                    what: format!(
+                        "sketch rank_oversample must be in 1..=64, got {rank_oversample}"
+                    ),
                 });
             }
             if power_iters > 8 {

@@ -9,7 +9,7 @@
 //! `imrdmd.rs`), the kernel work between stages is collected across trees
 //! into plain-data op lists ([`ExecPlan`]), bucketed by shape, and
 //! dispatched as packed batches over the engine's permit
-//! [`WorkerPool`](hpc_linalg::pool::WorkerPool) — while the per-tree scratch
+//! [`WorkerPool`] — while the per-tree scratch
 //! (drift evaluation buffers) lives in one arena reused across every tree
 //! and every round, so steady-state fleet rounds allocate nothing in the
 //! drift stage.

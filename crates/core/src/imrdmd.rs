@@ -1423,7 +1423,9 @@ impl IMrDmd {
                 let f = sk.to_svd();
                 Dmd::try_prepare(&f, &y, &dmd_cfg)
             }
-            None => Dmd::try_prepare_parts(self.isvd.u(), self.isvd.s(), self.isvd.v(), &y, &dmd_cfg),
+            None => {
+                Dmd::try_prepare_parts(self.isvd.u(), self.isvd.s(), self.isvd.v(), &y, &dmd_cfg)
+            }
         };
         match prep {
             Ok(crate::dmd::DmdPrep::Done(dmd)) => {

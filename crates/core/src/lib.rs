@@ -50,6 +50,7 @@ pub mod ingest;
 pub mod mrdmd;
 pub mod obs;
 pub mod spectrum;
+pub mod wal;
 pub mod windowed;
 
 /// Convenient glob import of the main types.
@@ -60,8 +61,8 @@ pub mod prelude {
     };
     pub use crate::checkpoint::{
         is_valid_shard_name, latest_checkpoint, latest_checkpoint_for_shard, load_checkpoint,
-        load_state_checkpoint, save_checkpoint, save_state_checkpoint, shard_checkpoints,
-        CheckpointError, Checkpointer,
+        load_state_checkpoint, save_checkpoint, save_state_checkpoint, shard_checkpoint_history,
+        shard_checkpoints, CheckpointError, Checkpointer,
     };
     pub use crate::compression::{compression_report, CompressionReport};
     pub use crate::dmd::{
@@ -81,6 +82,7 @@ pub mod prelude {
     pub use crate::spectrum::{
         mode_spectrum, power_by_level, power_histogram, BandFilter, SpectrumPoint,
     };
+    pub use crate::wal::{shard_wals, Durability, Wal, WalError, WalFrame, WalReplay};
     pub use crate::windowed::{WindowedConfig, WindowedMrDmd};
 }
 

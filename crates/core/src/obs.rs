@@ -88,6 +88,35 @@ pub static CHECKPOINT_BYTES: Counter = Counter::new(
 /// Wall time per checkpoint save or load.
 pub static CHECKPOINT_NS: Histogram =
     Histogram::new("checkpoint.ns", "Wall time per checkpoint save or load");
+/// Checkpoints deleted by keep-last-K retention.
+pub static CHECKPOINT_PRUNED: Counter = Counter::new(
+    "checkpoint.pruned",
+    "Checkpoints deleted by keep-last-K retention",
+);
+
+/// Write-ahead-log frames appended.
+pub static WAL_APPENDS: Counter = Counter::new("wal.appends", "Write-ahead-log frames appended");
+/// Bytes of WAL frames appended.
+pub static WAL_BYTES: Counter = Counter::new("wal.bytes", "Bytes of WAL frames appended");
+/// WAL fsync calls (durability=batch acks).
+pub static WAL_FSYNCS: Counter =
+    Counter::new("wal.fsyncs", "WAL fsync calls (durability=batch acks)");
+/// WAL retention rewrites after checkpoints.
+pub static WAL_TRUNCATIONS: Counter = Counter::new(
+    "wal.truncations",
+    "WAL retention rewrites after checkpoints",
+);
+/// Torn WAL tails truncated during recovery.
+pub static WAL_TORN_TAILS: Counter =
+    Counter::new("wal.torn_tails", "Torn WAL tails truncated during recovery");
+/// WAL frames replayed during recovery.
+pub static WAL_REPLAYED: Counter =
+    Counter::new("wal.replayed_frames", "WAL frames replayed during recovery");
+/// Wall time per WAL append, retention pass, or recovery scan.
+pub static WAL_NS: Histogram = Histogram::new(
+    "wal.ns",
+    "Wall time per WAL append, retention pass, or recovery scan",
+);
 
 /// Captures every metric in the process — the linalg kernel catalogue
 /// followed by this crate's pipeline catalogue — in fixed order.
@@ -102,13 +131,20 @@ pub fn collect() -> Vec<MetricRecord> {
         &CHECKPOINT_SAVES,
         &CHECKPOINT_LOADS,
         &CHECKPOINT_BYTES,
+        &CHECKPOINT_PRUNED,
+        &WAL_APPENDS,
+        &WAL_BYTES,
+        &WAL_FSYNCS,
+        &WAL_TRUNCATIONS,
+        &WAL_TORN_TAILS,
+        &WAL_REPLAYED,
     ] {
         out.push(record_counter(c));
     }
     for g in [&ROUND_PENDING, &ROUND_DRIFT, &HEALTH_COVERAGE] {
         out.push(record_gauge(g));
     }
-    for h in [&ROUND_NS, &INGEST_NS, &CHECKPOINT_NS] {
+    for h in [&ROUND_NS, &INGEST_NS, &CHECKPOINT_NS, &WAL_NS] {
         out.push(record_histogram(h));
     }
     out
@@ -126,13 +162,20 @@ pub fn reset() {
         &CHECKPOINT_SAVES,
         &CHECKPOINT_LOADS,
         &CHECKPOINT_BYTES,
+        &CHECKPOINT_PRUNED,
+        &WAL_APPENDS,
+        &WAL_BYTES,
+        &WAL_FSYNCS,
+        &WAL_TRUNCATIONS,
+        &WAL_TORN_TAILS,
+        &WAL_REPLAYED,
     ] {
         c.reset();
     }
     for g in [&ROUND_PENDING, &ROUND_DRIFT, &HEALTH_COVERAGE] {
         g.reset();
     }
-    for h in [&ROUND_NS, &INGEST_NS, &CHECKPOINT_NS] {
+    for h in [&ROUND_NS, &INGEST_NS, &CHECKPOINT_NS, &WAL_NS] {
         h.reset();
     }
 }

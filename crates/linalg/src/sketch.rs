@@ -328,7 +328,11 @@ mod tests {
         // A stream whose second half lives in a different (low-rank)
         // subspace: the reused basis must refresh, not silently project the
         // novelty away.
-        let first = Mat::from_fn(60, 30, |i, j| if i < 30 { ((i + j) as f64).sin() } else { 0.0 });
+        let first = Mat::from_fn(
+            60,
+            30,
+            |i, j| if i < 30 { ((i + j) as f64).sin() } else { 0.0 },
+        );
         let u2 = Mat::from_fn(60, 3, |i, j| {
             if i >= 30 {
                 ((i * (j + 1)) as f64 * 0.11).cos()

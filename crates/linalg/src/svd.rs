@@ -421,13 +421,7 @@ pub fn svd_truncated_seeded(a: &Mat, rank: usize, seed: u64) -> Svd {
 /// be smaller than the matrix, so callers can request it unconditionally.
 /// Tall panels are orthonormalised through the TSQR path (see
 /// [`crate::qr::tsqr`]), the shape the paper's P≫T windows produce.
-pub fn svd_sketched(
-    a: &Mat,
-    rank: usize,
-    oversample: usize,
-    power_iters: usize,
-    seed: u64,
-) -> Svd {
+pub fn svd_sketched(a: &Mat, rank: usize, oversample: usize, power_iters: usize, seed: u64) -> Svd {
     let min_dim = a.rows().min(a.cols());
     let k = rank.min(min_dim);
     let l = k + oversample.max(1);

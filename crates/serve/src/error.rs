@@ -16,6 +16,14 @@ pub enum ServeError {
     UnknownTenant(String),
     /// Creating the shard would exceed the configured tenant cap.
     TenantLimit(usize),
+    /// The fleet's in-flight ingest budget is exhausted; the request was
+    /// shed before touching any shard. Clients should back off and retry.
+    Overloaded {
+        /// Ingests in flight when the request arrived.
+        inflight: usize,
+        /// The configured budget.
+        limit: usize,
+    },
     /// The shard refused traffic: its checkpoint failed to restore.
     ShardCorrupt {
         /// Tenant whose shard is down.
@@ -49,6 +57,7 @@ impl ServeError {
             ServeError::InvalidTenant(_) | ServeError::BadBody(_) | ServeError::BadQuery(_) => 400,
             ServeError::UnknownTenant(_) => 404,
             ServeError::TenantLimit(_) => 429,
+            ServeError::Overloaded { .. } => 503,
             ServeError::ShardCorrupt { .. } => 503,
             ServeError::OutOfOrder { .. } => 409,
             ServeError::Core(e) => match e {
@@ -57,6 +66,18 @@ impl ServeError {
                 _ => 500,
             },
             ServeError::Http(e) => e.status(),
+        }
+    }
+
+    /// Seconds the client should wait before retrying, when this error
+    /// carries a `Retry-After` contract: load sheds retry quickly (the
+    /// wave in flight drains in well under a second), the tenant cap
+    /// retries slower (slots only free when the operator prunes).
+    pub fn retry_after(&self) -> Option<u64> {
+        match self {
+            ServeError::Overloaded { .. } => Some(1),
+            ServeError::TenantLimit(_) => Some(5),
+            _ => None,
         }
     }
 }
@@ -69,6 +90,10 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
             ServeError::TenantLimit(n) => write!(f, "tenant limit of {n} reached"),
+            ServeError::Overloaded { inflight, limit } => write!(
+                f,
+                "fleet overloaded: {inflight} ingests in flight (budget {limit})"
+            ),
             ServeError::ShardCorrupt { tenant, cause } => {
                 write!(f, "shard `{tenant}` is corrupt: {cause}")
             }

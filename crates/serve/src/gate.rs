@@ -26,7 +26,7 @@ use imrdmd::{GapPolicy, IMrDmdConfig};
 
 use crate::error::ServeError;
 use crate::manager::{lock_shard, ShardCell};
-use crate::shard::IngestReply;
+use crate::shard::{IngestReply, PreparedIngest, PreparedRound};
 
 type ReplySlot = Arc<Mutex<Option<Result<IngestReply, ServeError>>>>;
 
@@ -133,22 +133,40 @@ impl EngineGate {
     }
 }
 
-/// Executes one wave: per-shard prepare (validation, cold starts), one
-/// batched fleet round over every warm shard, per-shard settle.
-fn run_wave(engine: &mut Engine, wave: Vec<Pending>, cfg: &IMrDmdConfig, policy: GapPolicy) {
-    let mut shards: Vec<_> = wave.iter().map(|p| lock_shard(&p.cell)).collect();
+/// Executes one wave: per-shard prepare (validation, repair, cold
+/// starts), one batched fleet round over every warm shard, per-shard
+/// settle. The prepare step swaps each warm entry's batch for its
+/// repaired form, so the engine — and the shard's write-ahead log — see
+/// the deterministic repaired batch; the engine's own repair pass over
+/// it is a bitwise no-op.
+fn run_wave(engine: &mut Engine, mut wave: Vec<Pending>, cfg: &IMrDmdConfig, policy: GapPolicy) {
+    // Guards borrow the cloned cells, not `wave`, so the prepare loop can
+    // still swap each entry's batch for its repaired form.
+    let cells: Vec<ShardCell> = wave.iter().map(|p| p.cell.clone()).collect();
+    let mut shards: Vec<_> = cells.iter().map(lock_shard).collect();
 
     // Prepare: cold starts and validation failures settle immediately and
     // drop out of the fleet round.
     let mut settled: Vec<Option<Result<IngestReply, ServeError>>> = Vec::with_capacity(wave.len());
-    for (shard, p) in shards.iter_mut().zip(&wave) {
-        settled.push(
-            match shard.ingest_prepare(&p.batch, p.first_step, cfg, policy) {
-                Ok(None) => None,
-                Ok(Some(reply)) => Some(Ok(reply)),
-                Err(e) => Some(Err(e)),
-            },
-        );
+    let mut prepared: Vec<Option<PreparedRound>> = Vec::with_capacity(wave.len());
+    for (shard, p) in shards.iter_mut().zip(wave.iter_mut()) {
+        match shard.ingest_prepare(&p.batch, p.first_step, cfg, policy) {
+            Ok(PreparedIngest::Warm(mut prep)) => {
+                if let Some(clean) = prep.clean.take() {
+                    p.batch = clean;
+                }
+                settled.push(None);
+                prepared.push(Some(prep));
+            }
+            Ok(PreparedIngest::Settled(reply)) => {
+                settled.push(Some(Ok(*reply)));
+                prepared.push(None);
+            }
+            Err(e) => {
+                settled.push(Some(Err(e)));
+                prepared.push(None);
+            }
+        }
     }
 
     // One batched engine round across every warm shard.
@@ -176,10 +194,16 @@ fn run_wave(engine: &mut Engine, wave: Vec<Pending>, cfg: &IMrDmdConfig, policy:
     let rounds = engine.run_fleet(&mut jobs);
     drop(jobs);
 
-    // Settle: round results back through each shard's bookkeeping, then
-    // wake every submitter.
+    // Settle: round results back through each shard's bookkeeping (WAL
+    // append before the ack, checkpoint tick), then wake every submitter.
     for (i, round) in warm_idx.into_iter().zip(rounds) {
-        settled[i] = Some(shards[i].ingest_finish(wave[i].batch.cols(), round));
+        let outcome = match prepared[i].take() {
+            Some(prep) => shards[i].ingest_finish(&wave[i].batch, prep, round),
+            None => Err(ServeError::BadBody(
+                "ingest round was dropped by the wave".into(),
+            )),
+        };
+        settled[i] = Some(outcome);
     }
     drop(shards);
     for (p, reply) in wave.into_iter().zip(settled) {

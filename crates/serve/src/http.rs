@@ -359,6 +359,8 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Send `Connection: close` and drop the connection afterwards.
     pub close: bool,
+    /// Emit a `Retry-After: <secs>` header (back-pressure responses).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -369,6 +371,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             close: false,
+            retry_after: None,
         }
     }
 
@@ -379,7 +382,15 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into_bytes(),
             close: false,
+            retry_after: None,
         }
+    }
+
+    /// The same response carrying a `Retry-After: <secs>` header when
+    /// `secs` is set.
+    pub fn with_retry_after(mut self, secs: Option<u64>) -> Response {
+        self.retry_after = secs;
+        self
     }
 
     /// A JSON error envelope: `{"error": "..."}`.
@@ -402,12 +413,17 @@ impl Response {
 
     /// Serialises status line, headers, and body.
     pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let retry = match self.retry_after {
+            Some(secs) => format!("Retry-After: {secs}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len(),
+            retry,
             if self.close { "close" } else { "keep-alive" },
         );
         w.write_all(head.as_bytes())?;
@@ -519,6 +535,18 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(!text.contains("Retry-After"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted() {
+        let mut out = Vec::new();
+        Response::error(503, "overloaded")
+            .with_retry_after(Some(1))
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"));
     }
 }

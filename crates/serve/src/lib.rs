@@ -39,6 +39,9 @@ pub mod shard;
 pub use error::ServeError;
 pub use gate::EngineGate;
 pub use http::{HttpError, HttpLimits, Request, Response};
-pub use manager::{lock_shard, ShardCell, ShardManager};
+pub use manager::{lock_shard, IngestPermit, ManagerConfig, ShardCell, ShardManager};
 pub use server::{ServeConfig, Server, ServerHandle};
-pub use shard::{IngestReply, Shard, ShardSnapshot, ShardState, ShardStatus};
+pub use shard::{
+    IngestReply, PreparedIngest, PreparedRound, RecoveredShard, Shard, ShardSnapshot, ShardState,
+    ShardStatus,
+};

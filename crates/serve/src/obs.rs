@@ -46,12 +46,60 @@ pub static CHECKPOINT_FAILURES: Counter = Counter::new(
     "serve.checkpoint_failures",
     "Shard checkpoint writes that failed",
 );
+/// WAL frames appended on the serving path (one per acked batch).
+pub static WAL_APPENDS: Counter = Counter::new(
+    "serve.wal.appends",
+    "WAL frames appended before ingest acks",
+);
+/// Bytes of WAL frames appended on the serving path.
+pub static WAL_BYTES: Counter =
+    Counter::new("serve.wal.bytes", "WAL bytes appended before ingest acks");
+/// WAL appends that failed (the shard degraded; ingest still succeeds).
+pub static WAL_APPEND_FAILURES: Counter = Counter::new(
+    "serve.wal.append_failures",
+    "WAL appends that failed and degraded their shard",
+);
+/// WAL retention passes run after checkpoint writes.
+pub static WAL_TRUNCATIONS: Counter = Counter::new(
+    "serve.wal.truncations",
+    "WAL retention passes after checkpoint writes",
+);
+/// WAL frames replayed while rebuilding shards on boot.
+pub static WAL_REPLAYED: Counter = Counter::new(
+    "serve.wal.replayed_frames",
+    "WAL frames replayed during shard recovery",
+);
+/// Torn WAL tails truncated while rebuilding shards on boot.
+pub static WAL_TORN_TAILS: Counter = Counter::new(
+    "serve.wal.torn_tails",
+    "Torn WAL tails truncated during shard recovery",
+);
+/// Corrupt newest checkpoints skipped for an older retained one.
+pub static CHECKPOINT_FALLBACKS: Counter = Counter::new(
+    "serve.wal.ckpt_fallbacks",
+    "Corrupt checkpoints skipped for a retained predecessor on recovery",
+);
+/// Ingest requests shed by the fleet admission budget (503).
+pub static LOAD_SHED: Counter = Counter::new(
+    "serve.load_shed",
+    "Ingest requests shed by the in-flight admission budget",
+);
 /// Live shards (any state).
 pub static SHARDS: Gauge = Gauge::new("serve.shards", "Shards currently resident");
 /// Shards in the corrupt/degraded state.
 pub static SHARDS_CORRUPT: Gauge = Gauge::new(
     "serve.shards_corrupt",
     "Shards refusing traffic after a corrupt restore",
+);
+/// Shards serving with a failed WAL (checkpoint-interval durability only).
+pub static SHARDS_DEGRADED: Gauge = Gauge::new(
+    "serve.shards_degraded",
+    "Shards serving with durability degraded (WAL append failed)",
+);
+/// Ingest requests currently inside the admission budget.
+pub static INGEST_INFLIGHT: Gauge = Gauge::new(
+    "serve.ingest_inflight",
+    "Ingest requests currently in flight",
 );
 /// End-to-end request latency (parse to response flushed).
 pub static REQUEST_NS: Histogram = Histogram::new("serve.request_ns", "Wall time per HTTP request");
@@ -98,7 +146,7 @@ fn entry_histogram(h: &'static Histogram) -> MetricEntry {
     }
 }
 
-const COUNTERS: [&Counter; 10] = [
+const COUNTERS: [&Counter; 18] = [
     &REQUESTS,
     &RESPONSES_2XX,
     &RESPONSES_4XX,
@@ -109,8 +157,16 @@ const COUNTERS: [&Counter; 10] = [
     &INGEST_SNAPSHOTS,
     &BYTES_IN,
     &CHECKPOINT_FAILURES,
+    &WAL_APPENDS,
+    &WAL_BYTES,
+    &WAL_APPEND_FAILURES,
+    &WAL_TRUNCATIONS,
+    &WAL_REPLAYED,
+    &WAL_TORN_TAILS,
+    &CHECKPOINT_FALLBACKS,
+    &LOAD_SHED,
 ];
-const GAUGES: [&Gauge; 2] = [&SHARDS, &SHARDS_CORRUPT];
+const GAUGES: [&Gauge; 4] = [&SHARDS, &SHARDS_CORRUPT, &SHARDS_DEGRADED, &INGEST_INFLIGHT];
 const HISTOGRAMS: [&Histogram; 2] = [&REQUEST_NS, &INGEST_NS];
 
 /// The process-wide metrics snapshot — linalg kernels, core pipeline —

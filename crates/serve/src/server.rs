@@ -40,13 +40,14 @@ use std::time::Duration;
 
 use hpc_linalg::Mat;
 use hpc_telemetry::read_snapshots_csv;
+use imrdmd::wal::Durability;
 use imrdmd::{mode_spectrum, GapPolicy, IMrDmdConfig};
 use serde::Serialize;
 
 use crate::error::ServeError;
 use crate::gate::EngineGate;
 use crate::http::{read_request, HttpLimits, Request, Response};
-use crate::manager::{lock_shard, ShardManager};
+use crate::manager::{lock_shard, ManagerConfig, ShardManager};
 use crate::obs;
 use crate::shard::IngestReply;
 
@@ -62,6 +63,10 @@ pub struct ServeConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// Checkpoint every N absorbed batches per shard.
     pub checkpoint_every: usize,
+    /// Keep-last-K checkpoint retention per shard (0 = unlimited).
+    pub keep_checkpoints: usize,
+    /// WAL fsync cadence; [`Durability::None`] disables the WAL.
+    pub durability: Durability,
     /// HTTP parser caps.
     pub limits: HttpLimits,
     /// Socket read timeout (slow-loris cutoff).
@@ -70,6 +75,8 @@ pub struct ServeConfig {
     pub max_tenants: usize,
     /// Cap on concurrently open connections; excess get 503.
     pub max_connections: usize,
+    /// Fleet-wide in-flight ingest budget; excess get 503 + `Retry-After`.
+    pub max_inflight: usize,
 }
 
 impl Default for ServeConfig {
@@ -79,10 +86,13 @@ impl Default for ServeConfig {
             policy: GapPolicy::Interpolate,
             checkpoint_dir: None,
             checkpoint_every: 1,
+            keep_checkpoints: 3,
+            durability: Durability::Interval,
             limits: HttpLimits::default(),
             read_timeout: Duration::from_secs(5),
             max_tenants: 4096,
             max_connections: 128,
+            max_inflight: 256,
         }
     }
 }
@@ -150,13 +160,16 @@ impl Server {
     pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<(Server, usize, usize)> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let manager = ShardManager::new(
-            cfg.model,
-            cfg.policy,
-            cfg.checkpoint_dir,
-            cfg.checkpoint_every,
-            cfg.max_tenants,
-        );
+        let manager = ShardManager::new(ManagerConfig {
+            model: cfg.model,
+            policy: cfg.policy,
+            checkpoint_dir: cfg.checkpoint_dir,
+            checkpoint_every: cfg.checkpoint_every,
+            keep_checkpoints: cfg.keep_checkpoints,
+            durability: cfg.durability,
+            max_tenants: cfg.max_tenants,
+            max_inflight: cfg.max_inflight,
+        });
         let (restored, corrupt) = manager.restore();
         let state = Arc::new(ServerState {
             manager,
@@ -197,7 +210,9 @@ impl Server {
             if self.state.open_conns.load(Ordering::SeqCst) >= self.state.max_connections {
                 obs::CONNECTIONS_REJECTED.inc();
                 let mut s = stream;
-                let _ = Response::error(503, "connection limit reached").write_to(&mut s);
+                let _ = Response::error(503, "connection limit reached")
+                    .with_retry_after(Some(1))
+                    .write_to(&mut s);
                 continue;
             }
             self.state.open_conns.fetch_add(1, Ordering::SeqCst);
@@ -263,7 +278,7 @@ fn route(state: &ServerState, req: &Request) -> Response {
     let _span = obs::REQUEST_NS.span();
     let resp = match dispatch(state, req) {
         Ok(r) => r,
-        Err(e) => Response::error(e.status(), &e.to_string()),
+        Err(e) => Response::error(e.status(), &e.to_string()).with_retry_after(e.retry_after()),
     };
     obs::count_status(resp.status);
     resp
@@ -359,6 +374,9 @@ fn parse_query_usize(req: &Request, name: &str) -> Result<Option<usize>, ServeEr
 }
 
 fn ingest(state: &ServerState, tenant: &str, req: &Request) -> Result<Response, ServeError> {
+    // Admission first: a shed request must cost nothing — no body parse,
+    // no shard creation — and frees its slot the moment this frame exits.
+    let _permit = state.manager.admit_ingest()?;
     let (batch, first_step) = parse_batch(req)?;
     let cell = state.manager.shard_or_create(tenant)?;
     // Through the flat-combining gate: concurrent tenants' rounds coalesce

@@ -13,11 +13,26 @@
 //! **ready** (batches flow through [`IMrDmd::try_partial_fit`]), or
 //! **corrupt** if its checkpoint failed to restore — a corrupt shard
 //! answers 503 on every route but never takes the daemon down.
+//!
+//! Durability: when a [`Wal`] is attached, every acked batch is logged —
+//! **repaired** (post-[`GapPolicy`]) so replay is deterministic — before
+//! the reply is built, and [`Shard::recover`] rebuilds the exact
+//! pre-crash state from the newest valid checkpoint plus the WAL tail.
+//! A WAL write failure moves the shard to **durability-degraded**: it
+//! keeps absorbing and serving (checkpoint-interval durability only) and
+//! reports the cause through `/status` and `serve.wal.*` metrics rather
+//! than failing ingest.
 
 use hpc_linalg::Mat;
-use imrdmd::checkpoint::{CheckpointError, Checkpointer};
-use imrdmd::{GapPolicy, HealthSnapshot, IMrDmd, IMrDmdConfig, IngestGuard, RoundReport};
+use imrdmd::checkpoint::{
+    load_state_checkpoint, shard_checkpoint_history, CheckpointError, Checkpointer,
+};
+use imrdmd::wal::Wal;
+use imrdmd::{
+    GapPolicy, HealthSnapshot, IMrDmd, IMrDmdConfig, IngestGuard, RepairReport, RoundReport,
+};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 use crate::error::ServeError;
 use crate::obs;
@@ -42,6 +57,9 @@ pub enum ShardState {
     Empty,
     /// Fitted and serving.
     Ready,
+    /// Serving, but the write-ahead log stopped accepting appends (e.g.
+    /// disk full): acked batches are durable only to the last checkpoint.
+    DurabilityDegraded,
     /// Checkpoint restore failed; refusing traffic.
     Corrupt,
 }
@@ -63,6 +81,8 @@ pub struct ShardStatus {
     pub modes: usize,
     /// Why the shard is corrupt, if it is.
     pub corrupt_cause: Option<String>,
+    /// Why the write-ahead log stopped accepting appends, if it did.
+    pub degraded_cause: Option<String>,
 }
 
 /// The `POST /v1/{tenant}/ingest` response document.
@@ -81,6 +101,47 @@ pub struct IngestReply {
     pub report: Option<RoundReport>,
 }
 
+/// The pre-round half of a warm ingest: everything
+/// [`Shard::ingest_prepare`] computed that the round and
+/// [`Shard::ingest_finish`] need.
+#[derive(Debug)]
+pub struct PreparedRound {
+    /// The repaired batch when the raw one had gaps; `None` when the raw
+    /// batch was already clean (no copy was made).
+    pub clean: Option<Mat>,
+    /// What the pre-round repair pass did (this replaces the no-op inner
+    /// repair's report in the round, keeping replies oracle-identical).
+    pub repairs: RepairReport,
+    /// The shard clock when the batch arrived — the WAL frame key.
+    pub first_step: usize,
+}
+
+/// What [`Shard::ingest_prepare`] decided about a batch.
+#[derive(Debug)]
+pub enum PreparedIngest {
+    /// Cold start (or nothing left to do): the reply is ready.
+    Settled(Box<IngestReply>),
+    /// Warm shard: the caller runs the round over the repaired batch —
+    /// directly or inside an engine wave — then settles it with
+    /// [`Shard::ingest_finish`].
+    Warm(PreparedRound),
+}
+
+/// What [`Shard::recover`] rebuilt, with its provenance.
+#[derive(Debug)]
+pub struct RecoveredShard {
+    /// The rebuilt shard (possibly corrupt when nothing was usable).
+    pub shard: Shard,
+    /// True when a checkpoint (any vintage) was restored.
+    pub from_checkpoint: bool,
+    /// Corrupt checkpoints skipped before one validated (newest-first).
+    pub fallbacks: usize,
+    /// WAL frames replayed on top of the restored base.
+    pub replayed: usize,
+    /// True when a torn WAL tail was truncated away.
+    pub torn_wal: bool,
+}
+
 /// One tenant's decomposition plus its durable lifecycle.
 #[derive(Debug)]
 pub struct Shard {
@@ -90,6 +151,8 @@ pub struct Shard {
     rounds: u64,
     corrupt_cause: Option<String>,
     checkpointer: Option<Checkpointer>,
+    wal: Option<Wal>,
+    degraded_cause: Option<String>,
 }
 
 impl Shard {
@@ -102,7 +165,22 @@ impl Shard {
             rounds: 0,
             corrupt_cause: None,
             checkpointer,
+            wal: None,
+            degraded_cause: None,
         }
+    }
+
+    /// Attaches (or detaches) the write-ahead log this shard appends to.
+    pub fn with_wal(mut self, wal: Option<Wal>) -> Shard {
+        self.wal = wal;
+        self
+    }
+
+    /// Marks the shard durability-degraded from birth (e.g. its WAL could
+    /// not be opened). The shard still serves.
+    pub fn with_degraded_cause(mut self, cause: Option<String>) -> Shard {
+        self.degraded_cause = cause;
+        self
     }
 
     /// A shard restored from a checkpoint snapshot.
@@ -114,6 +192,8 @@ impl Shard {
             rounds: snap.rounds,
             corrupt_cause: None,
             checkpointer,
+            wal: None,
+            degraded_cause: None,
         }
     }
 
@@ -127,6 +207,8 @@ impl Shard {
             rounds: 0,
             corrupt_cause: Some(cause.to_string()),
             checkpointer: None,
+            wal: None,
+            degraded_cause: None,
         }
     }
 
@@ -139,6 +221,8 @@ impl Shard {
     pub fn state(&self) -> ShardState {
         if self.corrupt_cause.is_some() {
             ShardState::Corrupt
+        } else if self.degraded_cause.is_some() {
+            ShardState::DurabilityDegraded
         } else if self.model.is_some() {
             ShardState::Ready
         } else {
@@ -156,6 +240,7 @@ impl Shard {
             pending: self.model.as_ref().map_or(0, |m| m.pending_len()),
             modes: self.model.as_ref().map_or(0, |m| m.n_modes()),
             corrupt_cause: self.corrupt_cause.clone(),
+            degraded_cause: self.degraded_cause.clone(),
         }
     }
 
@@ -195,32 +280,39 @@ impl Shard {
         policy: GapPolicy,
     ) -> Result<IngestReply, ServeError> {
         let _span = obs::INGEST_NS.span();
-        if let Some(reply) = self.ingest_prepare(batch, first_step, cfg, policy)? {
-            return Ok(reply);
-        }
-        // Warm round, outside an engine wave: the single-tree path.
+        let mut prep = match self.ingest_prepare(batch, first_step, cfg, policy)? {
+            PreparedIngest::Settled(reply) => return Ok(*reply),
+            PreparedIngest::Warm(prep) => prep,
+        };
+        // Warm round, outside an engine wave: the single-tree path. The
+        // round consumes the repaired batch; its inner repair is a no-op.
+        let clean = prep.clean.take();
+        let effective = clean.as_ref().unwrap_or(batch);
         let round = match self.round_parts() {
-            Some((model, guard)) => model.try_partial_fit(batch, guard),
+            Some((model, guard)) => model.try_partial_fit(effective, guard),
             None => {
                 return Err(ServeError::UnknownTenant(self.tenant.clone()));
             }
         };
-        self.ingest_finish(batch.cols(), round)
+        self.ingest_finish(effective, prep, round)
     }
 
-    /// Pre-round half of [`Shard::ingest`]: corrupt/ordering validation and
-    /// the cold-start fit. Returns `Ok(Some(reply))` when the batch
-    /// cold-started the shard (fully absorbed, nothing left to do) and
-    /// `Ok(None)` when the shard is warm — the caller then runs the round
-    /// (directly or inside an engine wave) and settles it with
-    /// [`Shard::ingest_finish`].
+    /// Pre-round half of [`Shard::ingest`]: corrupt/ordering validation,
+    /// the [`GapPolicy`] repair pass, and the cold-start fit. Returns
+    /// [`PreparedIngest::Settled`] when the batch cold-started the shard
+    /// (fully absorbed, nothing left to do) and [`PreparedIngest::Warm`]
+    /// when the shard is warm — the caller then runs the round over the
+    /// *repaired* batch (directly or inside an engine wave) and settles
+    /// it with [`Shard::ingest_finish`]. Repairing here, before the
+    /// round, is what lets the WAL record the deterministic repaired
+    /// batch; the round's own repair of it is a bitwise no-op.
     pub fn ingest_prepare(
         &mut self,
         batch: &Mat,
         first_step: Option<usize>,
         cfg: &IMrDmdConfig,
         policy: GapPolicy,
-    ) -> Result<Option<IngestReply>, ServeError> {
+    ) -> Result<PreparedIngest, ServeError> {
         if let Some(cause) = &self.corrupt_cause {
             return Err(ServeError::ShardCorrupt {
                 tenant: self.tenant.clone(),
@@ -246,11 +338,15 @@ impl Shard {
                 }
                 let mut guard = IngestGuard::new(policy, batch.rows());
                 let (clean, _rep) = guard.repair(batch)?;
-                let model = IMrDmd::fit(clean.as_ref().unwrap_or(batch), cfg);
+                let effective = clean.as_ref().unwrap_or(batch);
+                let model = IMrDmd::fit(effective, cfg);
                 let steps = model.n_steps();
                 self.model = Some(model);
                 self.guard = Some(guard);
                 self.rounds = 1;
+                // Log the repaired batch before the ack is built; the
+                // cold-start frame starts the shard's WAL at step 0.
+                self.wal_append(steps_now, effective);
                 let reply = IngestReply {
                     tenant: self.tenant.clone(),
                     round: 1,
@@ -259,14 +355,21 @@ impl Shard {
                     report: None,
                 };
                 self.absorb_bookkeeping(batch.cols());
-                Ok(Some(reply))
+                Ok(PreparedIngest::Settled(Box::new(reply)))
             }
             Some(_) => {
                 // Materialise the guard now so the engine wave can borrow
-                // model and guard together.
-                self.guard
+                // model and guard together, and run the repair pass so the
+                // wave (and the WAL) see the deterministic repaired batch.
+                let guard = self
+                    .guard
                     .get_or_insert_with(|| IngestGuard::new(policy, batch.rows()));
-                Ok(None)
+                let (clean, repairs) = guard.repair(batch)?;
+                Ok(PreparedIngest::Warm(PreparedRound {
+                    clean,
+                    repairs,
+                    first_step: steps_now,
+                }))
             }
         }
     }
@@ -281,15 +384,23 @@ impl Shard {
     }
 
     /// Post-round half of [`Shard::ingest`]: settles a warm round's
-    /// [`RoundReport`] (however it was executed) into the reply, the round
-    /// counter, the ingest counters, and the checkpoint schedule.
+    /// [`RoundReport`] (however it was executed) into the WAL, the reply,
+    /// the round counter, the ingest counters, and the checkpoint
+    /// schedule. `effective` is the repaired batch the round actually
+    /// consumed — it is appended to the WAL *before* the reply (the ack)
+    /// is built, so an acked batch is always recoverable.
     pub fn ingest_finish(
         &mut self,
-        batch_cols: usize,
+        effective: &Mat,
+        prep: PreparedRound,
         round: Result<RoundReport, imrdmd::CoreError>,
     ) -> Result<IngestReply, ServeError> {
-        let report = round?;
+        let mut report = round?;
+        // The round repaired an already-repaired batch (a no-op); the
+        // reply must carry what the real repair pass did.
+        report.repairs = prep.repairs;
         self.rounds += 1;
+        self.wal_append(prep.first_step, effective);
         let reply = IngestReply {
             tenant: self.tenant.clone(),
             round: self.rounds,
@@ -297,8 +408,31 @@ impl Shard {
             cold_start: false,
             report: Some(report),
         };
-        self.absorb_bookkeeping(batch_cols);
+        self.absorb_bookkeeping(effective.cols());
         Ok(reply)
+    }
+
+    /// Appends one repaired batch to the WAL. A failed append is *not* an
+    /// ingest failure: the shard degrades to checkpoint-interval
+    /// durability (sticky until restart), keeps serving, and the failure
+    /// is counted on `serve.wal.append_failures`.
+    fn wal_append(&mut self, first_step: usize, effective: &Mat) {
+        if self.degraded_cause.is_some() {
+            return;
+        }
+        let Some(wal) = &mut self.wal else {
+            return;
+        };
+        match wal.append(first_step as u64, effective) {
+            Ok(bytes) => {
+                obs::WAL_APPENDS.inc();
+                obs::WAL_BYTES.add(bytes);
+            }
+            Err(e) => {
+                obs::WAL_APPEND_FAILURES.inc();
+                self.degraded_cause = Some(e.to_string());
+            }
+        }
     }
 
     /// Shared tail of every successful absorb: ingest counters and the
@@ -313,44 +447,200 @@ impl Shard {
     /// ingest failure: the batch is already absorbed and the response
     /// must report that truthfully; durability degrades to the previous
     /// checkpoint and the failure is counted on `serve.checkpoint_failures`.
+    /// After a successful write, checkpoint retention prunes to keep-last-K
+    /// and the WAL drops every frame older than the oldest *retained*
+    /// checkpoint — so any retained checkpoint plus the remaining tail
+    /// can still rebuild the shard.
     fn tick_checkpoint(&mut self) {
-        let (Some(model), Some(guard)) = (&self.model, &self.guard) else {
-            return;
+        let wrote = {
+            let (Some(model), Some(guard)) = (&self.model, &self.guard) else {
+                return;
+            };
+            let Some(ck) = &mut self.checkpointer else {
+                return;
+            };
+            let steps = model.n_steps();
+            let tenant = &self.tenant;
+            let rounds = self.rounds;
+            match ck.tick_state_with(steps, || ShardSnapshot {
+                tenant: tenant.clone(),
+                model: model.clone(),
+                guard: guard.clone(),
+                rounds,
+            }) {
+                Ok(path) => path.is_some(),
+                Err(_) => {
+                    obs::CHECKPOINT_FAILURES.inc();
+                    false
+                }
+            }
         };
-        let Some(ck) = &mut self.checkpointer else {
-            return;
-        };
-        let steps = model.n_steps();
-        let tenant = &self.tenant;
-        let rounds = self.rounds;
-        let result = ck.tick_state_with(steps, || ShardSnapshot {
-            tenant: tenant.clone(),
-            model: model.clone(),
-            guard: guard.clone(),
-            rounds,
-        });
-        if result.is_err() {
-            obs::CHECKPOINT_FAILURES.inc();
+        if wrote {
+            self.truncate_wal();
         }
     }
 
-    /// Writes a final checkpoint unconditionally (graceful shutdown).
-    /// No-op for empty or corrupt shards.
-    pub fn checkpoint_now(&self) -> Result<(), CheckpointError> {
-        let (Some(model), Some(guard), Some(ck)) = (&self.model, &self.guard, &self.checkpointer)
-        else {
-            return Ok(());
+    /// Drops WAL frames made redundant by checkpoint retention.
+    /// Best-effort: a failed truncation only leaves extra (skippable)
+    /// frames behind.
+    fn truncate_wal(&mut self) {
+        let (Some(ck), Some(wal)) = (&self.checkpointer, &mut self.wal) else {
+            return;
         };
-        ck.write_state(
-            model.n_steps(),
-            &ShardSnapshot {
-                tenant: self.tenant.clone(),
-                model: model.clone(),
-                guard: guard.clone(),
-                rounds: self.rounds,
-            },
-        )
-        .map(|_| ())
+        if let Ok(Some(floor)) = ck.prune() {
+            if wal.retain_from(floor).is_ok() {
+                obs::WAL_TRUNCATIONS.inc();
+            }
+        }
+    }
+
+    /// Writes a final checkpoint unconditionally (graceful shutdown),
+    /// then syncs and trims the WAL. No-op for empty or corrupt shards.
+    pub fn checkpoint_now(&mut self) -> Result<(), CheckpointError> {
+        {
+            let (Some(model), Some(guard), Some(ck)) =
+                (&self.model, &self.guard, &self.checkpointer)
+            else {
+                return Ok(());
+            };
+            ck.write_state(
+                model.n_steps(),
+                &ShardSnapshot {
+                    tenant: self.tenant.clone(),
+                    model: model.clone(),
+                    guard: guard.clone(),
+                    rounds: self.rounds,
+                },
+            )?;
+        }
+        if let Some(wal) = &mut self.wal {
+            let _ = wal.sync();
+        }
+        self.truncate_wal();
+        Ok(())
+    }
+
+    /// Rebuilds a shard from whatever `dir` holds for `tenant`: the
+    /// newest checkpoint that passes integrity checks (falling back,
+    /// newest-first, past corrupt ones), then the WAL tail replayed
+    /// through the same deterministic pipeline the live ingest path uses.
+    /// A torn final WAL frame (crash mid-append — by construction never
+    /// acked) is truncated away. Because repairing a repaired batch is a
+    /// bitwise no-op and every fit path is bitwise-reproducible, the
+    /// rebuilt state is bitwise-identical to a run that never crashed.
+    ///
+    /// Only when *no* checkpoint validates and the WAL cannot rebuild
+    /// from step 0 does the shard come back [`ShardState::Corrupt`].
+    pub fn recover(
+        dir: &Path,
+        tenant: &str,
+        cfg: &IMrDmdConfig,
+        policy: GapPolicy,
+        checkpointer: Option<Checkpointer>,
+    ) -> RecoveredShard {
+        let history = shard_checkpoint_history(dir, tenant).unwrap_or_default();
+        let had_checkpoints = !history.is_empty();
+        let mut snap: Option<ShardSnapshot> = None;
+        let mut fallbacks = 0usize;
+        let mut last_err: Option<CheckpointError> = None;
+        for (_, path) in &history {
+            match load_state_checkpoint::<ShardSnapshot>(path) {
+                Ok(mut s) => {
+                    // The server's thread budget wins over whatever the
+                    // checkpointed config carried (results are bitwise-
+                    // identical at every setting).
+                    s.model.set_n_threads(cfg.mr.n_threads);
+                    snap = Some(s);
+                    break;
+                }
+                Err(e) => {
+                    fallbacks += 1;
+                    last_err = Some(e);
+                }
+            }
+        }
+        let from_checkpoint = snap.is_some();
+        let replay = Wal::recover(dir, tenant).unwrap_or_default();
+        let torn_wal = replay.torn;
+
+        let mut shard = match snap {
+            Some(s) => Shard::from_snapshot(s, checkpointer),
+            None => {
+                let wal_restarts_from_zero =
+                    replay.frames.first().is_some_and(|f| f.first_step == 0);
+                if had_checkpoints && !wal_restarts_from_zero {
+                    // Every checkpoint failed and the WAL cannot rebuild
+                    // the prefix: refuse traffic rather than serve a
+                    // silently different timeline.
+                    let cause = last_err.unwrap_or_else(|| {
+                        CheckpointError::BadHeader("no checkpoint validated".into())
+                    });
+                    return RecoveredShard {
+                        shard: Shard::corrupt(tenant, &cause),
+                        from_checkpoint: false,
+                        fallbacks,
+                        replayed: 0,
+                        torn_wal,
+                    };
+                }
+                Shard::new(tenant, checkpointer)
+            }
+        };
+
+        let mut replayed = 0usize;
+        for frame in &replay.frames {
+            let steps_now = shard.model.as_ref().map_or(0, |m| m.n_steps()) as u64;
+            if frame.first_step < steps_now {
+                // Already inside the restored checkpoint.
+                continue;
+            }
+            if frame.first_step > steps_now
+                || shard.replay_frame(&frame.batch, cfg, policy).is_err()
+            {
+                // A gap (stale log vs a newer checkpoint) or a replay
+                // fault: stop here and serve what was rebuilt.
+                break;
+            }
+            replayed += 1;
+        }
+        obs::WAL_REPLAYED.add(replayed as u64);
+        RecoveredShard {
+            shard,
+            from_checkpoint,
+            fallbacks,
+            replayed,
+            torn_wal,
+        }
+    }
+
+    /// Applies one WAL frame through the live pipeline, without WAL
+    /// appends, checkpoint ticks, or serve counters. The frame is already
+    /// repaired, so the guard's repair pass is a bitwise no-op that
+    /// advances `last_good` exactly as the original round did.
+    fn replay_frame(
+        &mut self,
+        batch: &Mat,
+        cfg: &IMrDmdConfig,
+        policy: GapPolicy,
+    ) -> Result<(), imrdmd::CoreError> {
+        match &mut self.model {
+            None => {
+                let mut guard = IngestGuard::new(policy, batch.rows());
+                let (clean, _rep) = guard.repair(batch)?;
+                let model = IMrDmd::fit(clean.as_ref().unwrap_or(batch), cfg);
+                self.model = Some(model);
+                self.guard = Some(guard);
+                self.rounds = 1;
+            }
+            Some(model) => {
+                let guard = self
+                    .guard
+                    .get_or_insert_with(|| IngestGuard::new(policy, batch.rows()));
+                model.try_partial_fit(batch, guard)?;
+                self.rounds += 1;
+            }
+        }
+        Ok(())
     }
 }
 

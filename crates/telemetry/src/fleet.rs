@@ -17,6 +17,7 @@ use crate::faults::{FaultConfig, FaultInjector};
 use crate::machine::theta;
 use crate::stream::ChunkStream;
 use hpc_linalg::Mat;
+use std::time::Duration;
 
 /// Shape of a synthetic fleet: how many tenants, how big each tenant's
 /// telemetry is, and whether the streams are fault-corrupted.
@@ -142,6 +143,73 @@ impl FleetDriver {
     }
 }
 
+/// Seeded, jittered exponential backoff for fleet clients retrying shed
+/// requests (429/503). Deterministic: the same seed replays the same
+/// delay sequence, so load tests that retry stay reproducible. A
+/// server-supplied `Retry-After` acts as a floor — the client never
+/// retries sooner than the server asked, and still jitters above it so a
+/// shed wave does not re-arrive in lockstep.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+/// One step of the splitmix64 sequence (same generator family the
+/// scenario synthesis uses): deterministic, full-period, and good enough
+/// to decorrelate retry jitter across clients.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Backoff {
+    /// A backoff starting at `base` and doubling per attempt up to `cap`,
+    /// jittered by the seeded generator.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            rng: seed,
+        }
+    }
+
+    /// The delay before the next retry: full jitter over the doubled
+    /// window (`[window/2, window]` of `base << attempt`, capped), floored
+    /// at any server-supplied `Retry-After`. Advances the attempt counter.
+    pub fn next_delay(&mut self, retry_after: Option<Duration>) -> Duration {
+        let window = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let half = window / 2;
+        let span = window.saturating_sub(half).as_nanos() as u64;
+        let jitter = if span == 0 {
+            0
+        } else {
+            splitmix64(&mut self.rng) % (span + 1)
+        };
+        let delay = (half + Duration::from_nanos(jitter)).min(self.cap);
+        match retry_after {
+            Some(floor) => delay.max(floor),
+            None => delay,
+        }
+    }
+
+    /// Resets the attempt counter after a success (the jitter stream keeps
+    /// advancing, so later retries stay decorrelated).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +263,37 @@ mod tests {
                 assert!(same_bits(x, y), "tenant {k} batch diverged");
             }
         }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_honors_retry_after() {
+        let mk = || Backoff::new(Duration::from_millis(10), Duration::from_secs(2), 77);
+        let (mut a, mut b) = (mk(), mk());
+        let da: Vec<Duration> = (0..10).map(|_| a.next_delay(None)).collect();
+        let db: Vec<Duration> = (0..10).map(|_| b.next_delay(None)).collect();
+        assert_eq!(da, db, "same seed must replay the same delays");
+        // Exponential envelope: delay k stays inside [base<<k / 2, cap].
+        for (k, d) in da.iter().enumerate() {
+            let window = Duration::from_millis(10 << k.min(16)).min(Duration::from_secs(2));
+            assert!(*d >= window / 2, "delay {k} below half-window: {d:?}");
+            assert!(*d <= Duration::from_secs(2), "delay {k} above cap: {d:?}");
+        }
+        assert!(da[5] > da[0], "later attempts must wait longer");
+        // Retry-After floors the delay even on the first attempt.
+        let mut c = mk();
+        let floored = c.next_delay(Some(Duration::from_secs(1)));
+        assert!(floored >= Duration::from_secs(1));
+        // reset() drops back to the first window but keeps jitter moving.
+        let mut d = mk();
+        let first = d.next_delay(None);
+        d.next_delay(None);
+        d.reset();
+        let after_reset = d.next_delay(None);
+        assert!(after_reset <= Duration::from_millis(10));
+        assert_ne!(
+            first, after_reset,
+            "jitter stream advances across reset (seeded, not frozen)"
+        );
     }
 
     #[test]

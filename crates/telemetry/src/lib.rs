@@ -33,7 +33,7 @@ pub mod stream;
 
 pub use envlog::{Anomaly, Profile, Scenario, SensorKind};
 pub use faults::{FaultConfig, FaultEvent, FaultInjector, PathologicalKind};
-pub use fleet::{FleetDriver, FleetSpec};
+pub use fleet::{Backoff, FleetDriver, FleetSpec};
 pub use hwlog::{HwEvent, HwEventKind, HwLog};
 pub use io::{
     read_hw_log, read_job_log, read_snapshots_csv, write_hw_log, write_job_log,

@@ -512,20 +512,23 @@ fn torn_checkpoint_degrades_one_shard_not_the_fleet() {
     }
     daemon.shutdown();
 
-    // Tear tenant 0's newest checkpoint: flip bytes inside the payload so
-    // the CRC check fails on restore.
+    // Tear *every* checkpoint of tenant 0: flip bytes inside the payload
+    // so the CRC check fails on restore. (A torn newest alone no longer
+    // corrupts the shard — recovery falls back to the retained
+    // predecessor and replays the WAL tail.) The WAL cannot rebuild from
+    // step 0 either: it was truncated up to the oldest retained
+    // checkpoint, so the shard is genuinely unrecoverable.
     let victim = &names[0];
-    let ckpts = shard_checkpoints(&dir).unwrap();
-    let (_, path) = ckpts
-        .iter()
-        .find(|(t, _)| t == victim)
-        .unwrap_or_else(|| panic!("no checkpoint for {victim}"));
-    let mut raw = std::fs::read(path).unwrap();
-    let n = raw.len();
-    for b in &mut raw[n - 16..] {
-        *b ^= 0xff;
+    let history = imrdmd::prelude::shard_checkpoint_history(&dir, victim).unwrap();
+    assert!(!history.is_empty(), "no checkpoint for {victim}");
+    for (_, path) in &history {
+        let mut raw = std::fs::read(path).unwrap();
+        let n = raw.len();
+        for b in &mut raw[n - 16..] {
+            *b ^= 0xff;
+        }
+        std::fs::write(path, &raw).unwrap();
     }
-    std::fs::write(path, &raw).unwrap();
 
     let daemon = start(serve_cfg(driver.dt(), 1, Some(dir)));
     assert_eq!((daemon.restored, daemon.corrupt), (1, 1));
