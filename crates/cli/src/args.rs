@@ -101,12 +101,15 @@ pub enum Command {
         fit_strategy: String,
         /// Seed for the sketched strategy's randomized probe.
         sketch_seed: Option<u64>,
-        /// Directory for periodic checkpoints (enables checkpointing).
+        /// Persistent-store root; checkpoints go to `<store-dir>/checkpoints`.
+        store_dir: Option<PathBuf>,
+        /// Directory for periodic checkpoints (deprecated alias for
+        /// `--store-dir`; still accepted, used verbatim).
         checkpoint_dir: Option<PathBuf>,
         /// Checkpoint every N chunks (default 1).
         checkpoint_every: usize,
-        /// Resume from the newest checkpoint in `checkpoint_dir` instead of
-        /// fitting from scratch.
+        /// Resume from the newest checkpoint in the checkpoint directory
+        /// instead of fitting from scratch.
         resume: bool,
         /// Emit a JSON-line metrics snapshot every N chunks (0 = off).
         metrics_every: usize,
@@ -130,7 +133,11 @@ pub enum Command {
         fit_strategy: String,
         /// Seed for the sketched strategy's randomized probe.
         sketch_seed: Option<u64>,
-        /// Shared checkpoint directory (shard-namespaced files); enables
+        /// Persistent-store root; per-shard checkpoints and WALs go to
+        /// `<store-dir>/checkpoints`.
+        store_dir: Option<PathBuf>,
+        /// Shared checkpoint directory (deprecated alias for
+        /// `--store-dir`; still accepted, used verbatim); enables
         /// crash recovery.
         checkpoint_dir: Option<PathBuf>,
         /// Checkpoint every N batches per shard (default 1).
@@ -165,10 +172,36 @@ pub enum Command {
         /// Output format: `json` or `prom`.
         format: String,
     },
+    /// Write a fitted model as a compressed, seekable mode archive.
+    Archive {
+        /// Model JSON to archive.
+        model: PathBuf,
+        /// Quantization tier: `f64` (bitwise), `f32`, or `q16`.
+        tier: String,
+        /// Output archive path (overrides `--store-dir`).
+        out: Option<PathBuf>,
+        /// Persistent-store root; the archive goes to
+        /// `<store-dir>/archives/<model-stem>.<tier>.arch`.
+        store_dir: Option<PathBuf>,
+    },
+    /// Reconstruct a time range from an archive alone.
+    Replay {
+        /// Archive file to replay (overrides `--store-dir`).
+        archive: Option<PathBuf>,
+        /// Persistent-store root; replays the newest archive under
+        /// `<store-dir>/archives`.
+        store_dir: Option<PathBuf>,
+        /// First snapshot of the range (default 0).
+        from: Option<usize>,
+        /// One past the last snapshot (default: end of timeline).
+        to: Option<usize>,
+        /// Output CSV path (stdout summary only when omitted).
+        out: Option<PathBuf>,
+    },
 }
 
 /// Usage text shown on parse errors.
-pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info|health|stream|serve|metrics> [--flag value]...
+pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info|health|stream|serve|metrics|archive|replay> [--flag value]...
   synth   --nodes N --steps T [--seed S] --out FILE.csv
   fit     --input FILE.csv --dt SECONDS [--levels L] [--max-cycles C] [--threads N]
           [--fit-strategy exact|sketched] [--sketch-seed S] --model FILE.json
@@ -180,15 +213,20 @@ pub const USAGE: &str = "usage: imrdmd-cli <synth|fit|update|analyze|render|info
   stream  --input FILE.csv --dt SECONDS --model FILE.json [--chunk N] [--levels L] [--threads N]
           [--gap-policy reject|hold|interpolate|mask]
           [--fit-strategy exact|sketched] [--sketch-seed S]
-          [--checkpoint-dir DIR] [--checkpoint-every K] [--resume] [--metrics-every N]
+          [--store-dir DIR | --checkpoint-dir DIR (deprecated)]
+          [--checkpoint-every K] [--resume] [--metrics-every N]
   serve   --addr HOST:PORT --dt SECONDS [--levels L] [--threads N]
           [--gap-policy reject|hold|interpolate|mask]
           [--fit-strategy exact|sketched] [--sketch-seed S]
-          [--checkpoint-dir DIR] [--checkpoint-every K] [--keep-checkpoints K]
+          [--store-dir DIR | --checkpoint-dir DIR (deprecated)]
+          [--checkpoint-every K] [--keep-checkpoints K]
           [--durability none|interval|batch] [--max-body-mb M] [--max-tenants N]
           [--max-inflight N]
   metrics --input FILE.csv --dt SECONDS [--levels L] [--chunk N]
-          [--fit-strategy exact|sketched] [--sketch-seed S] [--format json|prom]";
+          [--fit-strategy exact|sketched] [--sketch-seed S] [--format json|prom]
+  archive --model FILE.json [--tier f64|f32|q16] [--out FILE.arch] [--store-dir DIR]
+  replay  --archive FILE.arch | --store-dir DIR
+          [--from T0] [--to T1] [--out FILE.csv]";
 
 /// Flags that take no value: their presence means `true`.
 const BOOL_FLAGS: &[&str] = &["resume"];
@@ -235,6 +273,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             .map(|v| {
                 v.parse()
                     .map_err(|_| CliError(format!("--{name} must be a number")))
+            })
+            .transpose()
+    };
+    let opt_int = |name: &str| -> Result<Option<usize>, CliError> {
+        flags
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError(format!("--{name} must be an integer")))
             })
             .transpose()
     };
@@ -343,6 +390,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .unwrap_or_else(|| "reject".to_string()),
             fit_strategy: strategy(),
             sketch_seed: sketch_seed()?,
+            store_dir: flags.get("store-dir").map(PathBuf::from),
             checkpoint_dir: flags.get("checkpoint-dir").map(PathBuf::from),
             checkpoint_every: flags
                 .get("checkpoint-every")
@@ -380,6 +428,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .unwrap_or_else(|| "interpolate".to_string()),
             fit_strategy: strategy(),
             sketch_seed: sketch_seed()?,
+            store_dir: flags.get("store-dir").map(PathBuf::from),
             checkpoint_dir: flags.get("checkpoint-dir").map(PathBuf::from),
             checkpoint_every: flags
                 .get("checkpoint-every")
@@ -437,6 +486,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .get("format")
                 .cloned()
                 .unwrap_or_else(|| "json".to_string()),
+        }),
+        "archive" => Ok(Command::Archive {
+            model: get("model")?.into(),
+            tier: flags
+                .get("tier")
+                .cloned()
+                .unwrap_or_else(|| "q16".to_string()),
+            out: flags.get("out").map(PathBuf::from),
+            store_dir: flags.get("store-dir").map(PathBuf::from),
+        }),
+        "replay" => Ok(Command::Replay {
+            archive: flags.get("archive").map(PathBuf::from),
+            store_dir: flags.get("store-dir").map(PathBuf::from),
+            from: opt_int("from")?,
+            to: opt_int("to")?,
+            out: flags.get("out").map(PathBuf::from),
         }),
         other => Err(CliError(format!("unknown subcommand `{other}`\n{USAGE}"))),
     }
@@ -565,6 +630,7 @@ mod tests {
                 gap_policy: "reject".into(),
                 fit_strategy: "exact".into(),
                 sketch_seed: None,
+                store_dir: None,
                 checkpoint_dir: None,
                 checkpoint_every: 1,
                 resume: false,
@@ -699,6 +765,7 @@ mod tests {
                 gap_policy: "interpolate".into(),
                 fit_strategy: "exact".into(),
                 sketch_seed: None,
+                store_dir: None,
                 checkpoint_dir: None,
                 checkpoint_every: 1,
                 keep_checkpoints: 3,
@@ -746,6 +813,79 @@ mod tests {
             parse_args(&argv("serve --addr 1.2.3.4:1")).is_err(),
             "--dt required"
         );
+    }
+
+    #[test]
+    fn parses_archive_and_replay() {
+        let c = parse_args(&argv("archive --model m.json")).unwrap();
+        assert_eq!(
+            c,
+            Command::Archive {
+                model: "m.json".into(),
+                tier: "q16".into(),
+                out: None,
+                store_dir: None,
+            }
+        );
+        let c = parse_args(&argv(
+            "archive --model m.json --tier f64 --out m.arch --store-dir store",
+        ))
+        .unwrap();
+        match c {
+            Command::Archive {
+                tier,
+                out,
+                store_dir,
+                ..
+            } => {
+                assert_eq!(tier, "f64");
+                assert_eq!(out, Some("m.arch".into()));
+                assert_eq!(store_dir, Some("store".into()));
+            }
+            _ => panic!("wrong variant"),
+        }
+        let c = parse_args(&argv(
+            "replay --archive m.arch --from 100 --to 300 --out r.csv",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Replay {
+                archive: Some("m.arch".into()),
+                store_dir: None,
+                from: Some(100),
+                to: Some(300),
+                out: Some("r.csv".into()),
+            }
+        );
+        assert!(
+            parse_args(&argv("replay --archive m.arch --from x")).is_err(),
+            "--from must be an integer"
+        );
+    }
+
+    #[test]
+    fn store_dir_parses_on_stream_and_serve() {
+        let c = parse_args(&argv(
+            "stream --input a.csv --dt 20 --model m.json --store-dir store",
+        ))
+        .unwrap();
+        match c {
+            Command::Stream {
+                store_dir,
+                checkpoint_dir,
+                ..
+            } => {
+                assert_eq!(store_dir, Some("store".into()));
+                assert_eq!(checkpoint_dir, None);
+            }
+            _ => panic!("wrong variant"),
+        }
+        let c = parse_args(&argv("serve --addr 127.0.0.1:0 --dt 20 --store-dir store")).unwrap();
+        match c {
+            Command::Serve { store_dir, .. } => assert_eq!(store_dir, Some("store".into())),
+            _ => panic!("wrong variant"),
+        }
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             gap_policy,
             fit_strategy,
             sketch_seed,
+            store_dir,
             checkpoint_dir,
             checkpoint_every,
             resume,
@@ -84,6 +85,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             gap_policy,
             fit_strategy,
             sketch_seed: *sketch_seed,
+            store_dir: store_dir.as_deref(),
             checkpoint_dir: checkpoint_dir.as_deref(),
             checkpoint_every: *checkpoint_every,
             resume: *resume,
@@ -98,6 +100,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             gap_policy,
             fit_strategy,
             sketch_seed,
+            store_dir,
             checkpoint_dir,
             checkpoint_every,
             keep_checkpoints,
@@ -113,6 +116,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             gap_policy,
             fit_strategy,
             sketch_seed: *sketch_seed,
+            store_dir: store_dir.as_deref(),
             checkpoint_dir: checkpoint_dir.as_deref(),
             checkpoint_every: *checkpoint_every,
             keep_checkpoints: *keep_checkpoints,
@@ -138,6 +142,49 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             *sketch_seed,
             format,
         ),
+        Command::Archive {
+            model,
+            tier,
+            out,
+            store_dir,
+        } => archive(model, tier, out.as_deref(), store_dir.as_deref()),
+        Command::Replay {
+            archive,
+            store_dir,
+            from,
+            to,
+            out,
+        } => replay(
+            archive.as_deref(),
+            store_dir.as_deref(),
+            *from,
+            *to,
+            out.as_deref(),
+        ),
+    }
+}
+
+/// Resolves the persistent-store flags into the directory checkpoints live
+/// in. `--store-dir` is the modern spelling (checkpoints under
+/// `<store-dir>/checkpoints`); `--checkpoint-dir` is a deprecated alias
+/// that still names its directory verbatim. Giving both is ambiguous.
+fn resolve_checkpoint_dir(
+    store_dir: Option<&Path>,
+    checkpoint_dir: Option<&Path>,
+) -> Result<Option<std::path::PathBuf>, CliError> {
+    match (store_dir, checkpoint_dir) {
+        (Some(_), Some(_)) => Err(CliError(
+            "--store-dir and --checkpoint-dir are aliases: give only one".into(),
+        )),
+        (Some(store), None) => Ok(Some(store.join("checkpoints"))),
+        (None, Some(dir)) => {
+            eprintln!(
+                "note: --checkpoint-dir is deprecated; use --store-dir DIR \
+                 (checkpoints then live in DIR/checkpoints)"
+            );
+            Ok(Some(dir.to_path_buf()))
+        }
+        (None, None) => Ok(None),
     }
 }
 
@@ -164,6 +211,7 @@ struct StreamOpts<'a> {
     gap_policy: &'a str,
     fit_strategy: &'a str,
     sketch_seed: Option<u64>,
+    store_dir: Option<&'a Path>,
     checkpoint_dir: Option<&'a Path>,
     checkpoint_every: usize,
     resume: bool,
@@ -180,6 +228,7 @@ struct ServeOpts<'a> {
     gap_policy: &'a str,
     fit_strategy: &'a str,
     sketch_seed: Option<u64>,
+    store_dir: Option<&'a Path>,
     checkpoint_dir: Option<&'a Path>,
     checkpoint_every: usize,
     keep_checkpoints: usize,
@@ -207,7 +256,7 @@ fn bind_server(o: &ServeOpts<'_>) -> Result<(imrdmd_serve::Server, usize, usize)
     let cfg = imrdmd_serve::ServeConfig {
         model: stream_config(o.dt, o.levels, 2, o.threads, strategy)?,
         policy,
-        checkpoint_dir: o.checkpoint_dir.map(Path::to_path_buf),
+        checkpoint_dir: resolve_checkpoint_dir(o.store_dir, o.checkpoint_dir)?,
         checkpoint_every: o.checkpoint_every.max(1),
         keep_checkpoints: o.keep_checkpoints,
         durability,
@@ -483,8 +532,12 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
     }
     let policy = GapPolicy::parse(o.gap_policy)
         .ok_or_else(|| CliError(format!("unknown --gap-policy `{}`", o.gap_policy)))?;
-    if o.resume && o.checkpoint_dir.is_none() {
-        return Err(CliError("--resume needs --checkpoint-dir".into()));
+    let ckpt_dir = resolve_checkpoint_dir(o.store_dir, o.checkpoint_dir)?;
+    let ckpt_dir = ckpt_dir.as_deref();
+    if o.resume && ckpt_dir.is_none() {
+        return Err(CliError(
+            "--resume needs --checkpoint-dir or --store-dir".into(),
+        ));
     }
     let strategy = parse_fit_strategy(o.fit_strategy, o.sketch_seed)?;
     let data = load_csv(o.input)?;
@@ -496,7 +549,7 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
     // stream picks up exactly where the interrupted run stopped.
     let mut resumed_from = None;
     let mut guard = IngestGuard::new(policy, data.rows());
-    let (mut model, mut done) = match (o.resume, o.checkpoint_dir) {
+    let (mut model, mut done) = match (o.resume, ckpt_dir) {
         (true, Some(dir)) => match latest_checkpoint(dir)? {
             Some(path) => {
                 let model = load_checkpoint(&path)?;
@@ -522,8 +575,7 @@ fn stream(o: StreamOpts<'_>) -> Result<String, CliError> {
     }
 
     let skipped = done;
-    let mut checkpointer = o
-        .checkpoint_dir
+    let mut checkpointer = ckpt_dir
         .map(|dir| Checkpointer::new(dir, o.checkpoint_every))
         .transpose()?;
     let mut repairs = RepairReport::default();
@@ -724,6 +776,120 @@ fn health(model_path: &Path) -> Result<String, CliError> {
         let _ = writeln!(out, "last error: {e}");
     }
     Ok(out)
+}
+
+fn archive(
+    model_path: &Path,
+    tier: &str,
+    out: Option<&Path>,
+    store_dir: Option<&Path>,
+) -> Result<String, CliError> {
+    let tier = QuantTier::parse(tier).ok_or_else(|| {
+        CliError(format!(
+            "unknown --tier `{tier}` (expected f64, f32, or q16)"
+        ))
+    })?;
+    let model = load_model(model_path)?;
+    // --out wins; otherwise the store root's archives/ subdir; otherwise a
+    // sibling of the model file.
+    let path = match (out, store_dir) {
+        (Some(p), _) => p.to_path_buf(),
+        (None, Some(store)) => {
+            let dir = store.join("archives");
+            fs::create_dir_all(&dir)
+                .map_err(|e| CliError(format!("cannot create {}: {e}", dir.display())))?;
+            let stem = model_path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("model");
+            dir.join(format!("{stem}.{}.arch", tier.as_str()))
+        }
+        (None, None) => model_path.with_extension("arch"),
+    };
+    let info = write_archive(&model, &path, tier)
+        .map_err(|e| CliError(format!("cannot write archive: {e}")))?;
+    let raw_bytes = (info.n_rows * info.n_steps * std::mem::size_of::<f64>()) as f64;
+    Ok(format!(
+        "archived {} series × {} snapshots at tier {}: {} node blocks, {:.3} MB ({:.1}x vs raw) → {}",
+        info.n_rows,
+        info.n_steps,
+        info.tier,
+        info.n_nodes,
+        info.bytes as f64 / 1e6,
+        raw_bytes / info.bytes as f64,
+        path.display()
+    ))
+}
+
+/// Picks the newest (by mtime) `*.arch` file under `dir`.
+fn newest_archive(dir: &Path) -> Result<std::path::PathBuf, CliError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| CliError(format!("cannot read {}: {e}", dir.display())))?;
+    let mut newest: Option<(std::time::SystemTime, std::path::PathBuf)> = None;
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("arch") {
+            continue;
+        }
+        let modified = entry.metadata()?.modified()?;
+        if newest.as_ref().is_none_or(|(t, _)| modified > *t) {
+            newest = Some((modified, path));
+        }
+    }
+    newest
+        .map(|(_, p)| p)
+        .ok_or_else(|| CliError(format!("no .arch files under {}", dir.display())))
+}
+
+fn replay(
+    archive: Option<&Path>,
+    store_dir: Option<&Path>,
+    from: Option<usize>,
+    to: Option<usize>,
+    out: Option<&Path>,
+) -> Result<String, CliError> {
+    let path = match (archive, store_dir) {
+        (Some(p), _) => p.to_path_buf(),
+        (None, Some(store)) => newest_archive(&store.join("archives"))?,
+        (None, None) => {
+            return Err(CliError(
+                "replay needs --archive FILE or --store-dir DIR".into(),
+            ))
+        }
+    };
+    let mut reader = ArchiveReader::open(&path)
+        .map_err(|e| CliError(format!("cannot open archive {}: {e}", path.display())))?;
+    let info = *reader.info();
+    let t0 = from.unwrap_or(0);
+    let t1 = to.unwrap_or(info.n_steps);
+    let data = reader
+        .replay(t0, t1)
+        .map_err(|e| CliError(format!("replay failed: {e}")))?;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "replayed [{t0}, {t1}) of {} snapshots from {} (tier {}, {} of {} blocks read)",
+        info.n_steps,
+        path.display(),
+        info.tier,
+        reader.blocks_read(),
+        info.n_nodes
+    );
+    if let Some(out) = out {
+        let mut file = std::io::BufWriter::new(fs::File::create(out)?);
+        write_snapshots_csv(&mut file, &data, t0)?;
+        use std::io::Write as _;
+        file.flush()?;
+        let _ = writeln!(
+            report,
+            "wrote {} series × {} snapshots to {}",
+            data.rows(),
+            data.cols(),
+            out.display()
+        );
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -1091,6 +1257,12 @@ mod tests {
         .unwrap())
         .unwrap_err();
         assert!(err.0.contains("--resume needs --checkpoint-dir"), "{err}");
+        let err = run(&parse_args(&argv(
+            "stream --input a.csv --dt 20 --model m.json --store-dir s --checkpoint-dir c",
+        ))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("give only one"), "{err}");
         let err = run(&parse_args(&argv("stream --input a.csv --dt 0 --model m.json")).unwrap())
             .unwrap_err();
         assert!(err.0.contains("--dt must be positive"), "{err}");
@@ -1124,6 +1296,78 @@ mod tests {
     }
 
     #[test]
+    fn archive_replay_roundtrip_is_bitwise_at_f64() {
+        let csv = tmp("arch.csv");
+        let model_path = tmp("arch.json");
+        let store = tmp("arch_store");
+        let out_csv = tmp("arch_replay.csv");
+        let _ = fs::remove_dir_all(&store);
+
+        run(&parse_args(&argv(&format!(
+            "synth --nodes 12 --steps 400 --seed 7 --out {}",
+            csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse_args(&argv(&format!(
+            "fit --input {} --dt 20 --levels 4 --model {}",
+            csv.display(),
+            model_path.display()
+        )))
+        .unwrap())
+        .unwrap();
+
+        // Archive into the store root at the lossless tier.
+        let r = run(&parse_args(&argv(&format!(
+            "archive --model {} --tier f64 --store-dir {}",
+            model_path.display(),
+            store.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("tier f64"), "{r}");
+        assert!(store.join("archives/arch.f64.arch").is_file(), "{r}");
+
+        // Replay a sub-range from the store's newest archive to CSV…
+        let r = run(&parse_args(&argv(&format!(
+            "replay --store-dir {} --from 100 --to 300 --out {}",
+            store.display(),
+            out_csv.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("replayed [100, 300) of 400 snapshots"), "{r}");
+        assert!(r.contains("12 series × 200 snapshots"), "{r}");
+
+        // …and it matches the in-memory reconstruction bit for bit (the CSV
+        // writes shortest-roundtrip f64, so equality survives the text hop).
+        let replayed = load_csv(&out_csv).unwrap();
+        let model = load_model(&model_path).unwrap();
+        let expect = model.reconstruct_range(100, 300);
+        assert_eq!((replayed.rows(), replayed.cols()), (12, 200));
+        for i in 0..expect.rows() {
+            for j in 0..expect.cols() {
+                assert_eq!(
+                    replayed[(i, j)].to_bits(),
+                    expect[(i, j)].to_bits(),
+                    "replay must be bitwise at f64 (row {i}, col {j})"
+                );
+            }
+        }
+
+        // Flag validation is clean on both subcommands.
+        let err = run(&parse_args(&argv(&format!(
+            "archive --model {} --tier f16",
+            model_path.display()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.0.contains("unknown --tier"), "{err}");
+        let err = run(&parse_args(&argv("replay --from 0")).unwrap()).unwrap_err();
+        assert!(err.0.contains("--archive FILE or --store-dir DIR"), "{err}");
+    }
+
+    #[test]
     fn serve_rejects_bad_flags() {
         let bad_dt = bind_server(&ServeOpts {
             addr: "127.0.0.1:0",
@@ -1133,6 +1377,7 @@ mod tests {
             gap_policy: "interpolate",
             fit_strategy: "exact",
             sketch_seed: None,
+            store_dir: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
             keep_checkpoints: 3,
@@ -1152,6 +1397,7 @@ mod tests {
             gap_policy: "yolo",
             fit_strategy: "exact",
             sketch_seed: None,
+            store_dir: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
             keep_checkpoints: 3,
@@ -1176,6 +1422,7 @@ mod tests {
             gap_policy: "interpolate",
             fit_strategy: "exact",
             sketch_seed: None,
+            store_dir: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
             keep_checkpoints: 3,

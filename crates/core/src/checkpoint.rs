@@ -10,6 +10,11 @@
 //! truncated or bit-flipped files are rejected with a clean error instead
 //! of resuming from silently corrupt state.
 //!
+//! The durability primitives (CRC-32, atomic rename + directory fsync,
+//! versioned headers, keep-last-K retention) live in [`crate::storage`]
+//! and are shared with the WAL and the mode archive; this module owns
+//! only the checkpoint wire format and file-name grammar.
+//!
 //! On-disk layout (one header line, then the payload):
 //!
 //! ```text
@@ -22,8 +27,12 @@
 //! checkpointed one.
 
 use crate::imrdmd::IMrDmd;
+use crate::storage::{self, HeaderError};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+
+/// CRC-32 checksum shared by every on-disk format (re-exported from
+/// [`crate::storage`] for backwards compatibility).
+pub use crate::storage::crc32;
 
 /// First token of every checkpoint file.
 pub const CHECKPOINT_MAGIC: &str = "IMRDMD-CKPT";
@@ -96,81 +105,24 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// Flushes a directory's entry table to stable storage. On POSIX, a
-/// rename is only durable once the *directory* is fsynced — fsyncing the
-/// file alone leaves the new directory entry in the page cache, so a
-/// power loss right after a "successful" save can silently revert it.
-/// Both checkpoint saves and WAL segment creation/truncation route
-/// through this. Non-Unix platforms have no directory-fsync primitive;
-/// there the rename itself is the best available barrier.
-pub(crate) fn fsync_dir(dir: &Path) -> std::io::Result<()> {
-    #[cfg(unix)]
-    {
-        std::fs::File::open(dir)?.sync_all()
-    }
-    #[cfg(not(unix))]
-    {
-        let _ = dir;
-        Ok(())
-    }
-}
-
-/// CRC-32 (IEEE 802.3, reflected) of `data`.
-pub fn crc32(data: &[u8]) -> u32 {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, slot) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 == 1 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *slot = c;
-        }
-        t
-    });
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    crc ^ 0xFFFF_FFFF
-}
-
 /// Serialises `state` into the checkpoint wire format (header + payload).
 fn encode<T: serde::Serialize>(state: &T) -> Result<String, CheckpointError> {
     let payload =
         serde_json::to_string(state).map_err(|e| CheckpointError::Codec(e.to_string()))?;
     let crc = crc32(payload.as_bytes());
-    Ok(format!(
-        "{CHECKPOINT_MAGIC} v{CHECKPOINT_VERSION} {} {crc:08x}\n{payload}",
-        payload.len()
-    ))
-}
-
-/// A temp-file sibling of `path` that is unique to this call.
-///
-/// Concurrent shards checkpointing into one directory must never share a
-/// temp path: with a fixed `.tmp` suffix, writer B's `File::create` would
-/// truncate writer A's half-written payload and the subsequent renames
-/// would race (one fails with `NotFound`, or a torn mix gets promoted).
-/// A process-wide counter plus the pid keeps every in-flight write on its
-/// own file; restore and [`latest_checkpoint`] never look at `.tmp` names.
-fn unique_tmp_path(path: &Path) -> PathBuf {
-    static SEQ: AtomicU64 = AtomicU64::new(0);
-    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(format!(".{}-{seq}.tmp", std::process::id()));
-    PathBuf::from(tmp)
+    let len = payload.len().to_string();
+    let crc_hex = format!("{crc:08x}");
+    let mut out =
+        storage::format_text_header(CHECKPOINT_MAGIC, CHECKPOINT_VERSION, &[&len, &crc_hex]);
+    out.push_str(&payload);
+    Ok(out)
 }
 
 /// Writes any serialisable `state` to `path` atomically (unique temp
-/// sibling + rename), in the same versioned, checksummed wire format as
-/// model checkpoints. This is the building block the serving layer uses to
-/// persist whole shards (model + ingest guard) rather than a bare model.
+/// sibling + rename + fsync), in the same versioned, checksummed wire
+/// format as model checkpoints. This is the building block the serving
+/// layer uses to persist whole shards (model + ingest guard) rather than
+/// a bare model.
 pub fn save_state_checkpoint<T: serde::Serialize>(
     state: &T,
     path: &Path,
@@ -179,28 +131,7 @@ pub fn save_state_checkpoint<T: serde::Serialize>(
     let bytes = encode(state)?;
     crate::obs::CHECKPOINT_SAVES.inc();
     crate::obs::CHECKPOINT_BYTES.add(bytes.len() as u64);
-    let tmp = unique_tmp_path(path);
-    let wrote = (|| {
-        use std::io::Write as _;
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes.as_bytes())?;
-        // Flush to stable storage before the rename makes the file visible
-        // under its final name; a crash before this point leaves only the
-        // temp file, which restore never looks at.
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)?;
-        // The rename itself lives in the directory's entry table: without
-        // this fsync a power loss can revert an acked save.
-        match path.parent() {
-            Some(parent) => fsync_dir(parent),
-            None => Ok(()),
-        }
-    })();
-    if wrote.is_err() {
-        // Best effort: do not leave orphan temp files behind on failure.
-        let _ = std::fs::remove_file(&tmp);
-    }
-    wrote.map_err(CheckpointError::Io)
+    storage::atomic_write(path, bytes.as_bytes(), true).map_err(CheckpointError::Io)
 }
 
 /// Writes a checkpoint of `model` to `path` atomically.
@@ -222,26 +153,26 @@ pub fn load_state_checkpoint<T: serde::de::DeserializeOwned>(
     let (header, payload) = text
         .split_once('\n')
         .ok_or_else(|| CheckpointError::BadHeader("no header line".into()))?;
-    let mut parts = header.split(' ');
-    if parts.next() != Some(CHECKPOINT_MAGIC) {
-        return Err(CheckpointError::BadHeader(format!(
-            "missing `{CHECKPOINT_MAGIC}` magic"
-        )));
-    }
-    let version: u32 = parts
-        .next()
-        .and_then(|v| v.strip_prefix('v'))
-        .and_then(|v| v.parse().ok())
-        .ok_or_else(|| CheckpointError::BadHeader("missing version token".into()))?;
-    if version > CHECKPOINT_VERSION {
-        return Err(CheckpointError::UnsupportedVersion(version));
-    }
-    let expected_len: usize = parts
-        .next()
+    let parsed =
+        storage::parse_text_header(header, CHECKPOINT_MAGIC, CHECKPOINT_VERSION).map_err(|e| {
+            match e {
+                HeaderError::BadMagic => {
+                    CheckpointError::BadHeader(format!("missing `{CHECKPOINT_MAGIC}` magic"))
+                }
+                HeaderError::NoVersion => {
+                    CheckpointError::BadHeader("missing version token".into())
+                }
+                HeaderError::Unsupported(v) => CheckpointError::UnsupportedVersion(v),
+            }
+        })?;
+    let expected_len: usize = parsed
+        .rest
+        .first()
         .and_then(|v| v.parse().ok())
         .ok_or_else(|| CheckpointError::BadHeader("missing payload length".into()))?;
-    let expected_crc: u32 = parts
-        .next()
+    let expected_crc: u32 = parsed
+        .rest
+        .get(1)
         .and_then(|v| u32::from_str_radix(v, 16).ok())
         .ok_or_else(|| CheckpointError::BadHeader("missing checksum".into()))?;
     if payload.len() != expected_len {
@@ -534,22 +465,13 @@ impl Checkpointer {
     /// retention is disabled or nothing is due.
     pub fn prune(&self) -> Result<Option<u64>, CheckpointError> {
         let files = self.retained()?;
-        if files.is_empty() {
-            return Ok(None);
+        let pruned = storage::prune_keep_last(&files, self.keep);
+        for _ in 0..pruned.deleted {
+            crate::obs::CHECKPOINT_PRUNED.inc();
         }
-        if self.keep == 0 || files.len() <= self.keep {
-            return Ok(files.last().map(|(s, _)| *s));
+        if pruned.deleted > 0 {
+            let _ = storage::fsync_dir(&self.dir);
         }
-        let mut pruned = false;
-        for (_, path) in &files[self.keep..] {
-            if std::fs::remove_file(path).is_ok() {
-                crate::obs::CHECKPOINT_PRUNED.inc();
-                pruned = true;
-            }
-        }
-        if pruned {
-            let _ = fsync_dir(&self.dir);
-        }
-        Ok(files.get(self.keep - 1).map(|(s, _)| *s))
+        Ok(pruned.floor)
     }
 }

@@ -57,12 +57,19 @@ pub fn compression_report<'a>(
         n_modes += node.n_modes();
     }
     let raw_bytes = n_rows * n_steps * 8;
+    // An empty tree compresses nothing: report a zero ratio rather than
+    // dividing by zero (inf/NaN) or faking a denominator.
+    let ratio = if model_bytes == 0 {
+        0.0
+    } else {
+        raw_bytes as f64 / model_bytes as f64
+    };
     CompressionReport {
         n_rows,
         n_steps,
         raw_bytes,
         model_bytes,
-        ratio: raw_bytes as f64 / model_bytes.max(1) as f64,
+        ratio,
         n_nodes,
         n_modes,
     }
@@ -136,6 +143,7 @@ mod tests {
         let r = compression_report(std::iter::empty(), 100, 1000);
         assert_eq!(r.model_bytes, 0);
         assert_eq!(r.n_nodes, 0);
-        assert!(r.ratio > 0.0);
+        assert!(r.ratio.is_finite());
+        assert_eq!(r.ratio, 0.0, "zero nodes store nothing: ratio must be 0");
     }
 }

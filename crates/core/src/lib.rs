@@ -38,6 +38,7 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod archive;
 pub mod baseline;
 pub mod checkpoint;
 pub mod compression;
@@ -50,11 +51,15 @@ pub mod ingest;
 pub mod mrdmd;
 pub mod obs;
 pub mod spectrum;
+pub mod storage;
 pub mod wal;
 pub mod windowed;
 
 /// Convenient glob import of the main types.
 pub mod prelude {
+    pub use crate::archive::{
+        archive_bytes, write_archive, ArchiveError, ArchiveInfo, ArchiveReader, QuantTier,
+    };
     pub use crate::baseline::{
         classify, embedding_2d, row_mode_magnitudes, select_baseline_rows, NodeState, ZScores,
         ZThresholds,

@@ -118,6 +118,22 @@ pub static WAL_NS: Histogram = Histogram::new(
     "Wall time per WAL append, retention pass, or recovery scan",
 );
 
+/// Mode archives written.
+pub static ARCHIVE_SAVES: Counter = Counter::new("archive.saves", "Mode archives written");
+/// Bytes of mode archives written.
+pub static ARCHIVE_BYTES: Counter = Counter::new("archive.bytes", "Bytes of mode archives written");
+/// Time ranges replayed from mode archives.
+pub static ARCHIVE_REPLAYS: Counter =
+    Counter::new("archive.replays", "Time ranges replayed from mode archives");
+/// Node blocks streamed from archives during replay.
+pub static ARCHIVE_BLOCKS_READ: Counter = Counter::new(
+    "archive.blocks_read",
+    "Node blocks streamed from archives during replay",
+);
+/// Wall time per archive write or range replay.
+pub static ARCHIVE_NS: Histogram =
+    Histogram::new("archive.ns", "Wall time per archive write or range replay");
+
 /// Captures every metric in the process — the linalg kernel catalogue
 /// followed by this crate's pipeline catalogue — in fixed order.
 pub fn collect() -> Vec<MetricRecord> {
@@ -138,13 +154,17 @@ pub fn collect() -> Vec<MetricRecord> {
         &WAL_TRUNCATIONS,
         &WAL_TORN_TAILS,
         &WAL_REPLAYED,
+        &ARCHIVE_SAVES,
+        &ARCHIVE_BYTES,
+        &ARCHIVE_REPLAYS,
+        &ARCHIVE_BLOCKS_READ,
     ] {
         out.push(record_counter(c));
     }
     for g in [&ROUND_PENDING, &ROUND_DRIFT, &HEALTH_COVERAGE] {
         out.push(record_gauge(g));
     }
-    for h in [&ROUND_NS, &INGEST_NS, &CHECKPOINT_NS, &WAL_NS] {
+    for h in [&ROUND_NS, &INGEST_NS, &CHECKPOINT_NS, &WAL_NS, &ARCHIVE_NS] {
         out.push(record_histogram(h));
     }
     out
@@ -169,13 +189,17 @@ pub fn reset() {
         &WAL_TRUNCATIONS,
         &WAL_TORN_TAILS,
         &WAL_REPLAYED,
+        &ARCHIVE_SAVES,
+        &ARCHIVE_BYTES,
+        &ARCHIVE_REPLAYS,
+        &ARCHIVE_BLOCKS_READ,
     ] {
         c.reset();
     }
     for g in [&ROUND_PENDING, &ROUND_DRIFT, &HEALTH_COVERAGE] {
         g.reset();
     }
-    for h in [&ROUND_NS, &INGEST_NS, &CHECKPOINT_NS, &WAL_NS] {
+    for h in [&ROUND_NS, &INGEST_NS, &CHECKPOINT_NS, &WAL_NS, &ARCHIVE_NS] {
         h.reset();
     }
 }

@@ -12,6 +12,12 @@
 //! bitwise-reproducible at any thread count — the recovered state is
 //! bitwise-identical to a run that never crashed.
 //!
+//! The framing and durability primitives (CRC-32 block frames, atomic
+//! rewrite + directory fsync, versioned headers) live in
+//! [`crate::storage`] and are shared with checkpoints and the mode
+//! archive; this module owns only the WAL payload format and recovery
+//! semantics.
+//!
 //! On-disk layout (`wal-<shard>.wal`, one per shard, in the checkpoint
 //! directory): a text header line, then binary frames:
 //!
@@ -41,7 +47,8 @@
 //!
 //! [`GapPolicy`]: crate::ingest::GapPolicy
 
-use crate::checkpoint::{crc32, fsync_dir, is_valid_shard_name};
+use crate::checkpoint::is_valid_shard_name;
+use crate::storage::{self, fsync_dir, u32_at, u64_at, HeaderError, FRAME_HEAD, MAX_FRAME_PAYLOAD};
 use hpc_linalg::Mat;
 use std::io::{Read as _, Seek as _, Write as _};
 use std::path::{Path, PathBuf};
@@ -52,13 +59,8 @@ pub const WAL_MAGIC: &str = "IMRDMD-WAL";
 /// Current on-disk format version.
 pub const WAL_VERSION: u32 = 1;
 
-/// `u32 len + u32 crc` preceding every frame payload.
-const FRAME_HEAD: usize = 8;
 /// Fixed payload prefix: `u64 first_step + u32 rows + u32 cols`.
 const PAYLOAD_PREFIX: usize = 16;
-/// Upper bound on a single frame payload; anything larger is treated as
-/// tail corruption rather than an allocation request.
-const MAX_PAYLOAD: u32 = 1 << 30;
 
 // ---------------------------------------------------------------------------
 // Durability modes
@@ -209,25 +211,7 @@ fn encode_frame(first_step: u64, batch: &Mat) -> Vec<u8> {
             payload.extend_from_slice(&batch[(i, j)].to_bits().to_le_bytes());
         }
     }
-    let mut frame = Vec::with_capacity(FRAME_HEAD + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-    frame.extend_from_slice(&payload);
-    frame
-}
-
-fn u32_at(bytes: &[u8], at: usize) -> Option<u32> {
-    bytes
-        .get(at..at + 4)
-        .and_then(|b| b.try_into().ok())
-        .map(u32::from_le_bytes)
-}
-
-fn u64_at(bytes: &[u8], at: usize) -> Option<u64> {
-    bytes
-        .get(at..at + 8)
-        .and_then(|b| b.try_into().ok())
-        .map(u64::from_le_bytes)
+    storage::encode_frame(&payload)
 }
 
 fn decode_payload(payload: &[u8]) -> Option<WalFrame> {
@@ -266,21 +250,14 @@ fn parse_header(bytes: &[u8], shard: &str) -> Result<usize, WalError> {
         .ok_or_else(|| WalError::BadHeader("no header line".into()))?;
     let line = std::str::from_utf8(&bytes[..line_end])
         .map_err(|_| WalError::BadHeader("header not valid UTF-8".into()))?;
-    let mut parts = line.split(' ');
-    if parts.next() != Some(WAL_MAGIC) {
-        return Err(WalError::BadHeader(format!("missing `{WAL_MAGIC}` magic")));
-    }
-    let version: u32 = parts
-        .next()
-        .and_then(|v| v.strip_prefix('v'))
-        .and_then(|v| v.parse().ok())
-        .ok_or_else(|| WalError::BadHeader("missing version token".into()))?;
-    if version > WAL_VERSION {
-        return Err(WalError::BadHeader(format!(
-            "wal format v{version} is newer than supported v{WAL_VERSION}"
-        )));
-    }
-    if parts.next() != Some(shard) {
+    let parsed = storage::parse_text_header(line, WAL_MAGIC, WAL_VERSION).map_err(|e| match e {
+        HeaderError::BadMagic => WalError::BadHeader(format!("missing `{WAL_MAGIC}` magic")),
+        HeaderError::NoVersion => WalError::BadHeader("missing version token".into()),
+        HeaderError::Unsupported(v) => WalError::BadHeader(format!(
+            "wal format v{v} is newer than supported v{WAL_VERSION}"
+        )),
+    })?;
+    if parsed.rest.first() != Some(&shard) {
         return Err(WalError::BadHeader(format!(
             "wal header names a different shard than `{shard}`"
         )));
@@ -296,15 +273,11 @@ fn scan_bytes(bytes: &[u8], shard: &str) -> Result<RawScan, WalError> {
     while at < bytes.len() {
         let intact = (|| {
             let len = u32_at(bytes, at)?;
-            let crc = u32_at(bytes, at + 4)?;
-            if len < PAYLOAD_PREFIX as u32 || len > MAX_PAYLOAD {
+            if len < PAYLOAD_PREFIX as u32 || len > MAX_FRAME_PAYLOAD {
                 return None;
             }
-            let start = at + FRAME_HEAD;
-            let payload = bytes.get(start..start + len as usize)?;
-            if crc32(payload) != crc {
-                return None;
-            }
+            let range = storage::frame_payload_at(bytes, at)?;
+            let payload = bytes.get(range.clone())?;
             // Shape sanity: a CRC-intact frame with inconsistent
             // dimensions is still unusable, so treat it as tail damage.
             let rows = u32_at(payload, 8)? as u64;
@@ -313,7 +286,7 @@ fn scan_bytes(bytes: &[u8], shard: &str) -> Result<RawScan, WalError> {
                 return None;
             }
             let first_step = u64_at(payload, 0)?;
-            Some((first_step, start..start + len as usize))
+            Some((first_step, range))
         })();
         match intact {
             Some((first_step, range)) => {
@@ -355,7 +328,6 @@ pub struct WalReplay {
 /// append per acked ingest batch, one retention pass per checkpoint.
 #[derive(Debug)]
 pub struct Wal {
-    dir: PathBuf,
     shard: String,
     path: PathBuf,
     file: std::fs::File,
@@ -384,7 +356,8 @@ impl Wal {
             .create(true)
             .open(&path)?;
         if file.metadata()?.len() == 0 {
-            file.write_all(format!("{WAL_MAGIC} v{WAL_VERSION} {shard}\n").as_bytes())?;
+            let header = storage::format_text_header(WAL_MAGIC, WAL_VERSION, &[shard]);
+            file.write_all(header.as_bytes())?;
             file.sync_all()?;
             fsync_dir(dir)?;
         } else {
@@ -394,7 +367,6 @@ impl Wal {
             parse_header(&head[..n], shard)?;
         }
         Ok(Wal {
-            dir: dir.to_path_buf(),
             shard: shard.to_string(),
             path,
             file,
@@ -454,30 +426,11 @@ impl Wal {
         out.extend_from_slice(&bytes[..scan.header_end]);
         for (first_step, range) in &scan.frames {
             if *first_step >= keep_from {
-                let payload = &bytes[range.clone()];
-                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                out.extend_from_slice(&crc32(payload).to_le_bytes());
-                out.extend_from_slice(payload);
+                storage::append_frame(&mut out, &bytes[range.clone()]);
             }
         }
-        let tmp = self.path.with_extension("wal.tmp");
         let durable = self.durability == Durability::Batch;
-        let wrote: std::io::Result<()> = (|| {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&out)?;
-            if durable {
-                f.sync_all()?;
-            }
-            std::fs::rename(&tmp, &self.path)?;
-            if durable {
-                fsync_dir(&self.dir)?;
-            }
-            Ok(())
-        })();
-        if wrote.is_err() {
-            let _ = std::fs::remove_file(&tmp);
-        }
-        wrote?;
+        storage::atomic_write(&self.path, &out, durable)?;
         self.file = std::fs::OpenOptions::new()
             .read(true)
             .append(true)

@@ -23,6 +23,7 @@
 //! | `/v1/{t}/spectrum` | GET | `Vec<SpectrumPoint>` |
 //! | `/v1/{t}/forecast?h=N` | GET | forecast matrix |
 //! | `/v1/{t}/reconstruct?t0=&t1=` | GET | reconstruction matrix |
+//! | `/v1/{t}/archive?tier=` | GET | seekable mode archive (`application/octet-stream`) |
 //! | `/v1/{t}/status` | GET | [`ShardStatus`](crate::shard::ShardStatus) |
 //!
 //! CSV ingest bodies are the `write_snapshots_csv` wire format: floats in
@@ -40,6 +41,7 @@ use std::time::Duration;
 
 use hpc_linalg::Mat;
 use hpc_telemetry::read_snapshots_csv;
+use imrdmd::archive::{archive_bytes, QuantTier};
 use imrdmd::wal::Durability;
 use imrdmd::{mode_spectrum, GapPolicy, IMrDmdConfig};
 use serde::Serialize;
@@ -344,6 +346,26 @@ fn dispatch(state: &ServerState, req: &Request) -> Result<Response, ServeError> 
             })?;
             Ok(json_response(&recon?))
         }
+        ("GET", ["v1", tenant, "archive"]) => {
+            // A point-in-time snapshot of the shard as the seekable archive
+            // wire format — the exact bytes `imrdmd-cli replay` consumes.
+            let tier = match req.query_param("tier") {
+                None => QuantTier::Q16,
+                Some(v) => QuantTier::parse(v).ok_or_else(|| {
+                    ServeError::BadQuery(format!("`tier={v}` is not f64, f32, or q16"))
+                })?,
+            };
+            let cell = state.manager.existing_shard(tenant)?;
+            let shard = lock_shard(&cell);
+            let (bytes, _info) = shard.with_model(|m| archive_bytes(m, tier))?;
+            Ok(Response {
+                status: 200,
+                content_type: "application/octet-stream",
+                body: bytes,
+                close: false,
+                retry_after: None,
+            })
+        }
         ("GET", ["v1", tenant, "status"]) => {
             let cell = state.manager.existing_shard(tenant)?;
             let status = lock_shard(&cell).status();
@@ -355,7 +377,7 @@ fn dispatch(state: &ServerState, req: &Request) -> Result<Response, ServeError> 
         )),
         (
             _,
-            ["v1", _, "ingest" | "health" | "spectrum" | "forecast" | "reconstruct" | "status"],
+            ["v1", _, "ingest" | "health" | "spectrum" | "forecast" | "reconstruct" | "archive" | "status"],
         ) => Ok(Response::error(
             405,
             &format!("method {} not allowed here", req.method),

@@ -1,0 +1,122 @@
+//! Property-based round-trip tests for the mode archive: across scenario
+//! shapes, tree depths, and rank-selection rules, every quantization tier
+//! reconstructs within its advertised relative-error bound, the f64 tier is
+//! bitwise, and arbitrary time ranges replay identically to the in-memory
+//! reconstruction of the same range — from the archive file alone.
+
+use mrdmd_suite::prelude::*;
+use proptest::prelude::*;
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("imrdmd-archive-proptest");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn fitted(n_nodes: usize, total: usize, seed: u64, levels: usize, rank: RankSelection) -> IMrDmd {
+    let mut machine = theta().scaled(n_nodes);
+    machine.series_per_node = 1;
+    let scenario = Scenario::sc_log(machine, total, seed);
+    let data = scenario.generate(0, total);
+    let cfg = IMrDmdConfig {
+        mr: MrDmdConfig {
+            dt: scenario.dt(),
+            max_levels: levels,
+            max_cycles: 2,
+            rank,
+            ..MrDmdConfig::default()
+        },
+        ..IMrDmdConfig::default()
+    };
+    IMrDmd::fit(&data, &cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Tier × depth × rank sweep: each tier's full replay honors its bound
+    /// (f64 exactly, lossy tiers within their advertised relative error).
+    #[test]
+    fn every_tier_replays_within_its_bound(
+        n_nodes in 8usize..20,
+        total in 128usize..320,
+        seed in 0u64..500,
+        levels in 2usize..5,
+        rank_pick in 0usize..3,
+    ) {
+        let rank = match rank_pick {
+            0 => RankSelection::Svht,
+            1 => RankSelection::Fixed(3),
+            _ => RankSelection::Energy(0.95),
+        };
+        let model = fitted(n_nodes, total, seed, levels, rank);
+        let exact = model.reconstruct();
+        let norm = exact
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-300);
+        for tier in [QuantTier::F64, QuantTier::F32, QuantTier::Q16] {
+            let path = scratch(&format!(
+                "bound-{n_nodes}-{total}-{seed}-{levels}-{rank_pick}.{tier}.arch"
+            ));
+            let info = write_archive(&model, &path, tier).unwrap();
+            prop_assert_eq!(info.n_steps, total);
+            let mut reader = ArchiveReader::open(&path).unwrap();
+            let approx = reader.replay_all().unwrap();
+            prop_assert_eq!(approx.shape(), exact.shape());
+            match tier {
+                QuantTier::F64 => {
+                    for (a, b) in exact.as_slice().iter().zip(approx.as_slice()) {
+                        prop_assert!(a.to_bits() == b.to_bits(), "f64 replay must be bitwise");
+                    }
+                }
+                _ => {
+                    let err = exact
+                        .as_slice()
+                        .iter()
+                        .zip(approx.as_slice())
+                        .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+                        / norm;
+                    prop_assert!(
+                        err <= tier.rel_error_bound(),
+                        "tier {} rel error {:e} exceeds {:e}",
+                        tier, err, tier.rel_error_bound()
+                    );
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    /// Any sub-range replays bitwise-equal (at f64) to `reconstruct_range`
+    /// over the same window, while streaming only the admitting blocks.
+    #[test]
+    fn arbitrary_ranges_replay_bitwise_at_f64(
+        seed in 0u64..500,
+        levels in 2usize..5,
+        lo_frac in 0.0f64..0.9,
+        span_frac in 0.05f64..0.5,
+    ) {
+        let total = 320;
+        let model = fitted(12, total, seed, levels, RankSelection::Svht);
+        let t0 = (lo_frac * total as f64) as usize;
+        let t1 = (t0 + (span_frac * total as f64) as usize + 1).min(total);
+        let path = scratch(&format!("range-{seed}-{levels}-{t0}-{t1}.arch"));
+        write_archive(&model, &path, QuantTier::F64).unwrap();
+        let mut reader = ArchiveReader::open(&path).unwrap();
+        let replayed = reader.replay(t0, t1).unwrap();
+        let expect = model.reconstruct_range(t0, t1);
+        prop_assert_eq!(replayed.shape(), expect.shape());
+        for (a, b) in expect.as_slice().iter().zip(replayed.as_slice()) {
+            prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "range [{}, {}) must replay bitwise", t0, t1
+            );
+        }
+        // The seekable index earns its bytes: a narrow range must not scan
+        // the whole tree (every level-1 node admits, deeper ones may not).
+        prop_assert!(reader.blocks_read() <= reader.info().n_nodes as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -112,6 +112,24 @@ fn get(addr: SocketAddr, path: &str) -> (u16, String) {
     request(addr, "GET", path, None, b"")
 }
 
+/// Binary-safe GET for octet-stream replies: `(status, body_bytes)`.
+fn get_bytes(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: fleet\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).unwrap();
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("no header/body split");
+    let head = String::from_utf8_lossy(&raw[..split]);
+    let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+    (status, raw[split + 4..].to_vec())
+}
+
 fn post_csv(addr: SocketAddr, tenant: &str, batch: &Mat, first_step: usize) -> (u16, String) {
     let mut body = Vec::new();
     write_snapshots_csv(&mut body, batch, first_step).unwrap();
@@ -608,5 +626,56 @@ fn ndjson_ingest_matches_oracle() {
     let (s, health) = get(addr, "/v1/t00/health");
     assert_eq!(s, 200);
     assert_eq!(health, json(&oracle.model().health()));
+    daemon.shutdown();
+}
+
+/// The `/archive` route serves the exact seekable-archive wire format: the
+/// f64-tier bytes, written straight to a file, replay bitwise-equal to the
+/// in-process oracle's reconstruction — no model JSON anywhere in the loop.
+#[test]
+fn archive_route_replays_bitwise_against_oracle() {
+    let driver = FleetDriver::new(FleetSpec {
+        tenants: 1,
+        nodes_per_tenant: 6,
+        steps: 180,
+        chunk: 60,
+        base_seed: 31,
+        faults: None,
+    });
+    let cfg = model_cfg(driver.dt(), 1);
+    let daemon = start(serve_cfg(driver.dt(), 1, None));
+    let addr = daemon.addr;
+    let names = driver.tenant_names();
+    let tenant = names[0].as_str();
+    for (_, first, batch) in deliveries(&driver.tenant_batches(0)) {
+        let (status, body) = post_csv(addr, tenant, &batch, first);
+        assert_eq!(status, 200, "{body}");
+    }
+    let oracle = oracle_for(&driver, 0, &cfg, None);
+
+    // f64 tier: persist the served bytes, open, replay a sub-range.
+    let (status, bytes) = get_bytes(addr, &format!("/v1/{tenant}/archive?tier=f64"));
+    assert_eq!(status, 200);
+    let path = scratch_dir("archive_route").join("t.arch");
+    std::fs::write(&path, &bytes).unwrap();
+    let mut reader = ArchiveReader::open(&path).unwrap();
+    assert_eq!(reader.info().n_steps, 180);
+    let replayed = reader.replay(60, 180).unwrap();
+    let expect = oracle.model().reconstruct_range(60, 180);
+    assert!(
+        same_bits(&replayed, &expect),
+        "served archive must replay bitwise at f64"
+    );
+
+    // The default tier is q16 — materially smaller than f64 — and flag
+    // abuse stays typed: bad tier 400, wrong method 405.
+    let (status, q16) = get_bytes(addr, &format!("/v1/{tenant}/archive"));
+    assert_eq!(status, 200);
+    assert!(q16.len() < bytes.len(), "q16 must be smaller than f64");
+    let (status, _) = get(addr, &format!("/v1/{tenant}/archive?tier=f16"));
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", &format!("/v1/{tenant}/archive"), None, b"");
+    assert_eq!(status, 405);
+
     daemon.shutdown();
 }
